@@ -1,0 +1,11 @@
+"""Helpers shared by benchmark modules."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(path: pathlib.Path, text: str) -> None:
+    path.write_text(text + "\n", encoding="utf-8")

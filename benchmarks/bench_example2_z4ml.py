@@ -1,0 +1,38 @@
+"""Example 2 (z4ml): the 3-bit adder with carry-in.
+
+Paper: 32 FPRM cubes (all prime), synthesized without any high-level
+description; SIS needs "much higher" run time.
+"""
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.sislite.scripts import best_baseline
+from repro.truth.spectra import fprm_from_table
+
+
+def test_bench_z4ml_fprm_flow(benchmark):
+    spec = get("z4ml")
+    options = SynthesisOptions(verify=False)
+    result = benchmark(lambda: synthesize_fprm(spec, options))
+    benchmark.extra_info["gates"] = result.two_input_gates
+    assert result.two_input_gates <= 50
+
+
+def test_bench_z4ml_baseline(benchmark):
+    spec = get("z4ml")
+    result, script = benchmark(lambda: best_baseline(spec, verify=False))
+    benchmark.extra_info["gates"] = result.two_input_gates
+    benchmark.extra_info["script"] = script
+
+
+def test_bench_z4ml_fprm_derivation(benchmark):
+    """Just the FPRM forms: 32 cubes across the four outputs."""
+    spec = get("z4ml")
+    tables = [output.local_table() for output in spec.outputs]
+
+    def derive():
+        return [fprm_from_table(t, (1 << 7) - 1) for t in tables]
+
+    forms = benchmark(derive)
+    assert sum(f.num_cubes for f in forms) == 32

@@ -1,0 +1,37 @@
+"""Figure 1: OFDD construction and cube extraction.
+
+Micro-benchmarks the diagram machinery on the paper's Figure 1 function
+and on a larger representative (the z4ml carry-out OFDD).
+"""
+
+from repro.circuits import get
+from repro.ofdd.manager import OfddManager
+from repro.truth.spectra import fprm_from_table
+
+FIG1_POLARITY = 0b110
+FIG1_CUBES = (0b001, 0b101, 0b011, 0b111, 0b100, 0b010)
+
+
+def test_bench_figure1_construction(benchmark):
+    def build():
+        manager = OfddManager(3, FIG1_POLARITY)
+        node = manager.from_fprm_masks(FIG1_CUBES)
+        return manager, node
+
+    manager, node = benchmark(build)
+    assert manager.cubes(node) == tuple(sorted(FIG1_CUBES))
+
+
+def test_bench_carry_out_ofdd(benchmark):
+    spec = get("z4ml")
+    table = spec.outputs[0].local_table()  # x24 carry-out
+    form = fprm_from_table(table, (1 << 7) - 1)
+
+    def build():
+        manager = OfddManager(7, form.polarity)
+        node = manager.from_fprm_masks(form.cubes)
+        return manager.node_count(node)
+
+    nodes = benchmark(build)
+    benchmark.extra_info["ofdd_nodes"] = nodes
+    assert nodes > 0

@@ -1,0 +1,62 @@
+"""The run-time claim: "The run time is reduced by at least 50%".
+
+The paper's totals: SIS 4435 s vs 103 s on the arithmetic set, driven by
+espresso/SOP costs exploding on XOR-rich functions (t481: 1372 s vs
+0.69 s).  We benchmark both flows on the circuits where the SOP route is
+expensive and record the speedups.  Absolute ratios differ (our baseline
+uses ISOP, which does not explode as badly as 1990s espresso), so the
+assertion is the qualitative one: the FPRM flow is faster where the SOP
+form blows up.
+"""
+
+import time
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.sislite.scripts import best_baseline
+
+SOP_HOSTILE = ["t481", "sym10", "9sym", "parity"]
+
+
+@pytest.mark.parametrize("name", SOP_HOSTILE)
+def test_bench_fprm_runtime(benchmark, name):
+    spec = get(name)
+    options = SynthesisOptions(verify=False)
+    benchmark.pedantic(
+        lambda: synthesize_fprm(spec, options), rounds=2, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", SOP_HOSTILE)
+def test_bench_baseline_runtime(benchmark, name):
+    spec = get(name)
+    benchmark.pedantic(
+        lambda: best_baseline(spec, verify=False), rounds=2, iterations=1
+    )
+
+
+def test_bench_runtime_reduction_on_sop_hostile_set(benchmark):
+    """One number: total FPRM time vs total baseline time on the set."""
+
+    def both():
+        ours = 0.0
+        base = 0.0
+        for name in SOP_HOSTILE:
+            spec = get(name)
+            t0 = time.perf_counter()
+            synthesize_fprm(spec, SynthesisOptions(verify=False))
+            ours += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            best_baseline(spec, verify=False)
+            base += time.perf_counter() - t0
+        return ours, base
+
+    ours, base = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["fprm_seconds"] = round(ours, 2)
+    benchmark.extra_info["baseline_seconds"] = round(base, 2)
+    benchmark.extra_info["reduction_pct"] = round(100 * (1 - ours / base), 1)
+    # The paper claims >= 50% reduction; assert the direction.
+    assert ours < base

@@ -1,0 +1,74 @@
+"""Substrate micro-benchmarks: the pieces the flows are built on.
+
+Not a paper table — these keep the infrastructure honest: FPRM butterfly
+transforms, OFDD apply operators, BDD equivalence checks, ISOP and the
+technology mapper all have a performance budget.
+"""
+
+import numpy as np
+
+from repro.bdd.manager import BddManager
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.fprm.polarity import best_polarity_exhaustive
+from repro.mapping import map_network, mcnc_lite_library
+from repro.network.verify import equivalent_to_spec
+from repro.ofdd.manager import OfddManager
+from repro.sislite.isop import isop_cover
+from repro.truth.spectra import fprm_spectrum
+from repro.truth.table import TruthTable
+
+
+def test_bench_fprm_butterfly_16vars(benchmark):
+    table = get("t481").outputs[0].local_table()
+    spectrum = benchmark(lambda: fprm_spectrum(table, 0b0110011001100110))
+    assert int((spectrum != 0).sum()) <= 16
+
+
+def test_bench_exhaustive_polarity_10vars(benchmark):
+    table = TruthTable.from_function(
+        10, lambda m: int(3 <= m.bit_count() <= 6)
+    )
+    polarity = benchmark.pedantic(
+        lambda: best_polarity_exhaustive(table), rounds=1, iterations=1
+    )
+    assert 0 <= polarity < (1 << 10)
+
+
+def test_bench_ofdd_multiplier_output(benchmark):
+    table = get("mlp4").outputs[7].local_table()
+    from repro.truth.spectra import fprm_from_table
+
+    form = fprm_from_table(table, (1 << 8) - 1)
+
+    def build():
+        manager = OfddManager(8, form.polarity)
+        return manager.node_count(manager.from_fprm_masks(form.cubes))
+
+    nodes = benchmark(build)
+    assert nodes > 0
+
+
+def test_bench_isop_t481(benchmark):
+    table = get("t481").outputs[0].local_table()
+    cover = benchmark.pedantic(lambda: isop_cover(table), rounds=1,
+                               iterations=1)
+    assert cover.num_cubes >= 300
+
+
+def test_bench_bdd_equivalence_my_adder(benchmark):
+    spec = get("my_adder")
+    result = synthesize_fprm(spec, SynthesisOptions(verify=False))
+    verdict = benchmark.pedantic(
+        lambda: equivalent_to_spec(result.network, spec),
+        rounds=1, iterations=1,
+    )
+    assert verdict and verdict.method == "bdd"
+
+
+def test_bench_mapper_mlp4(benchmark):
+    result = synthesize_fprm(get("mlp4"), SynthesisOptions(verify=False))
+    library = mcnc_lite_library()
+    mapped = benchmark(lambda: map_network(result.network, library))
+    assert mapped.gate_count > 0

@@ -1,0 +1,33 @@
+"""Table 2, row by row: both flows + mapping + power on every circuit.
+
+Each benchmark runs one circuit's full comparison (synthesis in both
+flows, technology mapping, power estimation) exactly once and records the
+row's numbers in ``extra_info``.  The companion ``bench_table2_totals``
+regenerates the whole formatted table including the paper's two summary
+rows and writes it to ``results/table2_bench.txt``.
+"""
+
+import pytest
+
+from repro.circuits import all_names
+from repro.harness.experiment import run_circuit
+
+
+@pytest.mark.parametrize("name", all_names())
+def test_bench_table2_row(benchmark, name):
+    row = benchmark.pedantic(
+        lambda: run_circuit(name, verify=False), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update({
+        "io": f"{row.inputs}/{row.outputs}",
+        "arithmetic": row.arithmetic,
+        "baseline_premap_lits": row.baseline.premap_lits,
+        "ours_premap_lits": row.ours.premap_lits,
+        "baseline_mapped_lits": row.baseline.mapped_lits,
+        "ours_mapped_lits": row.ours.mapped_lits,
+        "improve_lits_pct": round(row.improve_lits_pct, 1),
+        "improve_power_pct": round(row.improve_power_pct, 1),
+    })
+    # Every row must at least produce sane, nonzero results.
+    assert row.ours.mapped_lits > 0 or row.ours.premap_lits == 0
+    assert row.baseline.mapped_lits > 0 or row.baseline.premap_lits == 0

@@ -1,0 +1,32 @@
+"""The testability claim: complete stuck-at test sets from the cubes."""
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.network.simulate import exhaustive_inputs
+from repro.testability import fault_coverage, fault_list, pattern_test_set
+
+CIRCUITS = ["z4ml", "rd53", "cm82a", "t481"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_bench_cube_test_set(benchmark, name):
+    spec = get(name)
+    result = synthesize_fprm(spec, SynthesisOptions(verify=False))
+    faults = fault_list(result.network)
+
+    def run():
+        patterns = pattern_test_set(spec, result)
+        return patterns, fault_coverage(result.network, patterns, faults)
+
+    patterns, coverage = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["patterns"] = int(patterns.shape[1])
+    benchmark.extra_info["coverage_pct"] = round(100 * coverage.coverage, 2)
+    if spec.num_inputs <= 16:
+        exhaustive = fault_coverage(
+            result.network, exhaustive_inputs(spec.num_inputs), faults
+        )
+        # The cube set detects everything exhaustive simulation can.
+        assert coverage.detected == exhaustive.detected

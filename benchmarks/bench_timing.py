@@ -1,0 +1,52 @@
+"""Delay comparison — the analysis the paper defers to future work.
+
+"Other characteristics, such as power dissipation and delay, of the
+synthesized circuits will also differ from the results of conventional
+synthesis methods and need to be analyzed."  This bench analyzes them:
+unit-delay depth and load-dependent mapped delay for both flows.
+"""
+
+from benchmarks._util import write_result
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.mapping import map_network, mcnc_lite_library
+from repro.sislite.scripts import best_baseline
+from repro.timing import mapped_delay, network_delay
+from repro.utils.tabulate import format_table
+
+CIRCUITS = ["z4ml", "rd73", "t481", "mlp4", "co14"]
+
+
+def test_bench_delay_comparison(benchmark, results_dir):
+    library = mcnc_lite_library()
+
+    def run():
+        rows = []
+        for name in CIRCUITS:
+            spec = get(name)
+            ours = synthesize_fprm(spec, SynthesisOptions(verify=False))
+            base, _ = best_baseline(spec, verify=False)
+            rows.append([
+                name,
+                network_delay(base.network).delay,
+                network_delay(ours.network).delay,
+                round(mapped_delay(map_network(base.network, library)).delay, 2),
+                round(mapped_delay(map_network(ours.network, library)).delay, 2),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["circuit", "base depth", "fprm depth",
+         "base mapped delay", "fprm mapped delay"],
+        rows,
+    )
+    write_result(results_dir / "timing.txt", text)
+    for row in rows:
+        benchmark.extra_info[row[0]] = {
+            "base_depth": row[1], "fprm_depth": row[2],
+            "base_mapped": row[3], "fprm_mapped": row[4],
+        }
+        assert row[1] > 0 and row[2] > 0

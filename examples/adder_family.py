@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Adder family study: how both flows scale with word width.
+
+Builds ripple adders from 2 to 8 bits, runs the FPRM flow and the SOP
+baseline on each, and prints the gate counts + run times — the
+arithmetic-circuit scaling story behind the paper's adr4/add6/my_adder
+rows ("the difference in size increases for larger circuits").
+"""
+
+import time
+
+from repro.circuits.generators import make_adder
+from repro.core.synthesis import synthesize_fprm
+from repro.mapping import map_network, mcnc_lite_library
+from repro.sislite.scripts import best_baseline
+from repro.utils.tabulate import format_table
+
+
+def main() -> None:
+    library = mcnc_lite_library()
+    rows = []
+    for nbits in range(2, 9):
+        circuit = make_adder(nbits)
+        t0 = time.perf_counter()
+        ours = synthesize_fprm(circuit)
+        ours_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        base, _ = best_baseline(circuit)
+        base_time = time.perf_counter() - t0
+        ours_mapped = map_network(ours.network, library)
+        base_mapped = map_network(base.network, library)
+        improve = 100 * (
+            base_mapped.literal_count - ours_mapped.literal_count
+        ) / base_mapped.literal_count
+        rows.append([
+            nbits,
+            base.two_input_gates, f"{base_time:.2f}",
+            ours.two_input_gates, f"{ours_time:.2f}",
+            base_mapped.literal_count, ours_mapped.literal_count,
+            f"{improve:+.0f}%",
+        ])
+    print(format_table(
+        ["bits", "base gates", "base s", "fprm gates", "fprm s",
+         "base mapped lits", "fprm mapped lits", "improve"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

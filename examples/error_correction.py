@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Coding-theory circuits: the paper's closing claim, demonstrated.
+
+"Our method is particularly useful for adders, multipliers, error
+checking circuits and functions related to coding theory."  This script
+synthesizes Hamming(7,4) encode/syndrome/correct, CRC-4 and a 2-D parity
+checker with both flows and prints the comparison — GF(2)-linear logic is
+the FPRM flow's home turf, while the single-error *corrector* (a mostly
+unate decoder) shows where the SOP flow keeps the edge.
+"""
+
+from repro import circuits, synthesize_fprm
+from repro.mapping import map_network, mcnc_lite_library
+from repro.sislite.scripts import best_baseline
+from repro.utils.tabulate import format_table
+
+
+def main() -> None:
+    library = mcnc_lite_library()
+    rows = []
+    for name in circuits.extension_names():
+        spec = circuits.get(name)
+        ours = synthesize_fprm(spec)
+        base, _ = best_baseline(spec)
+        ours_mapped = map_network(ours.network, library)
+        base_mapped = map_network(base.network, library)
+        improve = 100 * (
+            base_mapped.literal_count - ours_mapped.literal_count
+        ) / base_mapped.literal_count
+        rows.append([
+            name,
+            f"{spec.num_inputs}/{spec.num_outputs}",
+            base.two_input_gates,
+            ours.two_input_gates,
+            base_mapped.literal_count,
+            ours_mapped.literal_count,
+            f"{improve:+.0f}%",
+        ])
+    print(format_table(
+        ["circuit", "I/O", "base gates", "fprm gates",
+         "base mapped lits", "fprm mapped lits", "improve"],
+        rows,
+    ))
+    print("\nXOR-linear circuits (encoder, syndrome, CRC, parity planes) "
+          "favor the FPRM flow; the unate decode logic of the corrector "
+          "favors the SOP flow — use each where it is strong.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Power comparison: switching activity of FPRM vs SOP networks.
+
+Reproduces the `improve%power` column idea of Table 2 on a handful of
+circuits: both flows are synthesized, power is estimated with the
+zero-delay switching-activity model (SIS power_estimate defaults), and
+the relative difference printed.
+"""
+
+from repro import circuits, synthesize_fprm
+from repro.power import estimate_power
+from repro.sislite.scripts import best_baseline
+from repro.utils.tabulate import format_table
+
+CIRCUITS = ["z4ml", "rd73", "t481", "sym10", "mlp4", "co14", "parity"]
+
+
+def main() -> None:
+    rows = []
+    for name in CIRCUITS:
+        spec = circuits.get(name)
+        ours = synthesize_fprm(spec)
+        base, _ = best_baseline(spec)
+        p_ours = estimate_power(ours.network)
+        p_base = estimate_power(base.network)
+        improve = 100 * (
+            p_base.microwatts - p_ours.microwatts
+        ) / p_base.microwatts
+        rows.append([
+            name,
+            f"{p_base.microwatts:.1f}",
+            f"{p_ours.microwatts:.1f}",
+            f"{improve:+.0f}%",
+        ])
+    print(format_table(
+        ["circuit", "baseline uW", "fprm uW", "improve"],
+        rows,
+    ))
+    print("\nXOR-rich networks switch less: each XOR gate has activity "
+          "0.5 but replaces three AND/OR gates' worth of toggling nodes.")
+
+
+if __name__ == "__main__":
+    main()

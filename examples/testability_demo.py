@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Testability demo: stuck-at test sets straight from the FPRM cubes.
+
+The paper claims its networks come with a complete single-stuck-at test
+set derived from the cubes (AZ + one-cube + all-one + SA1 patterns) —
+no test-pattern generation needed.  This script synthesizes a few
+circuits, builds that pattern set, fault-simulates it, and compares the
+coverage against exhaustive simulation.
+"""
+
+from repro import circuits, synthesize_fprm
+from repro.network.simulate import exhaustive_inputs
+from repro.testability import fault_coverage, fault_list, pattern_test_set
+from repro.utils.tabulate import format_table
+
+CIRCUITS = ["z4ml", "rd53", "cm82a", "majority", "bcd-div3", "t481"]
+
+
+def main() -> None:
+    rows = []
+    for name in CIRCUITS:
+        spec = circuits.get(name)
+        result = synthesize_fprm(spec)
+        faults = fault_list(result.network)
+        patterns = pattern_test_set(spec, result)
+        cube_cov = fault_coverage(result.network, patterns, faults)
+        if spec.num_inputs <= 16:
+            exhaustive = fault_coverage(
+                result.network, exhaustive_inputs(spec.num_inputs), faults
+            )
+            detectable = exhaustive.detected
+        else:
+            detectable = cube_cov.detected
+        rows.append([
+            name,
+            len(faults),
+            patterns.shape[1],
+            cube_cov.detected,
+            detectable,
+            f"{100 * cube_cov.coverage:.1f}%",
+        ])
+    print(format_table(
+        ["circuit", "faults", "cube patterns", "detected by cubes",
+         "detectable", "coverage"],
+        rows,
+    ))
+    print("\n'detected by cubes' == 'detectable' reproduces the paper's "
+          "claim: the cube-derived set needs no ATPG.")
+
+
+if __name__ == "__main__":
+    main()

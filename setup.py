@@ -1,0 +1,9 @@
+"""Setuptools shim; metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works on minimal offline environments that lack
+the `wheel` package (setup.py develop fallback).
+"""
+
+from setuptools import setup
+
+setup()

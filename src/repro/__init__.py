@@ -1,0 +1,50 @@
+"""repro — reproduction of Tsai & Marek-Sadowska, DAC 1996.
+
+"Multilevel Logic Synthesis for Arithmetic Functions": fixed-polarity
+Reed-Muller (FPRM) based multilevel logic synthesis with algebraic
+factorization and simulation-driven XOR-gate redundancy removal, together
+with every substrate the paper's evaluation depends on — a SIS-like
+SOP/kernel baseline, a genlib technology mapper, a switching-activity power
+estimator, a stuck-at testability analyzer, and an IWLS'91-style benchmark
+circuit suite.
+
+Quickstart
+----------
+>>> from repro import synthesize_fprm, circuits
+>>> spec = circuits.get("z4ml")
+>>> result = synthesize_fprm(spec)
+>>> result.network.two_input_gate_count() <= 24
+True
+"""
+
+import sys as _sys
+
+# Decision-diagram construction, cone walks and deep XOR chains recurse to
+# depths proportional to circuit size; the CPython default limit of 1000 is
+# too tight for the larger benchmark cones.
+if _sys.getrecursionlimit() < 100_000:
+    _sys.setrecursionlimit(100_000)
+
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import FprmSynthesizer, SynthesisResult, synthesize_fprm
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+from repro.expr.esop import FprmForm
+from repro.network.netlist import Network
+from repro.truth.table import TruthTable
+from repro import circuits
+
+__all__ = [
+    "Cover",
+    "Cube",
+    "FprmForm",
+    "FprmSynthesizer",
+    "Network",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "TruthTable",
+    "circuits",
+    "synthesize_fprm",
+]
+
+__version__ = "1.0.0"

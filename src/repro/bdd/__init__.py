@@ -1,0 +1,11 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+Stands in for the SIS 1.2 ROBDD package the paper builds on: used for
+equivalence checking of synthesized networks, exact controllability /
+observability queries during XOR redundancy removal, and exact signal
+probabilities for the power estimator.
+"""
+
+from repro.bdd.manager import BddManager
+
+__all__ = ["BddManager"]

@@ -1,0 +1,294 @@
+"""A compact ROBDD implementation with a unique table and memoized apply.
+
+Nodes are integers: 0 is the constant FALSE, 1 the constant TRUE.  Each
+internal node is a triple ``(level, low, high)`` where ``level`` is the
+variable index (identity variable order) and ``low``/``high`` are the
+cofactors for the variable at 0/1.  Reduction invariants: ``low != high``
+and the triple is unique, so two functions are equivalent iff their node
+ids are equal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ReproError
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+from repro.expr import expression as ex
+
+FALSE = 0
+TRUE = 1
+_TERMINAL_LEVEL = 1 << 30
+
+
+class BddManager:
+    """ROBDD manager over ``num_vars`` variables (identity order)."""
+
+    def __init__(self, num_vars: int, node_limit: int = 2_000_000):
+        self.num_vars = num_vars
+        self.node_limit = node_limit
+        self._level = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low = [0, 1]
+        self._high = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._not_memo: dict[int, int] = {}
+        self._and_memo: dict[tuple[int, int], int] = {}
+        self._xor_memo: dict[tuple[int, int], int] = {}
+        self._vars = [self._mk(i, FALSE, TRUE) for i in range(num_vars)]
+
+    # -- node construction ---------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        if node > self.node_limit:
+            raise ReproError(f"BDD node limit exceeded ({self.node_limit})")
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    @property
+    def size(self) -> int:
+        return len(self._level)
+
+    def var(self, index: int) -> int:
+        """The BDD of variable ``index``."""
+        return self._vars[index]
+
+    def nvar(self, index: int) -> int:
+        """The BDD of the complemented variable."""
+        return self.not_(self._vars[index])
+
+    def level(self, node: int) -> int:
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= 1
+
+    # -- core operations -------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        cached = self._not_memo.get(f)
+        if cached is not None:
+            return cached
+        result = self._mk(
+            self._level[f], self.not_(self._low[f]), self.not_(self._high[f])
+        )
+        self._not_memo[f] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._and_memo.get(key)
+        if cached is not None:
+            return cached
+        lf, lg = self._level[f], self._level[g]
+        level = min(lf, lg)
+        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, g)
+        result = self._mk(level, self.and_(f0, g0), self.and_(f1, g1))
+        self._and_memo[key] = result
+        return result
+
+    def or_(self, f: int, g: int) -> int:
+        return self.not_(self.and_(self.not_(f), self.not_(g)))
+
+    def xor_(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.not_(g)
+        if g == TRUE:
+            return self.not_(f)
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_memo.get(key)
+        if cached is not None:
+            return cached
+        lf, lg = self._level[f], self._level[g]
+        level = min(lf, lg)
+        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, g)
+        result = self._mk(level, self.xor_(f0, g0), self.xor_(f1, g1))
+        self._xor_memo[key] = result
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + f̄·h``."""
+        return self.or_(self.and_(f, g), self.and_(self.not_(f), h))
+
+    def implies_everywhere(self, f: int, g: int) -> bool:
+        """True iff ``f → g`` is a tautology."""
+        return self.and_(f, self.not_(g)) == FALSE
+
+    # -- cofactors and quantification -------------------------------------------
+
+    def cofactor(self, f: int, var: int, value: int) -> int:
+        memo: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1 or self._level[node] > var:
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            if self._level[node] == var:
+                result = self._high[node] if value else self._low[node]
+            else:
+                result = self._mk(
+                    self._level[node],
+                    walk(self._low[node]),
+                    walk(self._high[node]),
+                )
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, var: int) -> int:
+        return self.or_(self.cofactor(f, var, 0), self.cofactor(f, var, 1))
+
+    def support(self, f: int) -> int:
+        """Mask of variables ``f`` depends on."""
+        mask = 0
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            mask |= 1 << self._level[node]
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return mask
+
+    # -- satisfiability ---------------------------------------------------------
+
+    def any_sat(self, f: int) -> int | None:
+        """One satisfying minterm (unset variables default to 0), or None."""
+        if f == FALSE:
+            return None
+        minterm = 0
+        node = f
+        while node > 1:
+            if self._low[node] != FALSE:
+                node = self._low[node]
+            else:
+                minterm |= 1 << self._level[node]
+                node = self._high[node]
+        return minterm
+
+    def sat_count(self, f: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` variables."""
+        memo: dict[int, int] = {FALSE: 0, TRUE: 1 << self.num_vars}
+
+        def walk(node: int, depth_level: int) -> int:
+            # count assignments of variables with index >= depth_level
+            if node <= 1:
+                base = memo[node] >> depth_level
+                return base
+            count = walk(self._low[node], self._level[node] + 1) + walk(
+                self._high[node], self._level[node] + 1
+            )
+            return count << (self._level[node] - depth_level)
+
+        return walk(f, 0)
+
+    # -- builders -----------------------------------------------------------------
+
+    def from_cube(self, cube: Cube) -> int:
+        node = TRUE
+        for var in reversed(range(self.num_vars)):
+            bit = 1 << var
+            if cube.pos & bit:
+                node = self._mk(var, FALSE, node)
+            elif cube.neg & bit:
+                node = self._mk(var, node, FALSE)
+        return node
+
+    def from_cover(self, cover: Cover) -> int:
+        node = FALSE
+        for cube in cover:
+            node = self.or_(node, self.from_cube(cube))
+        return node
+
+    def from_expr(self, expr: ex.Expr, var_map: dict[int, int] | None = None) -> int:
+        """Build the BDD of an expression tree.
+
+        ``var_map`` optionally renames expression variables to manager
+        variables (identity by default).
+        """
+        if isinstance(expr, ex.Const):
+            return TRUE if expr.value else FALSE
+        if isinstance(expr, ex.Lit):
+            var = var_map[expr.var] if var_map else expr.var
+            node = self.var(var)
+            return self.not_(node) if expr.negated else node
+        if isinstance(expr, ex.Not):
+            return self.not_(self.from_expr(expr.arg, var_map))
+        children = [self.from_expr(child, var_map) for child in expr.children()]
+        if isinstance(expr, ex.And):
+            result = TRUE
+            for child in children:
+                result = self.and_(result, child)
+            return result
+        if isinstance(expr, ex.Or):
+            result = FALSE
+            for child in children:
+                result = self.or_(result, child)
+            return result
+        if isinstance(expr, ex.Xor):
+            result = FALSE
+            for child in children:
+                result = self.xor_(result, child)
+            return result
+        raise TypeError(f"cannot build BDD from {type(expr).__name__}")
+
+    def iter_cubes(self, f: int) -> Iterable[Cube]:
+        """Yield a disjoint cube cover of ``f`` (one cube per 1-path)."""
+
+        def walk(node: int, pos: int, neg: int):
+            if node == FALSE:
+                return
+            if node == TRUE:
+                yield Cube(self.num_vars, pos, neg)
+                return
+            var = self._level[node]
+            yield from walk(self._low[node], pos, neg | (1 << var))
+            yield from walk(self._high[node], pos | (1 << var), neg)
+
+        yield from walk(f, 0, 0)

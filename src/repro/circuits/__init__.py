@@ -1,0 +1,36 @@
+"""The IWLS'91-style benchmark circuit suite, regenerated.
+
+The MCNC/IWLS'91 distribution is not available offline; every circuit of
+the paper's Table 2 is regenerated here from a functional definition (for
+the documented arithmetic and structured circuits) or from a deterministic
+seeded generator matching the published I/O counts (for the circuits whose
+function is undocumented).  Each :class:`~repro.spec.CircuitSpec` carries a
+``substitution`` note when the definition is a stand-in.
+
+>>> from repro import circuits
+>>> circuits.get("z4ml").num_outputs
+4
+"""
+
+from repro.circuits.registry import (
+    all_names,
+    arithmetic_names,
+    extension_names,
+    get,
+    register,
+)
+
+# Importing the generator modules populates the registry.
+from repro.circuits import arithmetic as _arithmetic  # noqa: F401
+from repro.circuits import symmetric as _symmetric  # noqa: F401
+from repro.circuits import misc as _misc  # noqa: F401
+from repro.circuits import synthetic as _synthetic  # noqa: F401
+from repro.circuits import coding as _coding  # noqa: F401
+
+__all__ = [
+    "all_names",
+    "arithmetic_names",
+    "extension_names",
+    "get",
+    "register",
+]

@@ -1,0 +1,73 @@
+"""Helpers shared by the benchmark circuit generators."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.expr import expression as ex
+from repro.spec import CircuitSpec, OutputSpec
+from repro.truth.table import TruthTable
+
+
+def table_output(
+    name: str, support: Sequence[int], fn: Callable[[int], int]
+) -> OutputSpec:
+    """An output tabulated from ``fn(local_minterm)`` over its support."""
+    table = TruthTable.from_function(len(support), fn)
+    return OutputSpec(name=name, support=tuple(support), table=table)
+
+
+def expr_output(name: str, support: Sequence[int], expr: ex.Expr) -> OutputSpec:
+    """An output described by a (possibly shared/multilevel) expression."""
+    return OutputSpec(name=name, support=tuple(support), expr=expr)
+
+
+def field(minterm: int, offset: int, width: int) -> int:
+    """Extract ``width`` bits of a local minterm starting at ``offset``."""
+    return (minterm >> offset) & ((1 << width) - 1)
+
+
+def bit(minterm: int, index: int) -> int:
+    return (minterm >> index) & 1
+
+
+def popcount(value: int) -> int:
+    return value.bit_count()
+
+
+def word_outputs(
+    prefix: str,
+    support: Sequence[int],
+    word_fn: Callable[[int], int],
+    out_bits: int,
+) -> list[OutputSpec]:
+    """One tabulated output per bit of ``word_fn(local_minterm)``."""
+    outputs = []
+    for j in range(out_bits):
+        outputs.append(
+            table_output(
+                f"{prefix}{j}",
+                support,
+                lambda m, j=j: (word_fn(m) >> j) & 1,
+            )
+        )
+    return outputs
+
+
+def spec(
+    name: str,
+    num_inputs: int,
+    outputs: list[OutputSpec],
+    *,
+    arithmetic: bool = False,
+    description: str = "",
+    substitution: str | None = None,
+) -> CircuitSpec:
+    return CircuitSpec(
+        name=name,
+        num_inputs=num_inputs,
+        outputs=outputs,
+        is_arithmetic=arithmetic,
+        description=description,
+        substitution=substitution,
+    )

@@ -1,0 +1,140 @@
+"""Coding-theory extension circuits (beyond Table 2).
+
+The paper's conclusions single out "error checking circuits and functions
+related to coding theory" as natural targets — these circuits are defined
+over GF(2), so their FPRM forms *are* their specifications.  This module
+adds demonstrators exercising that claim: Hamming(7,4) encoding and
+syndrome decoding, a CRC-4 checksum slice, and a two-dimensional parity
+checker.  They register as *extension* circuits (not part of the paper's
+Table 2 set).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builders import bit, spec, table_output
+from repro.circuits.registry import register
+from repro.spec import CircuitSpec
+
+# Hamming(7,4): data d0..d3, parity bits p0 p1 p2 with the classic
+# positions; codeword = (p0 p1 d0 p2 d1 d2 d3).
+_H_ROWS = (
+    0b1011,  # p0 = d0 ⊕ d1 ⊕ d3
+    0b1101,  # p1 = d0 ⊕ d2 ⊕ d3
+    0b1110,  # p2 = d1 ⊕ d2 ⊕ d3
+)
+
+
+def _parity_of(value: int) -> int:
+    return value.bit_count() & 1
+
+
+@register("hamming7_enc", extension=True)
+def hamming7_enc() -> CircuitSpec:
+    """Hamming(7,4) encoder: 4 data bits → 3 parity bits."""
+    support = (0, 1, 2, 3)
+    outputs = [
+        table_output(
+            f"p{i}", support, lambda m, row=row: _parity_of(m & row)
+        )
+        for i, row in enumerate(_H_ROWS)
+    ]
+    return spec("hamming7_enc", 4, outputs, arithmetic=True,
+                description="Hamming(7,4) parity generator")
+
+
+@register("hamming7_syn", extension=True)
+def hamming7_syn() -> CircuitSpec:
+    """Hamming(7,4) syndrome: 7 received bits → 3 syndrome bits.
+
+    Input order: d0 d1 d2 d3 p0 p1 p2; syndrome bit i is the recomputed
+    parity XOR the received parity bit.
+    """
+    support = tuple(range(7))
+    outputs = [
+        table_output(
+            f"s{i}", support,
+            lambda m, i=i, row=_H_ROWS[i]: _parity_of(m & row) ^ bit(m, 4 + i),
+        )
+        for i in range(3)
+    ]
+    return spec("hamming7_syn", 7, outputs, arithmetic=True,
+                description="Hamming(7,4) syndrome computation")
+
+
+@register("hamming7_cor", extension=True)
+def hamming7_cor() -> CircuitSpec:
+    """Hamming(7,4) single-error corrector: received word → corrected data.
+
+    Decodes the syndrome and flips the matching data bit; a mix of XOR
+    (syndrome) and AND/OR (decode) logic — the structure the redundancy
+    removal is designed for.
+    """
+    support = tuple(range(7))
+
+    def corrected(m: int, j: int) -> int:
+        syndrome = tuple(
+            _parity_of(m & row) ^ bit(m, 4 + i)
+            for i, row in enumerate(_H_ROWS)
+        )
+        received = bit(m, j)
+        # Data bit j is flipped when the syndrome points at it: the
+        # syndrome equals the column of H for data bit j.
+        column = tuple((row >> j) & 1 for row in _H_ROWS)
+        flip = int(syndrome == column and any(syndrome))
+        return received ^ flip
+
+    outputs = [
+        table_output(f"d{j}", support, lambda m, j=j: corrected(m, j))
+        for j in range(4)
+    ]
+    return spec("hamming7_cor", 7, outputs, arithmetic=True,
+                description="Hamming(7,4) single-error data corrector")
+
+
+@register("crc4", extension=True)
+def crc4() -> CircuitSpec:
+    """CRC-4 (x^4 + x + 1) of an 8-bit message, combinational.
+
+    Each checksum bit is a fixed XOR of message bits — pure GF(2) linear
+    algebra, the extreme FPRM-friendly case.
+    """
+    poly = 0b10011
+    support = tuple(range(8))
+
+    def crc_bits(m: int) -> int:
+        register_value = m << 4
+        for shift in range(11, 3, -1):
+            if (register_value >> shift) & 1:
+                register_value ^= poly << (shift - 4)
+        return register_value & 0xF
+
+    outputs = [
+        table_output(f"c{j}", support, lambda m, j=j: (crc_bits(m) >> j) & 1)
+        for j in range(4)
+    ]
+    return spec("crc4", 8, outputs, arithmetic=True,
+                description="CRC-4 checksum of an 8-bit message")
+
+
+@register("parity2d", extension=True)
+def parity2d() -> CircuitSpec:
+    """Two-dimensional parity over a 3x3 bit array (rows, columns, total)."""
+    support = tuple(range(9))
+    outputs = []
+    for r in range(3):
+        mask = 0b111 << (3 * r)
+        outputs.append(
+            table_output(f"row{r}", support,
+                         lambda m, mask=mask: _parity_of(m & mask))
+        )
+    for c in range(3):
+        mask = (1 << c) | (1 << (c + 3)) | (1 << (c + 6))
+        outputs.append(
+            table_output(f"col{c}", support,
+                         lambda m, mask=mask: _parity_of(m & mask))
+        )
+    outputs.append(
+        table_output("all", support, lambda m: _parity_of(m & 0x1FF))
+    )
+    return spec("parity2d", 9, outputs, arithmetic=True,
+                description="2-D parity checker over a 3x3 array")

@@ -1,0 +1,132 @@
+"""Parameterized circuit generators (public API).
+
+The fixed benchmark registry reproduces Table 2; these factories let
+users build arbitrary-size instances of the same circuit families for
+scaling studies — the `examples/adder_family.py` sweep uses
+:func:`make_adder`.
+
+All generators return ordinary :class:`~repro.spec.CircuitSpec` objects,
+so everything downstream (both flows, mapping, power, testability)
+applies unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builders import expr_output, field, spec, table_output, word_outputs
+from repro.expr import expression as ex
+from repro.spec import CircuitSpec
+
+_DENSE_LIMIT = 16
+
+
+def make_adder(nbits: int, carry_in: bool = False) -> CircuitSpec:
+    """An ``nbits``-bit adder; dense tables up to 8 bits, ripple
+    expressions (with the diagram-friendly interleaved support) beyond."""
+    if nbits < 1:
+        raise ValueError("adder needs at least one bit")
+    extra = 1 if carry_in else 0
+    total_inputs = 2 * nbits + extra
+    if total_inputs <= _DENSE_LIMIT:
+        support = tuple(range(total_inputs))
+
+        def value(m: int) -> int:
+            carry = (m >> (2 * nbits)) & 1 if carry_in else 0
+            return field(m, 0, nbits) + field(m, nbits, nbits) + carry
+
+        outputs = word_outputs("s", support, value, nbits + 1)
+        outputs[-1].name = "cout"
+        return spec(f"adder{nbits}", total_inputs, outputs, arithmetic=True,
+                    description=f"{nbits}-bit adder")
+    return _ripple_adder(nbits, carry_in)
+
+
+def _ripple_adder(nbits: int, carry_in: bool) -> CircuitSpec:
+    total_inputs = 2 * nbits + (1 if carry_in else 0)
+
+    def slice_support(bits: int) -> tuple[int, ...]:
+        order: list[int] = [2 * nbits] if carry_in else []
+        for k in range(bits):
+            order += [k, nbits + k]
+        return tuple(order)
+
+    def ripple(bits: int):
+        offset = 1 if carry_in else 0
+        a = [ex.Lit(offset + 2 * k) for k in range(bits)]
+        b = [ex.Lit(offset + 2 * k + 1) for k in range(bits)]
+        carry: ex.Expr = ex.Lit(0) if carry_in else ex.FALSE
+        for k in range(bits - 1):
+            carry = ex.or_([
+                ex.and_([a[k], b[k]]),
+                ex.and_([ex.xor_([a[k], b[k]]), carry]),
+            ])
+        return a, b, carry
+
+    outputs = []
+    for i in range(nbits):
+        a, b, carry = ripple(i + 1)
+        outputs.append(
+            expr_output(f"s{i}", slice_support(i + 1),
+                        ex.xor_([a[i], b[i], carry]))
+        )
+    a, b, carry = ripple(nbits)
+    k = nbits - 1
+    cout = ex.or_([
+        ex.and_([a[k], b[k]]), ex.and_([ex.xor_([a[k], b[k]]), carry])
+    ])
+    outputs.append(expr_output("cout", slice_support(nbits), cout))
+    return spec(f"adder{nbits}", total_inputs, outputs, arithmetic=True,
+                description=f"{nbits}-bit ripple adder")
+
+
+def make_multiplier(nbits: int) -> CircuitSpec:
+    """An ``nbits`` × ``nbits`` multiplier (dense; nbits ≤ 8)."""
+    if not 1 <= nbits <= _DENSE_LIMIT // 2:
+        raise ValueError("multiplier supports 1..8 bits per operand")
+    support = tuple(range(2 * nbits))
+
+    def product(m: int) -> int:
+        return field(m, 0, nbits) * field(m, nbits, nbits)
+
+    return spec(f"mult{nbits}", 2 * nbits,
+                word_outputs("p", support, product, 2 * nbits),
+                arithmetic=True, description=f"{nbits}x{nbits} multiplier")
+
+
+def make_comparator(nbits: int) -> CircuitSpec:
+    """Magnitude comparator: gt / lt / eq of two ``nbits``-bit words."""
+    if not 1 <= 2 * nbits <= _DENSE_LIMIT:
+        raise ValueError("comparator supports 1..8 bits per operand")
+    support = tuple(range(2 * nbits))
+
+    def words(m: int) -> tuple[int, int]:
+        return field(m, 0, nbits), field(m, nbits, nbits)
+
+    outputs = [
+        table_output("gt", support, lambda m: int(words(m)[0] > words(m)[1])),
+        table_output("lt", support, lambda m: int(words(m)[0] < words(m)[1])),
+        table_output("eq", support, lambda m: int(words(m)[0] == words(m)[1])),
+    ]
+    return spec(f"cmp{nbits}", 2 * nbits, outputs, arithmetic=True,
+                description=f"{nbits}-bit magnitude comparator")
+
+
+def make_parity(nbits: int) -> CircuitSpec:
+    """An ``nbits``-input parity tree (structural XOR specification)."""
+    if nbits < 1:
+        raise ValueError("parity needs at least one input")
+    out = expr_output("p", tuple(range(nbits)),
+                      ex.xor_([ex.Lit(i) for i in range(nbits)]))
+    return spec(f"parity{nbits}", nbits, [out], arithmetic=True,
+                description=f"{nbits}-input parity")
+
+
+def make_weight(nbits: int) -> CircuitSpec:
+    """The rdXX family: binary weight of ``nbits`` inputs (nbits ≤ 16)."""
+    if not 1 <= nbits <= _DENSE_LIMIT:
+        raise ValueError("weight counter supports 1..16 inputs")
+    out_bits = max(1, nbits.bit_length())
+    support = tuple(range(nbits))
+    return spec(f"weight{nbits}", nbits,
+                word_outputs("w", support, lambda m: m.bit_count(), out_bits),
+                arithmetic=True,
+                description=f"weight of {nbits} inputs")

@@ -1,0 +1,253 @@
+"""Structured non-random benchmark circuits: t481, comparators, glue."""
+
+from __future__ import annotations
+
+from repro.circuits.builders import bit, expr_output, field, spec, table_output
+from repro.circuits.registry import register
+from repro.expr import expression as ex
+from repro.spec import CircuitSpec
+
+
+@register("t481")
+def t481() -> CircuitSpec:
+    """The 16-input single-output function of the paper's Example 1.
+
+    The paper prints the synthesized equation explicitly; we use it as the
+    ground-truth definition:
+
+        t481 = (v̄0·v1 ⊕ v2·v̄3) · (v̄4·v5 ⊕ (v̄6 + v7))
+             ⊕ ((v8 + v̄9) ⊕ v10·v̄11) · (v̄12·v13 ⊕ v14·v̄15)
+    """
+    support = tuple(range(16))
+
+    def fn(m: int) -> int:
+        v = [bit(m, i) for i in range(16)]
+        left = ((1 - v[0]) & v[1]) ^ (v[2] & (1 - v[3]))
+        left &= ((1 - v[4]) & v[5]) ^ ((1 - v[6]) | v[7])
+        right = (v[8] | (1 - v[9])) ^ (v[10] & (1 - v[11]))
+        right &= ((1 - v[12]) & v[13]) ^ (v[14] & (1 - v[15]))
+        return left ^ right
+
+    out = table_output("t481", support, fn)
+    return spec("t481", 16, [out], arithmetic=True,
+                description="481-prime-cube function; 16 FPRM cubes")
+
+
+@register("bcd-div3")
+def bcd_div3() -> CircuitSpec:
+    """BCD digit divided by 3: 2-bit quotient and 2-bit remainder."""
+    support = tuple(range(4))
+
+    def value(m: int) -> int:
+        if m > 9:
+            return 0
+        return (m // 3) | ((m % 3) << 2)
+
+    outputs = [
+        table_output(f"q{j}", support, lambda m, j=j: (value(m) >> j) & 1)
+        for j in range(2)
+    ] + [
+        table_output(f"r{j}", support, lambda m, j=j: (value(m) >> (2 + j)) & 1)
+        for j in range(2)
+    ]
+    return spec("bcd-div3", 4, outputs, arithmetic=True,
+                description="BCD digit / 3 (quotient, remainder)",
+                substitution="don't-care inputs 10-15 fixed to output 0 "
+                "(the MCNC PLA leaves them unspecified).")
+
+
+@register("cm85a")
+def cm85a() -> CircuitSpec:
+    """Cascadable 4-bit magnitude comparator (11 inputs, 3 outputs)."""
+    support = tuple(range(11))
+
+    def gt(m: int) -> int:
+        a, b = field(m, 0, 4), field(m, 4, 4)
+        return int(a > b or (a == b and bit(m, 8)))
+
+    def lt(m: int) -> int:
+        a, b = field(m, 0, 4), field(m, 4, 4)
+        return int(a < b or (a == b and bit(m, 9)))
+
+    def eq(m: int) -> int:
+        a, b = field(m, 0, 4), field(m, 4, 4)
+        return int(a == b and bit(m, 10))
+
+    outputs = [
+        table_output("gt", support, gt),
+        table_output("lt", support, lt),
+        table_output("eq", support, eq),
+    ]
+    return spec("cm85a", 11, outputs, arithmetic=True,
+                description="4-bit comparator with cascade inputs",
+                substitution="MCNC cm85a is a comparator cell; regenerated "
+                "as the standard cascadable magnitude comparator.")
+
+
+@register("cmb")
+def cmb() -> CircuitSpec:
+    """Address-match / enable glue (16 inputs, 4 outputs)."""
+    a12 = tuple(range(12))
+    e4 = tuple(range(12, 16))
+    outputs = [
+        table_output("match", a12, lambda m: int(m == (1 << 12) - 1)),
+        table_output("any_en", e4, lambda m: int(m != 0)),
+        table_output(
+            "sel", tuple(range(16)),
+            lambda m: int(field(m, 0, 12) == (1 << 12) - 1
+                          and field(m, 12, 4) != 0),
+        ),
+        table_output("none", e4, lambda m: int(m == 0)),
+    ]
+    return spec("cmb", 16, outputs,
+                description="wide AND address match with enables",
+                substitution="exact MCNC cmb function undocumented; "
+                "regenerated as wide-AND/OR address-match glue of the "
+                "published I/O shape.")
+
+
+@register("shift")
+def shift() -> CircuitSpec:
+    """16-bit universal shift-register slice (19 inputs, 16 outputs).
+
+    Inputs: data d0..d15 (0..15), mode bits c0 c1 (16, 17), serial input
+    (18).  Modes: 00 hold, 01 shift left (serial enters bit 0), 10 shift
+    right (serial enters bit 15), 11 clear — the 74194-style combinational
+    next-state function.
+    """
+    outputs = []
+    for i in range(16):
+        left_src = i - 1 if i > 0 else 18  # serial input fills the edge
+        right_src = i + 1 if i < 15 else 18
+        support = tuple(sorted({i, left_src, right_src})) + (16, 17)
+        local = {var: j for j, var in enumerate(sorted({i, left_src, right_src}))}
+        c0 = ex.Lit(len(local))
+        c1 = ex.Lit(len(local) + 1)
+        hold = ex.and_([ex.not_(c0), ex.not_(c1), ex.Lit(local[i])])
+        left = ex.and_([c0, ex.not_(c1), ex.Lit(local[left_src])])
+        right = ex.and_([ex.not_(c0), c1, ex.Lit(local[right_src])])
+        outputs.append(expr_output(f"o{i}", support,
+                                   ex.or_([hold, left, right])))
+    return spec("shift", 19, outputs,
+                description="16-bit universal shift-register slice",
+                substitution="exact MCNC shift function undocumented; "
+                "regenerated as a 74194-style hold/shift-left/shift-right/"
+                "clear slice with the published I/O counts.")
+
+
+@register("tcon")
+def tcon() -> CircuitSpec:
+    """Control-gated wire bundle (17 inputs, 16 outputs)."""
+    outputs = []
+    for i in range(8):
+        outputs.append(
+            table_output(
+                f"a{i}", (2 * i, 16), lambda m: bit(m, 0) & bit(m, 1)
+            )
+        )
+        outputs.append(
+            table_output(
+                f"b{i}", (2 * i + 1, 16), lambda m: bit(m, 0) | bit(m, 1)
+            )
+        )
+    return spec("tcon", 17, outputs,
+                description="AND/OR gated wire bundle",
+                substitution="exact MCNC tcon function undocumented; "
+                "regenerated as one control line gating 16 wires.")
+
+
+@register("i3")
+def i3() -> CircuitSpec:
+    """Six 22-input OR planes over disjoint slices (132 inputs)."""
+    outputs = []
+    for j in range(6):
+        support = tuple(range(22 * j, 22 * (j + 1)))
+        outputs.append(
+            expr_output(f"o{j}", support,
+                        ex.or_([ex.Lit(k) for k in range(22)]))
+        )
+    return spec("i3", 132, outputs,
+                description="wide disjoint OR planes",
+                substitution="exact MCNC i3 function undocumented; "
+                "regenerated as disjoint 22-input OR planes matching the "
+                "published I/O counts and literal scale.")
+
+
+@register("i4")
+def i4() -> CircuitSpec:
+    """Six 32-input OR-of-AND-pair planes over disjoint slices."""
+    outputs = []
+    for j in range(6):
+        support = tuple(range(32 * j, 32 * (j + 1)))
+        pairs = [
+            ex.and_([ex.Lit(2 * k), ex.Lit(2 * k + 1)]) for k in range(16)
+        ]
+        outputs.append(expr_output(f"o{j}", support, ex.or_(pairs)))
+    return spec("i4", 192, outputs,
+                description="wide OR of input pairs",
+                substitution="exact MCNC i4 function undocumented; "
+                "regenerated as disjoint OR-of-AND-pair planes.")
+
+
+@register("i5")
+def i5() -> CircuitSpec:
+    """66 two-gate cells sharing one control line (133 inputs)."""
+    outputs = []
+    for j in range(66):
+        support = (2 * j, 2 * j + 1, 132)
+
+        def fn(m: int) -> int:
+            return (bit(m, 0) & bit(m, 2)) | bit(m, 1)
+
+        outputs.append(table_output(f"o{j}", support, fn))
+    return spec("i5", 133, outputs,
+                description="gated buffer array",
+                substitution="exact MCNC i5 function undocumented; "
+                "regenerated as a 66-cell gated-buffer array (2 gates per "
+                "output, matching the published 264 literals).")
+
+
+@register("pcle")
+def pcle() -> CircuitSpec:
+    """Parity-check slices with a global enable (19 inputs, 9 outputs)."""
+    outputs = []
+    for j in range(9):
+        support = (2 * j, 2 * j + 1, 18)
+        outputs.append(
+            table_output(
+                f"p{j}", support,
+                lambda m: (bit(m, 0) ^ bit(m, 1)) & bit(m, 2),
+            )
+        )
+    return spec("pcle", 19, outputs,
+                description="enabled XOR pair checks",
+                substitution="MCNC pcle is parity-check logic with enable; "
+                "regenerated as nine enabled XOR pair checks.")
+
+
+@register("pcler8")
+def pcler8() -> CircuitSpec:
+    """Wider parity-check/enable block (27 inputs, 17 outputs)."""
+    outputs = []
+    for j in range(13):
+        support = (2 * j, 2 * j + 1, 26)
+        outputs.append(
+            table_output(
+                f"p{j}", support,
+                lambda m: (bit(m, 0) ^ bit(m, 1)) & bit(m, 2),
+            )
+        )
+    for j in range(4):
+        base = 4 * j
+        support = (base, base + 1, base + 2, base + 3)
+        outputs.append(
+            table_output(
+                f"q{j}", support,
+                lambda m: bit(m, 0) ^ bit(m, 1) ^ (bit(m, 2) & bit(m, 3)),
+            )
+        )
+    return spec("pcler8", 27, outputs,
+                description="enabled XOR checks plus mixed parity cells",
+                substitution="exact MCNC pcler8 function undocumented; "
+                "regenerated as enabled parity-check cells of the "
+                "published I/O shape.")

@@ -1,0 +1,61 @@
+"""Name → specification registry for the benchmark suite."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import UnknownCircuitError
+from repro.spec import CircuitSpec
+
+_REGISTRY: dict[str, Callable[[], CircuitSpec]] = {}
+_CACHE: dict[str, CircuitSpec] = {}
+_EXTENSIONS: set[str] = set()
+
+
+def register(
+    name: str, extension: bool = False
+) -> Callable[[Callable[[], CircuitSpec]], Callable[[], CircuitSpec]]:
+    """Decorator: register a zero-argument spec factory under ``name``.
+
+    ``extension=True`` marks circuits beyond the paper's Table 2 set
+    (e.g. the coding-theory demonstrators); they are excluded from
+    :func:`all_names` (and hence from the Table 2 harness) but available
+    through :func:`get` and :func:`extension_names`.
+    """
+
+    def wrap(factory: Callable[[], CircuitSpec]) -> Callable[[], CircuitSpec]:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate circuit name {name!r}")
+        _REGISTRY[name] = factory
+        if extension:
+            _EXTENSIONS.add(name)
+        return factory
+
+    return wrap
+
+
+def get(name: str) -> CircuitSpec:
+    """The specification for ``name`` (cached; specs are treated read-only)."""
+    if name not in _REGISTRY:
+        raise UnknownCircuitError(name)
+    if name not in _CACHE:
+        spec = _REGISTRY[name]()
+        if spec.name != name:
+            raise ValueError(f"factory for {name!r} produced {spec.name!r}")
+        _CACHE[name] = spec
+    return _CACHE[name]
+
+
+def all_names() -> list[str]:
+    """The Table 2 circuits, alphabetical (extensions excluded)."""
+    return sorted(name for name in _REGISTRY if name not in _EXTENSIONS)
+
+
+def extension_names() -> list[str]:
+    """Circuits beyond the paper's benchmark set."""
+    return sorted(_EXTENSIONS)
+
+
+def arithmetic_names() -> list[str]:
+    """The circuits counted into the paper's "Total arith." row."""
+    return [name for name in all_names() if get(name).is_arithmetic]

@@ -1,0 +1,101 @@
+"""Symmetric and parity benchmark circuits.
+
+Weight functions (rdXX), symmetry detectors (9sym/sym10), majority and the
+parity trees — the class of functions whose FPRM forms are dramatically
+smaller than their SOP covers.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.builders import (
+    expr_output,
+    field,
+    popcount,
+    spec,
+    table_output,
+    word_outputs,
+)
+from repro.circuits.registry import register
+from repro.expr import expression as ex
+from repro.spec import CircuitSpec
+
+
+def _rd(name: str, inputs: int, out_bits: int) -> CircuitSpec:
+    support = tuple(range(inputs))
+    outputs = word_outputs("w", support, popcount, out_bits)
+    return spec(name, inputs, outputs, arithmetic=True,
+                description=f"binary weight of {inputs} inputs")
+
+
+@register("rd53")
+def rd53() -> CircuitSpec:
+    return _rd("rd53", 5, 3)
+
+
+@register("rd73")
+def rd73() -> CircuitSpec:
+    return _rd("rd73", 7, 3)
+
+
+@register("rd84")
+def rd84() -> CircuitSpec:
+    return _rd("rd84", 8, 4)
+
+
+@register("9sym")
+def ninesym() -> CircuitSpec:
+    """1 iff the input weight is between 3 and 6 (9 inputs)."""
+    support = tuple(range(9))
+    out = table_output("f", support, lambda m: int(3 <= popcount(m) <= 6))
+    return spec("9sym", 9, [out], arithmetic=True,
+                description="totally symmetric: 3 <= weight <= 6")
+
+
+@register("sym10")
+def sym10() -> CircuitSpec:
+    """1 iff the input weight is between 3 and 6 (10 inputs)."""
+    support = tuple(range(10))
+    out = table_output("f", support, lambda m: int(3 <= popcount(m) <= 6))
+    return spec("sym10", 10, [out], arithmetic=True,
+                description="totally symmetric: 3 <= weight <= 6")
+
+
+@register("majority")
+def majority() -> CircuitSpec:
+    support = tuple(range(5))
+    out = table_output("f", support, lambda m: int(popcount(m) >= 3))
+    return spec("majority", 5, [out], arithmetic=True,
+                description="5-input majority")
+
+
+@register("parity")
+def parity() -> CircuitSpec:
+    """16-input parity, specified structurally (a tree of XORs) like the
+    IWLS'91 multilevel benchmark entry."""
+    support = tuple(range(16))
+    out = expr_output("f", support, ex.xor_([ex.Lit(i) for i in range(16)]))
+    return spec("parity", 16, [out], arithmetic=True,
+                description="16-input parity tree")
+
+
+@register("xor10")
+def xor10() -> CircuitSpec:
+    """10-input parity (structural XOR tree)."""
+    support = tuple(range(10))
+    out = expr_output("f", support, ex.xor_([ex.Lit(i) for i in range(10)]))
+    return spec("xor10", 10, [out], arithmetic=True,
+                description="10-input parity")
+
+
+@register("co14")
+def co14() -> CircuitSpec:
+    """Equality of two 7-bit words (14 inputs, 1 output)."""
+    support = tuple(range(14))
+    out = table_output(
+        "eq", support, lambda m: int(field(m, 0, 7) == field(m, 7, 7))
+    )
+    return spec("co14", 14, [out], arithmetic=True,
+                description="7-bit equality comparator",
+                substitution="exact MCNC co14 function undocumented; "
+                "regenerated as a 7-bit comparator — an XNOR-rich "
+                "single-output function of the same I/O shape.")

@@ -1,0 +1,16 @@
+"""The paper's contribution: FPRM-based multilevel synthesis.
+
+Pipeline (paper Sections 2-4): FPRM form generation → algebraic
+factorization (cube method or OFDD method) → XOR-gate redundancy removal
+driven by the AZ/OC/AO/SA1 primary-input pattern sets.
+"""
+
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import FprmSynthesizer, SynthesisResult, synthesize_fprm
+
+__all__ = [
+    "FprmSynthesizer",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "synthesize_fprm",
+]

@@ -1,0 +1,126 @@
+"""Factorization method 1 — the cube method (paper Section 3).
+
+Input: the FPRM cube masks of one output.  The five steps:
+
+1. the cubes are given;
+2. split into disjoint-support groups;
+3. inside each group, peel the subgroup with maximal common support;
+4. factor each subgroup with rule (d) ``AB ⊕ AC ⊕ … = A(B ⊕ C ⊕ …)``,
+   recursing so multi-literal common cubes come out one variable at a
+   time, with a common-subexpression merge that applies rule (d) again at
+   the expression level (``x·E ⊕ y·E = (x ⊕ y)·E``), plus optional
+   cube-level Reduction rules (a)/(b);
+5. join the terms with a balanced binary XOR tree (structure-preserving,
+   so the redundancy analysis sees exactly these gates).
+
+The output is an expression in *literal space* (every variable positive);
+the synthesis driver re-applies polarities when building the network.
+"""
+
+from __future__ import annotations
+
+from repro.core.grouping import disjoint_support_groups, most_common_variable
+from repro.core.rules import cube_expr, try_rule_a, try_rule_b
+from repro.expr import expression as ex
+
+
+def factor_cubes(masks: list[int], apply_reductions: bool = False) -> ex.Expr:
+    """Factor an FPRM cube list into a multilevel expression.
+
+    ``apply_reductions`` additionally fires the cube-level Reduction rules
+    (a)/(b) during factorization.  The default leaves all XOR gates in
+    place — the paper's assumption (3) — so the redundancy remover sees the
+    pure AND/XOR network N_x and finds every reduction itself.
+    """
+    masks = sorted(set(masks))
+    if not masks:
+        return ex.FALSE
+    has_constant = masks[0] == 0
+    if has_constant:
+        masks = masks[1:]
+    joined = ex.xor_join(_terms(masks, apply_reductions))
+    # Assumption (2): the constant-1 cube is an inverter at the output.
+    return ex.not_(joined) if has_constant else joined
+
+
+def _terms(masks: list[int], apply_reductions: bool) -> list[ex.Expr]:
+    """XOR terms whose join realizes ``masks`` (Steps 2-4 + CSE merge)."""
+    if not masks:
+        return []
+    terms: list[ex.Expr] = []
+    for group in disjoint_support_groups(masks):
+        terms.extend(_group_terms(group, apply_reductions))
+    return _merge_common_bodies(terms)
+
+
+def _group_terms(masks: list[int], apply_reductions: bool) -> list[ex.Expr]:
+    """Steps 3-4 on one disjoint-support group; returns XOR terms."""
+    if not masks:
+        return []
+    if len(masks) == 1:
+        return [cube_expr(masks[0])]
+    if apply_reductions:
+        mask_set = set(masks)
+        for rule in (try_rule_b, try_rule_a):
+            hit = rule(mask_set)
+            if hit is not None:
+                expr, consumed = hit
+                rest = sorted(mask_set - consumed)
+                return [expr] + _terms(rest, apply_reductions)
+    var, count = most_common_variable(masks)
+    if count >= 2:
+        bit = 1 << var
+        with_var = [mask & ~bit for mask in masks if mask & bit]
+        without_var = [mask for mask in masks if not mask & bit]
+        # Rule (d): peel the common literal off the sharing subgroup.
+        body = ex.xor_chain(_terms(with_var, apply_reductions))
+        factored = ex.and_([ex.Lit(var), body])
+        return [factored] + _terms(without_var, apply_reductions)
+    # No shared variable: plain cubes, one term each.
+    return [cube_expr(mask) for mask in masks]
+
+
+def _merge_common_bodies(terms: list[ex.Expr]) -> list[ex.Expr]:
+    """Expression-level rule (d): ``A·E ⊕ B·E = (A ⊕ B)·E``.
+
+    ``A``/``B`` are the product-of-literal parts of AND terms (possibly
+    empty: ``E ⊕ B·E = B̄·E``), ``E`` the complex remainder.  Iterates to a
+    fixpoint because one merge can expose another.
+    """
+    changed = True
+    while changed:
+        changed = False
+        by_body: dict[tuple[ex.Expr, ...], list[int]] = {}
+        for index, term in enumerate(terms):
+            body = _body_key(term)
+            if body is not None:
+                by_body.setdefault(body, []).append(index)
+        for body, indices in by_body.items():
+            if len(indices) < 2:
+                continue
+            selectors = [_selector_of(terms[i]) for i in indices]
+            merged_selector = ex.xor_join(selectors)
+            merged = ex.and_([merged_selector, *body])
+            keep = [t for i, t in enumerate(terms) if i not in indices]
+            terms = keep + [merged]
+            changed = True
+            break
+    return terms
+
+
+def _body_key(term: ex.Expr) -> tuple[ex.Expr, ...] | None:
+    """The non-literal factors of an AND term (None when there are none)."""
+    if not isinstance(term, ex.And):
+        return None
+    complex_args = tuple(
+        arg for arg in term.args if not isinstance(arg, ex.Lit)
+    )
+    if not complex_args:
+        return None
+    return complex_args
+
+
+def _selector_of(term: ex.Expr) -> ex.Expr:
+    assert isinstance(term, ex.And)
+    literals = [arg for arg in term.args if isinstance(arg, ex.Lit)]
+    return ex.and_(literals) if literals else ex.TRUE

@@ -1,0 +1,38 @@
+"""Factorization method 2 — the OFDD method (paper Section 3).
+
+Each OFDD node under Davio expansion is ``f = low ⊕ ℓ·high``, i.e. exactly
+one AND gate and one XOR gate; a single traversal of the diagram therefore
+yields the initial multilevel network, and nodes shared between paths
+become shared subexpressions — the structural counterpart of rule (d)
+("any set of nodes that share a common child node represents a factored
+subexpression").
+
+The traversal memoizes per OFDD node and returns the *same* expression
+object for shared nodes; sharing materializes when the expressions are
+built into the structurally-hashed :class:`~repro.network.netlist.Network`.
+Expressions are in literal space (all variables positive).
+"""
+
+from __future__ import annotations
+
+from repro.expr import expression as ex
+from repro.ofdd.manager import FALSE, TRUE, OfddManager
+
+
+def factor_ofdd(manager: OfddManager, node: int) -> ex.Expr:
+    """Translate an OFDD into a factored AND/XOR expression."""
+    memo: dict[int, ex.Expr] = {FALSE: ex.FALSE, TRUE: ex.TRUE}
+
+    def walk(current: int) -> ex.Expr:
+        cached = memo.get(current)
+        if cached is not None:
+            return cached
+        var = manager.level(current)
+        low = walk(manager.low(current))
+        high = walk(manager.high(current))
+        term = ex.and_([ex.Lit(var), high])
+        result = ex.xor2(low, term)
+        memo[current] = result
+        return result
+
+    return walk(node)

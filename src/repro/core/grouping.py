@@ -1,0 +1,75 @@
+"""Cube grouping for the cube-method factorizer (paper Steps 2-3).
+
+Step 2 splits the FPRM cubes into groups with pairwise-disjoint supports
+(connected components of the shared-variable relation); Step 3, inside one
+group, repeatedly peels off the subgroup sharing the currently
+most-frequent variable — the greedy realization of "subgroups with maximal
+common support".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.utils.bitops import bit_indices
+
+
+def disjoint_support_groups(masks: list[int]) -> list[list[int]]:
+    """Partition cube masks into support-connected components (Step 2)."""
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x: int, y: int) -> None:
+        rx, ry = find(x), find(y)
+        if rx != ry:
+            parent[rx] = ry
+
+    # Union all variables of each cube; cubes then group by their root.
+    for mask in masks:
+        variables = list(bit_indices(mask))
+        for var in variables:
+            parent.setdefault(var, var)
+        for var in variables[1:]:
+            union(variables[0], var)
+
+    groups: dict[int, list[int]] = {}
+    constants: list[int] = []
+    for mask in masks:
+        if mask == 0:
+            constants.append(mask)
+            continue
+        root = find(next(bit_indices(mask)))
+        groups.setdefault(root, []).append(mask)
+    result = [sorted(group) for group in sorted(groups.values())]
+    if constants:
+        result.append(constants)
+    return result
+
+
+def most_common_variable(masks: list[int]) -> tuple[int, int]:
+    """(variable, count) of the best variable to factor out (rule (d)).
+
+    Primary criterion: shared by the most cubes.  Tie-break: prefer the
+    variable whose smallest containing cube is smallest — in expanded
+    arithmetic functions (carry chains, majority towers) the high-order
+    variables sit in the small cubes, and peeling them first recovers the
+    natural ``maj(a, b, maj(…))`` nesting instead of slicing through the
+    middle of the chain.  Final tie-break: lowest index, for determinism.
+    """
+    counts: Counter[int] = Counter()
+    min_size: dict[int, int] = {}
+    for mask in masks:
+        size = mask.bit_count()
+        for var in bit_indices(mask):
+            counts[var] += 1
+            if size < min_size.get(var, 1 << 30):
+                min_size[var] = size
+    if not counts:
+        return (-1, 0)
+    best_var = min(counts, key=lambda var: (-counts[var], min_size[var], var))
+    return best_var, counts[best_var]

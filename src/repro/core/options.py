@@ -1,0 +1,59 @@
+"""Knobs of the FPRM synthesis flow."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.fprm.polarity import PolarityStrategy
+
+
+class FactorMethod(str, enum.Enum):
+    """Which of the paper's two factorization methods to run.
+
+    ``AUTO`` runs the cube method when the FPRM cube set is available and
+    small, the OFDD method otherwise — and, when both are cheap, keeps the
+    better result (the paper reports the methods are "comparable but the
+    second method has better results on a few more test cases").
+    """
+
+    CUBE = "cube"
+    OFDD = "ofdd"
+    AUTO = "auto"
+
+
+class ControllabilityEngine(str, enum.Enum):
+    """How missing XOR input patterns are decided (paper Section 4).
+
+    The paper simulates the OC/AO/AZ sets and resolves the remaining
+    patterns with a cube-parity enumeration whose details were cut for
+    space.  ``BDD`` replaces that enumeration with an exact BDD decision;
+    ``ENUMERATION`` enumerates cube-subset union patterns exhaustively
+    (exact for outputs with few cubes); ``SIMULATION_ONLY`` reduces only
+    what the simulated pattern set itself proves — sound but weakest.
+    """
+
+    BDD = "bdd"
+    ENUMERATION = "enumeration"
+    SIMULATION_ONLY = "simulation-only"
+
+
+@dataclass
+class SynthesisOptions:
+    """Options for :class:`repro.core.synthesis.FprmSynthesizer`."""
+
+    polarity_strategy: PolarityStrategy = PolarityStrategy.AUTO
+    factor_method: FactorMethod = FactorMethod.AUTO
+    redundancy_removal: bool = True
+    literal_cleanup: bool = True
+    controllability: ControllabilityEngine = ControllabilityEngine.BDD
+    cube_limit: int = 2048
+    enumeration_cube_limit: int = 14
+    bdd_node_budget: int = 200_000
+    direct_fallback: bool = True
+    verify: bool = True
+
+    def replace(self, **changes) -> "SynthesisOptions":
+        from dataclasses import replace as dc_replace
+
+        return dc_replace(self, **changes)

@@ -1,0 +1,90 @@
+"""Cube-parity controllability analysis (paper Section 4, the cut portion).
+
+The paper observes that at a *consecutive-XOR* gate ``f = g ⊕ h`` the input
+values are decided by the parity of the cubes set to 1 inside ``g`` and
+``h``, and sketches a method that enumerates accumulated parity values in
+cube order instead of enumerating primary-input patterns ("the method is
+quite involved and we have to cut this portion due to the space
+limitation").
+
+This module implements the decidable core of that idea explicitly: the
+only primary-input patterns that matter are the unions of cube literal
+sets — any other pattern activates exactly the same cube subset as the
+union of the cubes it contains, and for cube-parity-determined signals it
+therefore produces the same gate values.  Enumerating all unions is exact
+for functions with few cubes and is what the ``ENUMERATION``
+controllability engine feeds into the redundancy remover.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.expr.esop import FprmForm
+
+
+def cube_union_patterns(form: FprmForm, limit: int = 14) -> list[int]:
+    """All distinct unions of cube subsets, in literal space.
+
+    Raises ``ValueError`` when the form has more than ``limit`` cubes
+    (2^cubes unions would be enumerated).
+    """
+    cubes = [mask for mask in form.cubes if mask]
+    if len(cubes) > limit:
+        raise ValueError(
+            f"{len(cubes)} cubes exceed the enumeration limit {limit}"
+        )
+    unions = {0}
+    for cube in cubes:
+        unions |= {existing | cube for existing in unions}
+    return sorted(unions)
+
+
+def activated_cubes(form: FprmForm, literal_pattern: int) -> tuple[int, ...]:
+    """The cubes set to 1 by a literal-space pattern."""
+    return tuple(
+        mask for mask in form.cubes if mask and (literal_pattern & mask) == mask
+    )
+
+
+def group_parity(cubes: Iterable[int], literal_pattern: int) -> int:
+    """Parity (= XOR-sum value) of a cube group under a pattern."""
+    value = 0
+    for mask in cubes:
+        if (literal_pattern & mask) == mask:
+            value ^= 1
+    return value
+
+
+def achievable_parity_pairs(
+    form: FprmForm,
+    cubes_g: Iterable[int],
+    cubes_h: Iterable[int],
+    limit: int = 14,
+) -> set[tuple[int, int]]:
+    """All (g, h) value pairs achievable at an XOR gate joining two cube
+    groups, decided purely by cube-parity enumeration.
+
+    ``cubes_g`` / ``cubes_h`` are the FPRM cubes whose XOR-sums feed the
+    gate.  This answers the paper's controllability question for the
+    consecutive-XOR case exactly.
+    """
+    group_g = tuple(cubes_g)
+    group_h = tuple(cubes_h)
+    pairs: set[tuple[int, int]] = set()
+    for pattern in cube_union_patterns(form, limit):
+        pairs.add(
+            (group_parity(group_g, pattern), group_parity(group_h, pattern))
+        )
+        if len(pairs) == 4:
+            break
+    return pairs
+
+
+def parity_of_pattern(form: FprmForm, literal_pattern: int) -> int:
+    """Output value = parity of activated cubes (incl. the constant cube)."""
+    value = 0
+    for mask in form.cubes:
+        if (literal_pattern & mask) == mask:
+            value ^= 1
+    return value

@@ -1,0 +1,62 @@
+"""The paper's primary-input pattern sets (Section 4).
+
+All patterns live in *literal space*: bit ``i`` is the value of the
+polarity-adjusted literal ``ℓ_i``, so the all-zero pattern AZ sets every
+XOR gate in N_x to 0 (Property 1) regardless of the actual polarity
+vector.  :func:`to_pi_patterns` translates back to primary-input minterms.
+
+* ``AZ``  — all literals 0;
+* ``OC``  — one pattern per FPRM cube: exactly that cube's literals at 1
+  (Property 8/9: these drive at least two of the three non-zero input
+  patterns of every XOR gate);
+* ``AO``  — all literals 1 (used for gates fed directly by two cubes);
+* ``SA1`` — per cube C_i and per literal x_j ∈ C_i, the OC pattern of C_i
+  with x_j flipped to 0; detects stuck-at-1 redundancy on the fanins of
+  first-level AND gates (the OC set itself serves the stuck-at-0 side).
+"""
+
+from __future__ import annotations
+
+from repro.expr.esop import FprmForm
+from repro.utils.bitops import bit_indices
+
+
+def az_pattern() -> int:
+    return 0
+
+
+def ao_pattern(n: int) -> int:
+    return (1 << n) - 1
+
+
+def oc_patterns(form: FprmForm) -> list[int]:
+    """One-cube patterns, one per (non-constant) cube, cube order."""
+    return [mask for mask in form.cubes if mask != 0]
+
+
+def sa1_patterns(form: FprmForm) -> list[int]:
+    """Per cube and per contained literal, the one-flipped-bit pattern."""
+    patterns = []
+    for mask in form.cubes:
+        for var in bit_indices(mask):
+            patterns.append(mask & ~(1 << var))
+    return patterns
+
+
+def full_pattern_set(form: FprmForm) -> list[int]:
+    """AZ + OC + AO + SA1, deduplicated, stable order."""
+    seen: set[int] = set()
+    ordered: list[int] = []
+    for pattern in (
+        [az_pattern()] + oc_patterns(form) + [ao_pattern(form.n)]
+        + sa1_patterns(form)
+    ):
+        if pattern not in seen:
+            seen.add(pattern)
+            ordered.append(pattern)
+    return ordered
+
+
+def to_pi_patterns(form: FprmForm, literal_patterns: list[int]) -> list[int]:
+    """Translate literal-space patterns into primary-input minterms."""
+    return [form.pi_pattern(pattern) for pattern in literal_patterns]

@@ -1,0 +1,441 @@
+"""XOR-gate redundancy removal (paper Section 4).
+
+The analysis runs on the tree network ``N_x`` of one output (leaves are
+positive literals, gates AND/XOR from factorization).  For every 2-input
+XOR gate ``f = g ⊕ h`` we ask which of the input patterns (0,1), (1,0),
+(1,1) are *relevant* — producible by some primary-input pattern whose
+effect at ``f`` is observable at the output ((0,0) is always producible,
+by the all-zero pattern AZ, Property 1).  Irrelevant patterns license the
+paper's reductions (Table 1 / Properties 3-4):
+
+======================  =============================
+relevant patterns        replacement for ``g ⊕ h``
+======================  =============================
+(0,1) (1,0) (1,1)        keep XOR
+(0,1) (1,0)              ``g + h``        (Property 3)
+(0,1) (1,1)              ``ḡ·h``          (Property 4)
+(1,0) (1,1)              ``g·h̄``          (Property 4)
+(0,1)                    ``h``
+(1,0)                    ``g``
+(1,1) or none            constant 0
+======================  =============================
+
+Observability is the tree ODC: a pattern at ``f`` is observable unless an
+AND/OR gate on the unique path to the output has a controlling side input
+(Property 5: XOR gates never block).  Reducing a gate changes the don't
+cares of everything below it — the paper's domino effect toward the PIs
+(Properties 6-7) — so we apply one reduction at a time, root-first, and
+re-derive all conditions before the next one.
+
+Relevance is decided in two stages, mirroring the paper:
+
+1. **pattern simulation** — the AZ/OC/AO/SA1 set is simulated bit-parallel
+   (Python big ints, one bit per pattern); a pattern pair observed with the
+   gate observable proves relevance with no further work (Properties 8-9
+   guarantee this settles at least two of the three pairs per gate);
+2. an **engine** for the leftovers: exact BDD satisfiability (our sound
+   replacement for the paper's space-cut cube-parity enumeration), an
+   explicit enumeration of cube-subset-union patterns, or nothing
+   (simulation-only).  Non-BDD engines are re-checked: a candidate
+   reduction that fails the exact equivalence test is rolled back.
+
+After the XOR pass, first-level AND fanins get the same treatment: a
+literal leaf whose stuck-at-1 (stuck-at-0) fault is untestable is replaced
+by constant 1 (0) — the paper's OC/SA1 cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bdd.manager import BddManager
+from repro.core import tree as tr
+from repro.core.options import ControllabilityEngine, SynthesisOptions
+from repro.core.patterns import full_pattern_set
+from repro.core.tree import TNode
+from repro.errors import ReproError
+from repro.expr.esop import FprmForm
+
+
+@dataclass
+class ReductionStats:
+    """What the remover did and which stage decided it."""
+
+    xor_to_or: int = 0
+    xor_to_and: int = 0
+    xor_to_child: int = 0
+    xor_to_const: int = 0
+    literals_removed: int = 0
+    decided_by_simulation: int = 0
+    decided_by_engine: int = 0
+    reverted: int = 0
+    skipped_no_engine: int = 0
+
+    def total_reductions(self) -> int:
+        return (
+            self.xor_to_or + self.xor_to_and + self.xor_to_child
+            + self.xor_to_const + self.literals_removed
+        )
+
+
+@dataclass
+class _Analysis:
+    """Per-pass derived data: values, observability, BDDs, parents."""
+
+    values: dict[int, int] = field(default_factory=dict)
+    observable: dict[int, int] = field(default_factory=dict)
+    bdds: dict[int, int] = field(default_factory=dict)
+    odcs: dict[int, int] = field(default_factory=dict)
+    preorder: list[TNode] = field(default_factory=list)
+
+
+class RedundancyRemover:
+    """Drives the reduction loop on one output tree."""
+
+    def __init__(self, root: TNode, n: int, form: FprmForm | None,
+                 options: SynthesisOptions):
+        self.root = root
+        self.n = n
+        self.form = form
+        self.options = options
+        self.stats = ReductionStats()
+        self._patterns = self._make_patterns()
+        self._lit_cols = self._literal_columns(self._patterns)
+        self._bdd: BddManager | None = None
+        self._original_bdd: int | None = None
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self) -> TNode:
+        """Reduce to fixpoint; returns the (mutated) root."""
+        try:
+            self._bdd = BddManager(self.n, node_limit=self.options.bdd_node_budget)
+            baseline = self._analyze()
+            self._original_bdd = baseline.bdds[id(self.root)]
+        except ReproError:
+            # BDD blow-up: no exact oracle, leave the tree untouched.
+            self.stats.skipped_no_engine += 1
+            return self.root
+        while True:
+            self.root = tr.simplify_tree(self.root)
+            try:
+                analysis = self._analyze()
+                progressed = self._reduce_pass(analysis)
+            except ReproError:
+                self.stats.skipped_no_engine += 1
+                break
+            if not progressed:
+                break
+        self.root = tr.simplify_tree(self.root)
+        return self.root
+
+    # -- pattern machinery ------------------------------------------------------
+
+    def _make_patterns(self) -> list[int]:
+        if self.form is not None and self.form.num_cubes <= self.options.cube_limit:
+            patterns = full_pattern_set(self.form)
+        else:
+            patterns = [0, (1 << self.n) - 1]
+        if self.options.controllability is ControllabilityEngine.ENUMERATION:
+            patterns = patterns + self._enumeration_patterns()
+            seen: set[int] = set()
+            patterns = [p for p in patterns
+                        if not (p in seen or seen.add(p))]
+        return patterns
+
+    def _enumeration_patterns(self) -> list[int]:
+        """Unions of cube subsets — the explicit form of the paper's
+        cube-parity exploration (exact when all node functions are
+        determined by cube activation)."""
+        if self.form is None:
+            return []
+        cubes = [mask for mask in self.form.cubes if mask]
+        if len(cubes) > self.options.enumeration_cube_limit:
+            return []
+        unions = [0]
+        for cube in cubes:
+            unions += [existing | cube for existing in unions]
+        return sorted(set(unions))
+
+    def _literal_columns(self, patterns: list[int]) -> list[int]:
+        columns = []
+        for var in range(self.n):
+            column = 0
+            for k, pattern in enumerate(patterns):
+                if (pattern >> var) & 1:
+                    column |= 1 << k
+            columns.append(column)
+        return columns
+
+    # -- per-pass analysis ---------------------------------------------------------
+
+    def _analyze(self) -> _Analysis:
+        analysis = _Analysis()
+        all_bits = (1 << len(self._patterns)) - 1
+        bdd = self._bdd
+        assert bdd is not None
+
+        def down(node: TNode) -> None:
+            for kid in node.kids:
+                down(kid)
+            key = id(node)
+            if node.op == tr.LIT:
+                analysis.values[key] = self._lit_cols[node.var]
+                analysis.bdds[key] = bdd.var(node.var)
+            elif node.op == tr.C0:
+                analysis.values[key] = 0
+                analysis.bdds[key] = 0
+            elif node.op == tr.C1:
+                analysis.values[key] = all_bits
+                analysis.bdds[key] = 1
+            elif node.op == tr.NOT:
+                analysis.values[key] = analysis.values[id(node.kids[0])] ^ all_bits
+                analysis.bdds[key] = bdd.not_(analysis.bdds[id(node.kids[0])])
+            else:
+                a = id(node.kids[0])
+                b = id(node.kids[1])
+                if node.op == tr.AND:
+                    analysis.values[key] = analysis.values[a] & analysis.values[b]
+                    analysis.bdds[key] = bdd.and_(analysis.bdds[a], analysis.bdds[b])
+                elif node.op == tr.OR:
+                    analysis.values[key] = analysis.values[a] | analysis.values[b]
+                    analysis.bdds[key] = bdd.or_(analysis.bdds[a], analysis.bdds[b])
+                else:
+                    analysis.values[key] = analysis.values[a] ^ analysis.values[b]
+                    analysis.bdds[key] = bdd.xor_(analysis.bdds[a], analysis.bdds[b])
+
+        def up(node: TNode, obs: int, odc: int) -> None:
+            analysis.observable[id(node)] = obs
+            analysis.odcs[id(node)] = odc
+            analysis.preorder.append(node)
+            if node.op == tr.NOT:
+                up(node.kids[0], obs, odc)
+                return
+            if not node.is_gate():
+                return
+            a, b = node.kids
+            if node.op == tr.XOR:
+                # Property 5: XOR gates have no controlling value.
+                up(a, obs, odc)
+                up(b, obs, odc)
+            elif node.op == tr.AND:
+                up(a, obs & analysis.values[id(b)],
+                   bdd.or_(odc, bdd.not_(analysis.bdds[id(b)])))
+                up(b, obs & analysis.values[id(a)],
+                   bdd.or_(odc, bdd.not_(analysis.bdds[id(a)])))
+            else:  # OR
+                up(a, obs & (analysis.values[id(b)] ^ all_bits),
+                   bdd.or_(odc, analysis.bdds[id(b)]))
+                up(b, obs & (analysis.values[id(a)] ^ all_bits),
+                   bdd.or_(odc, analysis.bdds[id(a)]))
+
+        down(self.root)
+        up(self.root, all_bits, 0)
+        return analysis
+
+    # -- the reduction step -------------------------------------------------------
+
+    def _reduce_pass(self, analysis: _Analysis) -> bool:
+        """Apply a batch of reductions in disjoint subtrees (root-first).
+
+        All conditions come from the same pre-pass analysis; a reduction in
+        one subtree can, in rare corner cases, invalidate a simultaneous
+        one in a *sibling* subtree (the don't-care sets interact), so the
+        whole batch is checked against the original function and rolled
+        back to one-at-a-time application if it ever disagrees.
+        """
+        applied: list[tuple[TNode, TNode]] = []
+
+        def scan(node: TNode) -> None:
+            if node.op == tr.XOR:
+                backup = TNode(node.op, list(node.kids), node.var)
+                if self._try_reduce_xor(node, analysis):
+                    applied.append((node, backup))
+                    return  # do not descend into a rewritten subtree
+            for kid in node.kids:
+                scan(kid)
+
+        scan(self.root)
+        if self.options.literal_cleanup and not applied:
+            for node in analysis.preorder:
+                if node.op == tr.LIT and self._try_reduce_literal(node, analysis):
+                    return True
+        if not applied:
+            return False
+        if len(applied) > 1 and not self._still_equivalent():
+            for node, backup in applied:
+                node.replace_with(backup)
+            self.stats.reverted += len(applied)
+            return self._reduce_one(analysis)
+        return True
+
+    def _reduce_one(self, analysis: _Analysis) -> bool:
+        """Fallback: first applicable reduction only (always sound)."""
+        for node in analysis.preorder:
+            if node.op == tr.XOR and self._try_reduce_xor(node, analysis):
+                return True
+        return False
+
+    def _try_reduce_xor(self, node: TNode, analysis: _Analysis) -> bool:
+        g, h = node.kids
+        # Cheap filter from the paper: disjoint-support XOR gates observed
+        # through nothing but XOR gates (parity trees, PO join trees) are
+        # never reducible.
+        if analysis.odcs[id(node)] == 0 and not (
+            _tree_support(g) & _tree_support(h)
+        ):
+            return False
+        relevant = frozenset(
+            pattern
+            for pattern in ((0, 1), (1, 0), (1, 1))
+            if self._is_relevant(node, pattern, analysis)
+        )
+        replacement = _REPLACEMENTS.get(relevant)
+        if replacement is None:
+            return False
+        return self._apply(node, replacement(g, h), kind=_KIND[relevant])
+
+    def _try_reduce_literal(self, node: TNode, analysis: _Analysis) -> bool:
+        bdd = self._bdd
+        assert bdd is not None
+        care = bdd.not_(analysis.odcs[id(node)])
+        literal = bdd.var(node.var)
+        # stuck-at-1 untestable: the literal is never observed at 0.
+        if bdd.and_(care, bdd.not_(literal)) == 0:
+            return self._apply(node, TNode.const(1), kind="literal")
+        # stuck-at-0 untestable: never observed at 1.
+        if bdd.and_(care, literal) == 0:
+            return self._apply(node, TNode.const(0), kind="literal")
+        return False
+
+    def _is_relevant(self, node: TNode, pattern: tuple[int, int],
+                     analysis: _Analysis) -> bool:
+        g, h = node.kids
+        all_bits = (1 << len(self._patterns)) - 1
+        gv = analysis.values[id(g)]
+        hv = analysis.values[id(h)]
+        want = (gv if pattern[0] else gv ^ all_bits) & (
+            hv if pattern[1] else hv ^ all_bits
+        )
+        if want & analysis.observable[id(node)]:
+            self.stats.decided_by_simulation += 1
+            return True
+        engine = self.options.controllability
+        if engine is ControllabilityEngine.BDD:
+            bdd = self._bdd
+            assert bdd is not None
+            gb = analysis.bdds[id(g)]
+            hb = analysis.bdds[id(h)]
+            condition = bdd.and_(
+                gb if pattern[0] else bdd.not_(gb),
+                hb if pattern[1] else bdd.not_(hb),
+            )
+            condition = bdd.and_(condition, bdd.not_(analysis.odcs[id(node)]))
+            self.stats.decided_by_engine += 1
+            return condition != 0
+        if engine is ControllabilityEngine.ENUMERATION:
+            # Enumeration patterns are already in the simulated set; an
+            # unexhibited pattern is declared irrelevant (verified on apply).
+            self.stats.decided_by_engine += 1
+            return False
+        # SIMULATION_ONLY: trust the pattern set, verified on apply.
+        return False
+
+    def _apply(self, node: TNode, new: TNode, kind: str) -> bool:
+        """Mutate ``node`` into ``new``; verify and roll back when the
+        deciding engine was not exact."""
+        exact = self.options.controllability is ControllabilityEngine.BDD
+        backup = None if exact else TNode(node.op, list(node.kids), node.var)
+        node.replace_with(new)
+        if not exact and not self._still_equivalent():
+            assert backup is not None
+            node.replace_with(backup)
+            self.stats.reverted += 1
+            return False
+        if kind == "or":
+            self.stats.xor_to_or += 1
+        elif kind == "and":
+            self.stats.xor_to_and += 1
+        elif kind == "child":
+            self.stats.xor_to_child += 1
+        elif kind == "const":
+            self.stats.xor_to_const += 1
+        else:
+            self.stats.literals_removed += 1
+        return True
+
+    def _still_equivalent(self) -> bool:
+        bdd = self._bdd
+        assert bdd is not None and self._original_bdd is not None
+        try:
+            current = _tree_bdd(self.root, bdd)
+        except ReproError:
+            return False
+        return current == self._original_bdd
+
+
+def _tree_support(node: TNode) -> int:
+    return node.support()
+
+
+def _tree_bdd(node: TNode, bdd: BddManager) -> int:
+    if node.op == tr.LIT:
+        return bdd.var(node.var)
+    if node.op == tr.C0:
+        return 0
+    if node.op == tr.C1:
+        return 1
+    if node.op == tr.NOT:
+        return bdd.not_(_tree_bdd(node.kids[0], bdd))
+    a = _tree_bdd(node.kids[0], bdd)
+    b = _tree_bdd(node.kids[1], bdd)
+    if node.op == tr.AND:
+        return bdd.and_(a, b)
+    if node.op == tr.OR:
+        return bdd.or_(a, b)
+    return bdd.xor_(a, b)
+
+
+def _replace_or(g: TNode, h: TNode) -> TNode:
+    return TNode.gate(tr.OR, g, h)
+
+
+def _replace_g_not_h(g: TNode, h: TNode) -> TNode:
+    return TNode.gate(tr.AND, g, TNode.invert(h))
+
+
+def _replace_not_g_h(g: TNode, h: TNode) -> TNode:
+    return TNode.gate(tr.AND, TNode.invert(g), h)
+
+
+def _replace_g(g: TNode, h: TNode) -> TNode:
+    return g
+
+
+def _replace_h(g: TNode, h: TNode) -> TNode:
+    return h
+
+
+def _replace_const0(g: TNode, h: TNode) -> TNode:
+    return TNode.const(0)
+
+
+_REPLACEMENTS = {
+    frozenset({(0, 1), (1, 0)}): _replace_or,
+    frozenset({(0, 1), (1, 1)}): _replace_not_g_h,
+    frozenset({(1, 0), (1, 1)}): _replace_g_not_h,
+    frozenset({(0, 1)}): _replace_h,
+    frozenset({(1, 0)}): _replace_g,
+    frozenset({(1, 1)}): _replace_const0,
+    frozenset(): _replace_const0,
+}
+
+_KIND = {
+    frozenset({(0, 1), (1, 0)}): "or",
+    frozenset({(0, 1), (1, 1)}): "and",
+    frozenset({(1, 0), (1, 1)}): "and",
+    frozenset({(0, 1)}): "child",
+    frozenset({(1, 0)}): "child",
+    frozenset({(1, 1)}): "const",
+    frozenset(): "const",
+}

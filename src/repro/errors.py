@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DimensionError(ReproError):
+    """Operands talk about different numbers of variables."""
+
+
+class TooManyVariablesError(ReproError):
+    """A truth-table based operation was requested for too large a support."""
+
+
+class ParseError(ReproError):
+    """Malformed textual input (PLA, genlib, expression)."""
+
+
+class VerificationError(ReproError):
+    """A synthesized network is not equivalent to its specification."""
+
+
+class LibraryError(ReproError):
+    """A cell library is malformed or cannot cover the subject graph."""
+
+
+class UnknownCircuitError(ReproError, KeyError):
+    """A benchmark circuit name is not in the registry."""

@@ -1,0 +1,14 @@
+"""Mixed-polarity ESOP minimization (EXORCISM-style).
+
+The FPRM forms the paper synthesizes from are the *fixed-polarity*
+subclass of AND-XOR expressions; dropping the polarity restriction
+(general ESOPs, cf. Sasao's AND-EXOR chapters the paper cites) can only
+shrink the cube count.  This package provides an iterative cube-pair
+minimizer in the spirit of EXORCISM — distance-0 cancellation, distance-1
+merging, and exorlink-2 reshaping — used by the ablation study comparing
+FPRM starting points against unrestricted ESOPs.
+"""
+
+from repro.esopmin.exorcism import esop_from_fprm, minimize_esop
+
+__all__ = ["esop_from_fprm", "minimize_esop"]

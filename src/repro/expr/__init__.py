@@ -1,0 +1,42 @@
+"""Boolean-function syntax: cubes, covers, FPRM forms, expression trees."""
+
+from repro.expr.cube import Cube
+from repro.expr.cover import Cover
+from repro.expr.esop import EsopCover, FprmForm
+from repro.expr.expression import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Expr,
+    Lit,
+    Not,
+    Or,
+    Xor,
+    and_,
+    lit,
+    not_,
+    or_,
+    xor_,
+)
+
+__all__ = [
+    "And",
+    "Const",
+    "Cover",
+    "Cube",
+    "EsopCover",
+    "Expr",
+    "FALSE",
+    "FprmForm",
+    "Lit",
+    "Not",
+    "Or",
+    "TRUE",
+    "Xor",
+    "and_",
+    "lit",
+    "not_",
+    "or_",
+    "xor_",
+]

@@ -1,0 +1,195 @@
+"""Cubes (product terms) over a fixed variable universe.
+
+A cube is a conjunction of literals.  Variable ``i`` maps to bit ``1 << i``;
+``pos`` holds the positive literals, ``neg`` the negative ones, and a
+variable in neither mask is a don't-care for this cube.  Cubes are immutable
+and hashable so covers can use set semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DimensionError
+from repro.utils.bitops import bit_indices, popcount
+
+
+@dataclass(frozen=True, slots=True)
+class Cube:
+    """A product term: ``pos``/``neg`` literal masks over ``n`` variables."""
+
+    n: int
+    pos: int = 0
+    neg: int = 0
+
+    def __post_init__(self) -> None:
+        universe = (1 << self.n) - 1
+        if self.pos & self.neg:
+            raise ValueError(
+                f"contradictory literals in cube: {self.pos & self.neg:#x}"
+            )
+        if (self.pos | self.neg) & ~universe:
+            raise ValueError("literal outside the variable universe")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def universe(cls, n: int) -> "Cube":
+        """The tautology cube (no literals)."""
+        return cls(n)
+
+    @classmethod
+    def from_string(cls, text: str) -> "Cube":
+        """Parse PLA-style cube text, e.g. ``"01-1"`` (char i = variable i)."""
+        pos = neg = 0
+        for i, ch in enumerate(text):
+            if ch == "1":
+                pos |= 1 << i
+            elif ch == "0":
+                neg |= 1 << i
+            elif ch not in "-2":
+                raise ValueError(f"bad cube character {ch!r}")
+        return cls(len(text), pos, neg)
+
+    @classmethod
+    def from_minterm(cls, n: int, minterm: int) -> "Cube":
+        """The full cube selecting exactly one minterm."""
+        universe = (1 << n) - 1
+        return cls(n, minterm & universe, ~minterm & universe)
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def support(self) -> int:
+        """Mask of variables this cube constrains."""
+        return self.pos | self.neg
+
+    @property
+    def num_literals(self) -> int:
+        return popcount(self.pos | self.neg)
+
+    def is_tautology(self) -> bool:
+        return self.pos == 0 and self.neg == 0
+
+    def literal_sign(self, var: int) -> int | None:
+        """+1 for positive, -1 for negative, ``None`` if absent."""
+        bit = 1 << var
+        if self.pos & bit:
+            return 1
+        if self.neg & bit:
+            return -1
+        return None
+
+    def contains_minterm(self, minterm: int) -> bool:
+        """True if the minterm (bit i = value of variable i) lies in the cube."""
+        return (minterm & self.pos) == self.pos and (minterm & self.neg) == 0
+
+    def covers(self, other: "Cube") -> bool:
+        """True if every minterm of ``other`` is also in ``self``."""
+        self._check(other)
+        return (self.pos & other.pos) == self.pos and (
+            self.neg & other.neg
+        ) == self.neg
+
+    def intersects(self, other: "Cube") -> bool:
+        """True if the two cubes share at least one minterm."""
+        self._check(other)
+        return not (self.pos & other.neg or self.neg & other.pos)
+
+    def intersection(self, other: "Cube") -> "Cube | None":
+        """The cube of common minterms, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Cube(self.n, self.pos | other.pos, self.neg | other.neg)
+
+    def distance(self, other: "Cube") -> int:
+        """Number of variables on which the cubes conflict."""
+        self._check(other)
+        return popcount((self.pos & other.neg) | (self.neg & other.pos))
+
+    def consensus(self, other: "Cube") -> "Cube | None":
+        """Single-variable consensus cube, or ``None`` if distance != 1."""
+        conflict = (self.pos & other.neg) | (self.neg & other.pos)
+        if popcount(conflict) != 1:
+            return None
+        return Cube(
+            self.n,
+            (self.pos | other.pos) & ~conflict,
+            (self.neg | other.neg) & ~conflict,
+        )
+
+    # -- algebra -----------------------------------------------------------
+
+    def without(self, var_mask: int) -> "Cube":
+        """Drop all literals of the variables in ``var_mask``."""
+        return Cube(self.n, self.pos & ~var_mask, self.neg & ~var_mask)
+
+    def expand_literal(self, var: int) -> "Cube":
+        """Drop one variable's literal (the EXPAND move of espresso)."""
+        return self.without(1 << var)
+
+    def restrict(self, var: int, value: int) -> "Cube | None":
+        """Cofactor w.r.t. ``var = value``: ``None`` if the cube vanishes."""
+        bit = 1 << var
+        if value:
+            if self.neg & bit:
+                return None
+        else:
+            if self.pos & bit:
+                return None
+        return Cube(self.n, self.pos & ~bit, self.neg & ~bit)
+
+    def cofactor_cube(self, other: "Cube") -> "Cube | None":
+        """Generalized cofactor ``self / other`` (None if disjoint)."""
+        if not self.intersects(other):
+            return None
+        return Cube(self.n, self.pos & ~other.pos, self.neg & ~other.neg)
+
+    def minterm_count(self) -> int:
+        """Number of minterms the cube covers."""
+        return 1 << (self.n - self.num_literals)
+
+    def minterms(self):
+        """Yield all covered minterms (use only for small free sets)."""
+        free = [i for i in range(self.n) if not (self.support >> i) & 1]
+        for combo in range(1 << len(free)):
+            minterm = self.pos
+            for j, var in enumerate(free):
+                if (combo >> j) & 1:
+                    minterm |= 1 << var
+            yield minterm
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_string(self) -> str:
+        """PLA-style text (``1``/``0``/``-`` per variable)."""
+        chars = []
+        for i in range(self.n):
+            bit = 1 << i
+            if self.pos & bit:
+                chars.append("1")
+            elif self.neg & bit:
+                chars.append("0")
+            else:
+                chars.append("-")
+        return "".join(chars)
+
+    def format(self, names: list[str] | None = None) -> str:
+        """Human-readable product, e.g. ``x0·x̄2``; ``1`` for the tautology."""
+        if self.is_tautology():
+            return "1"
+        parts = []
+        for var in sorted(bit_indices(self.support)):
+            name = names[var] if names else f"x{var}"
+            if (self.neg >> var) & 1:
+                parts.append(name + "'")
+            else:
+                parts.append(name)
+        return "·".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_string()
+
+    def _check(self, other: "Cube") -> None:
+        if self.n != other.n:
+            raise DimensionError(f"cube width mismatch: {self.n} vs {other.n}")

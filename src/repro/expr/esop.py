@@ -1,0 +1,169 @@
+"""Exclusive-or sums of products; fixed-polarity Reed-Muller forms.
+
+An :class:`EsopCover` is an XOR-connected list of :class:`~repro.expr.cube.Cube`
+objects.  A :class:`FprmForm` is the restricted canonical case the paper
+works with — every variable carries one fixed polarity across all cubes, so
+each cube is just a mask of *which* variables appear, and the polarity
+vector says *how* each appears.  The constant-1 cube is the empty mask.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import DimensionError
+from repro.expr.cube import Cube
+from repro.utils.bitops import bit_indices, popcount
+
+
+@dataclass(frozen=True)
+class EsopCover:
+    """General ESOP: XOR of arbitrary-polarity cubes."""
+
+    n: int
+    cubes: tuple[Cube, ...] = field(default_factory=tuple)
+
+    def evaluate(self, minterm: int) -> int:
+        value = 0
+        for cube in self.cubes:
+            value ^= int(cube.contains_minterm(minterm))
+        return value
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(cube.num_literals for cube in self.cubes)
+
+    def format(self, names: list[str] | None = None) -> str:
+        if not self.cubes:
+            return "0"
+        return " ⊕ ".join(cube.format(names) for cube in self.cubes)
+
+
+@dataclass(frozen=True)
+class FprmForm:
+    """A fixed-polarity Reed-Muller form.
+
+    ``polarity`` has bit ``i`` set when variable ``i`` appears positively
+    (the paper's polarity-vector entry 1) and clear when it appears
+    complemented.  ``cubes`` are variable-set masks; mask ``0`` is the
+    constant-1 cube.  The form is canonical for a given polarity vector.
+    """
+
+    n: int
+    polarity: int
+    cubes: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        universe = (1 << self.n) - 1
+        if self.polarity & ~universe:
+            raise ValueError("polarity vector wider than the universe")
+        seen: set[int] = set()
+        for mask in self.cubes:
+            if mask & ~universe:
+                raise ValueError("cube mask wider than the universe")
+            if mask in seen:
+                raise ValueError(f"duplicate FPRM cube {mask:#x}")
+            seen.add(mask)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_masks(cls, n: int, polarity: int, masks: Iterable[int]) -> "FprmForm":
+        return cls(n, polarity, tuple(sorted(set(masks))))
+
+    @classmethod
+    def zero(cls, n: int, polarity: int = ~0) -> "FprmForm":
+        return cls(n, polarity & ((1 << n) - 1), ())
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(popcount(mask) for mask in self.cubes)
+
+    @property
+    def support(self) -> int:
+        mask = 0
+        for cube in self.cubes:
+            mask |= cube
+        return mask
+
+    @property
+    def has_constant_cube(self) -> bool:
+        """True when the constant-1 cube is present (implemented as a PO
+        inverter per the paper's assumption (2))."""
+        return 0 in self.cubes
+
+    def is_zero(self) -> bool:
+        return not self.cubes
+
+    def literal_minterm(self, minterm: int) -> int:
+        """Translate a PI minterm into literal values (bit i = literal i)."""
+        return (minterm ^ ~self.polarity) & ((1 << self.n) - 1)
+
+    def pi_pattern(self, literal_pattern: int) -> int:
+        """Translate a literal-value pattern back into a PI minterm."""
+        return (literal_pattern ^ ~self.polarity) & ((1 << self.n) - 1)
+
+    def evaluate(self, minterm: int) -> int:
+        """Value on a PI minterm (bit i of ``minterm`` = value of x_i)."""
+        literals = self.literal_minterm(minterm)
+        value = 0
+        for mask in self.cubes:
+            if (literals & mask) == mask:
+                value ^= 1
+        return value
+
+    def cube_objects(self) -> tuple[Cube, ...]:
+        """Cubes as full :class:`Cube` objects with explicit polarities."""
+        out = []
+        for mask in self.cubes:
+            pos = mask & self.polarity
+            neg = mask & ~self.polarity & ((1 << self.n) - 1)
+            out.append(Cube(self.n, pos, neg))
+        return tuple(out)
+
+    def to_esop(self) -> EsopCover:
+        return EsopCover(self.n, self.cube_objects())
+
+    # -- rendering ---------------------------------------------------------
+
+    def format(self, names: list[str] | None = None) -> str:
+        if not self.cubes:
+            return "0"
+        parts = []
+        for mask in self.cubes:
+            if mask == 0:
+                parts.append("1")
+                continue
+            lits = []
+            for var in bit_indices(mask):
+                name = names[var] if names else f"x{var}"
+                if (self.polarity >> var) & 1:
+                    lits.append(name)
+                else:
+                    lits.append(name + "'")
+            parts.append("·".join(lits))
+        return " ⊕ ".join(parts)
+
+    def _check(self, other: "FprmForm") -> None:
+        if self.n != other.n:
+            raise DimensionError("FPRM width mismatch")
+        if self.polarity != other.polarity:
+            raise ValueError("FPRM polarity mismatch")
+
+    def xor(self, other: "FprmForm") -> "FprmForm":
+        """XOR of two same-polarity forms (symmetric difference of cubes)."""
+        self._check(other)
+        return FprmForm.from_masks(
+            self.n, self.polarity, set(self.cubes) ^ set(other.cubes)
+        )

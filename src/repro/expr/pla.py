@@ -1,0 +1,96 @@
+"""Reading and writing Berkeley PLA format.
+
+The IWLS'91 two-level benchmark set ships as ``.pla`` files; our regenerated
+circuit suite can round-trip through the same format so users can export
+the specifications or import their own.
+Only the common subset is supported: ``.i``, ``.o``, ``.p``, ``.ilb``,
+``.ob``, ``.type fd`` (default) and product lines; ``.e`` ends the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+
+
+@dataclass
+class Pla:
+    """A parsed PLA: one input universe, one output cover per output."""
+
+    num_inputs: int
+    num_outputs: int
+    covers: list[Cover]
+    input_names: list[str] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+
+
+def parse_pla(text: str) -> Pla:
+    """Parse PLA text into per-output SOP covers (``1`` and ``4`` only)."""
+    num_inputs = num_outputs = None
+    input_names: list[str] = []
+    output_names: list[str] = []
+    rows: list[tuple[str, str]] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            key = parts[0]
+            if key == ".i":
+                num_inputs = int(parts[1])
+            elif key == ".o":
+                num_outputs = int(parts[1])
+            elif key == ".ilb":
+                input_names = parts[1:]
+            elif key == ".ob":
+                output_names = parts[1:]
+            elif key in (".p", ".type", ".e", ".end"):
+                continue
+            else:
+                raise ParseError(f"unsupported PLA directive {key!r}")
+            continue
+        parts = line.split()
+        if len(parts) == 1 and num_inputs is not None:
+            parts = [line[:num_inputs], line[num_inputs:]]
+        if len(parts) != 2:
+            raise ParseError(f"bad PLA product line {line!r}")
+        rows.append((parts[0], parts[1]))
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("PLA missing .i or .o")
+    per_output: list[list[Cube]] = [[] for _ in range(num_outputs)]
+    for in_part, out_part in rows:
+        if len(in_part) != num_inputs or len(out_part) != num_outputs:
+            raise ParseError(f"PLA line width mismatch: {in_part} {out_part}")
+        cube = Cube.from_string(in_part)
+        for j, ch in enumerate(out_part):
+            if ch in "14":
+                per_output[j].append(cube)
+            elif ch not in "0-2~":
+                raise ParseError(f"bad PLA output character {ch!r}")
+    covers = [Cover(num_inputs, tuple(cubes)) for cubes in per_output]
+    return Pla(num_inputs, num_outputs, covers, input_names, output_names)
+
+
+def write_pla(pla: Pla) -> str:
+    """Serialize per-output covers back into PLA text.
+
+    Cubes equal across outputs are not merged; each (cube, output) pair
+    produces one product line, which every PLA consumer accepts.
+    """
+    lines = [f".i {pla.num_inputs}", f".o {pla.num_outputs}"]
+    if pla.input_names:
+        lines.append(".ilb " + " ".join(pla.input_names))
+    if pla.output_names:
+        lines.append(".ob " + " ".join(pla.output_names))
+    total = sum(len(cover) for cover in pla.covers)
+    lines.append(f".p {total}")
+    for j, cover in enumerate(pla.covers):
+        out_part = "".join("1" if k == j else "0" for k in range(pla.num_outputs))
+        for cube in cover:
+            lines.append(f"{cube.to_string()} {out_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,21 @@
+"""FPRM engine: transforms, polarity-vector search, prime cubes."""
+
+from repro.fprm.polarity import (
+    PolarityStrategy,
+    best_polarity_exhaustive,
+    best_polarity_greedy,
+    choose_polarity,
+)
+from repro.fprm.primes import prime_cubes
+from repro.fprm.transform import fprm_of_cover, fprm_of_expr, fprm_of_table
+
+__all__ = [
+    "PolarityStrategy",
+    "best_polarity_exhaustive",
+    "best_polarity_greedy",
+    "choose_polarity",
+    "fprm_of_cover",
+    "fprm_of_expr",
+    "fprm_of_table",
+    "prime_cubes",
+]

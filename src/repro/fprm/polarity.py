@@ -1,0 +1,106 @@
+"""Polarity-vector search for FPRM forms.
+
+The FPRM form of a function is canonical per polarity vector, but the cube
+count varies wildly across the 2^n vectors — picking a good one is the
+classical fixed-polarity minimization problem.  The paper uses the FPRM
+form "only as the initial specification", so a decent vector is enough:
+
+* ``exhaustive`` — all 2^n vectors via Gray-code incremental flips (each
+  step is one O(2^n) butterfly), practical to ~12 variables;
+* ``greedy`` — hill climbing by single-variable flips from the
+  all-positive vector, O(passes · n · 2^n);
+* ``positive`` — the PPRM (all-positive) vector, always available, the only
+  choice for wide-support functions that have no dense table.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.truth.spectra import fprm_spectrum, spectrum_flip_polarity
+from repro.truth.table import TruthTable
+
+
+class PolarityStrategy(str, enum.Enum):
+    POSITIVE = "positive"
+    GREEDY = "greedy"
+    EXHAUSTIVE = "exhaustive"
+    AUTO = "auto"
+
+
+_EXHAUSTIVE_MAX_VARS = 12
+
+
+def _cost(spectrum: np.ndarray, n: int) -> tuple[int, int]:
+    """(cube count, literal count) — lexicographic minimization target."""
+    masks = np.nonzero(spectrum)[0]
+    cubes = int(masks.size)
+    literals = int(sum(int(m).bit_count() for m in masks))
+    return cubes, literals
+
+
+def best_polarity_greedy(table: TruthTable, start: int | None = None) -> int:
+    """Hill-climb single-variable polarity flips until no improvement."""
+    n = table.n
+    universe = (1 << n) - 1
+    polarity = universe if start is None else (start & universe)
+    spectrum = fprm_spectrum(table, polarity)
+    cost = _cost(spectrum, n)
+    improved = True
+    while improved:
+        improved = False
+        for var in range(n):
+            candidate = spectrum_flip_polarity(spectrum, n, var)
+            candidate_cost = _cost(candidate, n)
+            if candidate_cost < cost:
+                spectrum = candidate
+                cost = candidate_cost
+                polarity ^= 1 << var
+                improved = True
+    return polarity
+
+
+def best_polarity_exhaustive(table: TruthTable) -> int:
+    """Scan all 2^n polarity vectors with Gray-code incremental updates."""
+    n = table.n
+    if n > _EXHAUSTIVE_MAX_VARS:
+        raise ValueError(
+            f"exhaustive polarity search refused for {n} variables "
+            f"(max {_EXHAUSTIVE_MAX_VARS}); use greedy"
+        )
+    universe = (1 << n) - 1
+    polarity = universe
+    spectrum = fprm_spectrum(table, polarity)
+    best_polarity = polarity
+    best_cost = _cost(spectrum, n)
+    for step in range(1, 1 << n):
+        var = (step & -step).bit_length() - 1  # Gray-code transition bit
+        spectrum = spectrum_flip_polarity(spectrum, n, var)
+        polarity ^= 1 << var
+        cost = _cost(spectrum, n)
+        if cost < best_cost or (cost == best_cost and polarity > best_polarity):
+            best_cost = cost
+            best_polarity = polarity
+    return best_polarity
+
+
+def choose_polarity(
+    table: TruthTable, strategy: PolarityStrategy = PolarityStrategy.AUTO
+) -> int:
+    """Pick a polarity vector per the requested strategy.
+
+    ``AUTO`` runs the exhaustive scan up to 12 variables (cheap at these
+    sizes) and greedy hill climbing above that.
+    """
+    universe = (1 << table.n) - 1
+    if strategy == PolarityStrategy.POSITIVE:
+        return universe
+    if strategy == PolarityStrategy.EXHAUSTIVE:
+        return best_polarity_exhaustive(table)
+    if strategy == PolarityStrategy.GREEDY:
+        return best_polarity_greedy(table)
+    if table.n <= _EXHAUSTIVE_MAX_VARS:
+        return best_polarity_exhaustive(table)
+    return best_polarity_greedy(table)

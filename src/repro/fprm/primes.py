@@ -1,0 +1,31 @@
+"""Prime cubes of FPRM forms (Csanky, Perkowski & Schaefer).
+
+A cube ``p`` of an FPRM form is *prime* when its support set is not
+properly contained in the support set of any other cube of the form.
+Csanky et al. proved every prime cube occurs in all 2^n FPRM forms of the
+function; the paper uses primes as a signal that variables are related
+(all 32 z4ml cubes are prime; 10 of t481's 16 cubes are prime) and as a
+guide for algebraic factorization.
+"""
+
+from __future__ import annotations
+
+from repro.expr.esop import FprmForm
+
+
+def prime_cubes(form: FprmForm) -> tuple[int, ...]:
+    """Masks of the prime cubes of ``form`` (sorted)."""
+    masks = form.cubes
+    primes = []
+    for mask in masks:
+        properly_contained = any(
+            other != mask and (mask & other) == mask for other in masks
+        )
+        if not properly_contained:
+            primes.append(mask)
+    return tuple(sorted(primes))
+
+
+def all_cubes_prime(form: FprmForm) -> bool:
+    """True when every cube of the form is prime (the adder property)."""
+    return len(prime_cubes(form)) == form.num_cubes

@@ -1,0 +1,41 @@
+"""FPRM form computation from the three specification styles.
+
+Dense truth tables go through the fast butterfly transform; covers and
+expression trees go through the OFDD package so that wide-support functions
+(e.g. the 33-input ``my_adder``) never need a dense table, exactly as the
+paper derives its cubes from OFDDs rather than from 2^n-entry tables.
+"""
+
+from __future__ import annotations
+
+from repro.expr.cover import Cover
+from repro.expr.esop import FprmForm
+from repro.expr import expression as ex
+from repro.ofdd.manager import OfddManager
+from repro.truth.spectra import fprm_from_table
+from repro.truth.table import TruthTable
+
+
+def fprm_of_table(table: TruthTable, polarity: int) -> FprmForm:
+    """FPRM form of a dense truth table for one polarity vector."""
+    return fprm_from_table(table, polarity)
+
+
+def fprm_of_cover(
+    cover: Cover, polarity: int, cube_limit: int | None = None
+) -> FprmForm:
+    """FPRM form of an SOP cover, derived through an OFDD."""
+    manager = OfddManager(cover.n, polarity)
+    node = manager.from_cover(cover)
+    masks = manager.cubes(node, limit=cube_limit)
+    return FprmForm.from_masks(cover.n, manager.polarity, masks)
+
+
+def fprm_of_expr(
+    expr: ex.Expr, n: int, polarity: int, cube_limit: int | None = None
+) -> FprmForm:
+    """FPRM form of a multilevel expression, derived through an OFDD."""
+    manager = OfddManager(n, polarity)
+    node = manager.from_expr(expr)
+    masks = manager.cubes(node, limit=cube_limit)
+    return FprmForm.from_masks(n, manager.polarity, masks)

@@ -1,0 +1,12 @@
+"""Experiment harness: Table 2 reproduction, run-time study, ablations."""
+
+from repro.harness.experiment import CircuitComparison, run_circuit
+from repro.harness.table2 import Table2Row, run_table2, format_table2
+
+__all__ = [
+    "CircuitComparison",
+    "Table2Row",
+    "format_table2",
+    "run_circuit",
+    "run_table2",
+]

@@ -1,0 +1,87 @@
+"""Ablation studies over the design choices DESIGN.md calls out.
+
+Each function runs the FPRM flow with one knob varied on a set of
+circuits and returns per-circuit gate counts, so the benchmarks can print
+the deltas directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import get
+from repro.core.options import (
+    ControllabilityEngine,
+    FactorMethod,
+    SynthesisOptions,
+)
+from repro.core.synthesis import synthesize_fprm
+from repro.fprm.polarity import PolarityStrategy
+
+DEFAULT_CIRCUITS = ["z4ml", "rd53", "rd73", "t481", "majority", "cm82a"]
+
+
+@dataclass
+class AblationRow:
+    circuit: str
+    variants: dict[str, int]  # variant name -> 2-input gate count
+
+    def best(self) -> str:
+        return min(self.variants, key=self.variants.get)
+
+
+def _run(name: str, options: SynthesisOptions) -> int:
+    return synthesize_fprm(get(name), options).two_input_gates
+
+
+def ablate_redundancy_removal(circuits: list[str] | None = None) -> list[AblationRow]:
+    """Factorization alone vs factorization + XOR redundancy removal."""
+    rows = []
+    for name in circuits or DEFAULT_CIRCUITS:
+        rows.append(AblationRow(name, {
+            "with_rr": _run(name, SynthesisOptions()),
+            "without_rr": _run(name, SynthesisOptions(redundancy_removal=False)),
+        }))
+    return rows
+
+
+def ablate_factor_method(circuits: list[str] | None = None) -> list[AblationRow]:
+    """Paper's method 1 (cubes) vs method 2 (OFDD) vs auto."""
+    rows = []
+    for name in circuits or DEFAULT_CIRCUITS:
+        rows.append(AblationRow(name, {
+            "cube": _run(name, SynthesisOptions(factor_method=FactorMethod.CUBE)),
+            "ofdd": _run(name, SynthesisOptions(factor_method=FactorMethod.OFDD)),
+            "auto": _run(name, SynthesisOptions(factor_method=FactorMethod.AUTO)),
+        }))
+    return rows
+
+
+def ablate_polarity(circuits: list[str] | None = None) -> list[AblationRow]:
+    """All-positive vs greedy vs exhaustive polarity search."""
+    rows = []
+    for name in circuits or DEFAULT_CIRCUITS:
+        rows.append(AblationRow(name, {
+            "positive": _run(name, SynthesisOptions(
+                polarity_strategy=PolarityStrategy.POSITIVE)),
+            "greedy": _run(name, SynthesisOptions(
+                polarity_strategy=PolarityStrategy.GREEDY)),
+            "auto": _run(name, SynthesisOptions(
+                polarity_strategy=PolarityStrategy.AUTO)),
+        }))
+    return rows
+
+
+def ablate_controllability(circuits: list[str] | None = None) -> list[AblationRow]:
+    """Exact BDD decision vs cube-union enumeration vs simulation only."""
+    rows = []
+    for name in circuits or DEFAULT_CIRCUITS:
+        rows.append(AblationRow(name, {
+            "bdd": _run(name, SynthesisOptions(
+                controllability=ControllabilityEngine.BDD)),
+            "enumeration": _run(name, SynthesisOptions(
+                controllability=ControllabilityEngine.ENUMERATION)),
+            "simulation": _run(name, SynthesisOptions(
+                controllability=ControllabilityEngine.SIMULATION_ONLY)),
+        }))
+    return rows

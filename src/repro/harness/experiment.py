@@ -1,0 +1,108 @@
+"""Running one benchmark circuit through both flows.
+
+For a circuit this runs (a) the FPRM flow of the paper and (b) the
+SIS-like baseline (best of the script stand-ins), technology-maps both
+onto ``mcnc_lite`` and estimates power for both, yielding every quantity a
+Table 2 row needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.mapping import map_network, mcnc_lite_library
+from repro.power.mapped import estimate_mapped_power
+from repro.sislite.scripts import best_baseline
+
+
+@dataclass
+class FlowMetrics:
+    """One flow's numbers for one circuit."""
+
+    premap_lits: int
+    seconds: float
+    mapped_gates: int
+    mapped_lits: int
+    power_uw: float
+
+
+@dataclass
+class CircuitComparison:
+    """Everything a Table 2 row reports."""
+
+    name: str
+    inputs: int
+    outputs: int
+    arithmetic: bool
+    baseline: FlowMetrics
+    ours: FlowMetrics
+    baseline_script: str
+
+    @property
+    def improve_lits_pct(self) -> float:
+        if self.baseline.mapped_lits == 0:
+            return 0.0
+        return 100.0 * (
+            self.baseline.mapped_lits - self.ours.mapped_lits
+        ) / self.baseline.mapped_lits
+
+    @property
+    def improve_power_pct(self) -> float:
+        if self.baseline.power_uw == 0:
+            return 0.0
+        return 100.0 * (
+            self.baseline.power_uw - self.ours.power_uw
+        ) / self.baseline.power_uw
+
+    @property
+    def speedup(self) -> float:
+        if self.ours.seconds == 0:
+            return float("inf")
+        return self.baseline.seconds / self.ours.seconds
+
+
+def run_circuit(
+    name: str,
+    options: SynthesisOptions | None = None,
+    verify: bool = True,
+) -> CircuitComparison:
+    """Run both flows on one benchmark circuit and collect metrics."""
+    spec = get(name)
+    library = mcnc_lite_library()
+
+    if options is None:
+        options = SynthesisOptions()
+    if not verify:
+        options = options.replace(verify=False)
+    ours = synthesize_fprm(spec, options)
+    ours_mapped = map_network(ours.network, library)
+    ours_metrics = FlowMetrics(
+        premap_lits=ours.literals,
+        seconds=ours.seconds,
+        mapped_gates=ours_mapped.gate_count,
+        mapped_lits=ours_mapped.literal_count,
+        power_uw=estimate_mapped_power(ours_mapped).microwatts,
+    )
+
+    base, script = best_baseline(spec, verify=verify)
+    base_mapped = map_network(base.network, library)
+    base_metrics = FlowMetrics(
+        premap_lits=base.literals,
+        seconds=base.seconds,
+        mapped_gates=base_mapped.gate_count,
+        mapped_lits=base_mapped.literal_count,
+        power_uw=estimate_mapped_power(base_mapped).microwatts,
+    )
+
+    return CircuitComparison(
+        name=name,
+        inputs=spec.num_inputs,
+        outputs=spec.num_outputs,
+        arithmetic=spec.is_arithmetic,
+        baseline=base_metrics,
+        ours=ours_metrics,
+        baseline_script=script,
+    )

@@ -1,0 +1,92 @@
+"""Export the benchmark suite and synthesized netlists to disk.
+
+``python -m repro.harness.export --dir exported`` writes, per circuit:
+
+* ``<name>.pla`` — the two-level specification (table/cover outputs only;
+  wide structural outputs are skipped with a note);
+* ``<name>.fprm.blif`` — the FPRM flow's synthesized network;
+* ``<name>.sislite.blif`` — the baseline's network;
+
+so results can be fed to external tools (ABC, SIS, commercial flows).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.circuits import all_names, get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.errors import TooManyVariablesError
+from repro.expr.pla import Pla, write_pla
+from repro.network.blif import write_blif
+from repro.sislite.isop import isop_cover
+from repro.sislite.scripts import best_baseline
+
+_PLA_WIDTH_LIMIT = 14
+
+
+def export_circuit(name: str, directory: pathlib.Path,
+                   verify: bool = False) -> list[str]:
+    """Write one circuit's artifacts; returns the file names written."""
+    spec = get(name)
+    written: list[str] = []
+    safe = name.replace("/", "_")
+
+    covers = []
+    exportable = True
+    for output in spec.outputs:
+        if output.width > _PLA_WIDTH_LIMIT:
+            exportable = False
+            break
+        cover = output.cover
+        if cover is None:
+            try:
+                cover = isop_cover(output.local_table())
+            except TooManyVariablesError:
+                exportable = False
+                break
+        covers.append(cover.lift_support(spec.num_inputs,
+                                         list(output.support)))
+    if exportable:
+        pla = Pla(spec.num_inputs, spec.num_outputs, covers,
+                  input_names=spec.input_names,
+                  output_names=spec.output_names)
+        path = directory / f"{safe}.pla"
+        path.write_text(write_pla(pla), encoding="utf-8")
+        written.append(path.name)
+
+    ours = synthesize_fprm(spec, SynthesisOptions(verify=verify))
+    path = directory / f"{safe}.fprm.blif"
+    path.write_text(write_blif(ours.network, model=f"{name}_fprm"),
+                    encoding="utf-8")
+    written.append(path.name)
+
+    base, _ = best_baseline(spec, verify=verify)
+    path = directory / f"{safe}.sislite.blif"
+    path.write_text(write_blif(base.network, model=f"{name}_sislite"),
+                    encoding="utf-8")
+    written.append(path.name)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Export suite artifacts")
+    parser.add_argument("--dir", default="exported")
+    parser.add_argument("--circuits", default=None,
+                        help="comma-separated subset (default: all 41)")
+    parser.add_argument("--verify", action="store_true")
+    args = parser.parse_args(argv)
+    directory = pathlib.Path(args.dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = args.circuits.split(",") if args.circuits else all_names()
+    for name in names:
+        files = export_circuit(name, directory, verify=args.verify)
+        print(f"{name}: {', '.join(files)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Ordered Kronecker functional decision diagrams (OKFDDs).
+
+The paper's related work (Becker & Drechsler [1], Sarabi et al. [16])
+synthesizes from *Kronecker* diagrams, which choose per variable among
+Shannon, positive-Davio and negative-Davio expansion — BDDs and OFDDs are
+the two pure corners of that space.  This package implements the mixed
+diagrams with apply operators, a greedy decomposition-type optimizer, and
+network generation, so the FPRM flow's OFDD choice can be compared
+against the whole Kronecker family.
+"""
+
+from repro.kfdd.manager import (
+    NEG_DAVIO,
+    POS_DAVIO,
+    SHANNON,
+    KfddManager,
+    factor_kfdd,
+    optimize_decomposition_types,
+)
+
+__all__ = [
+    "KfddManager",
+    "NEG_DAVIO",
+    "POS_DAVIO",
+    "SHANNON",
+    "factor_kfdd",
+    "optimize_decomposition_types",
+]

@@ -1,0 +1,279 @@
+"""The OKFDD manager: per-variable Shannon / positive- / negative-Davio.
+
+Node semantics (``low``/``high`` over later variables):
+
+* Shannon:        ``f = x̄·low ⊕ x·high``   (reduce when low == high)
+* positive Davio: ``f = low ⊕ x·high``     (reduce when high == 0)
+* negative Davio: ``f = low ⊕ x̄·high``     (reduce when high == 0)
+
+XOR is component-wise under every decomposition (both expansions are
+GF(2)-linear); AND is component-wise under Shannon (the cross terms carry
+``x·x̄ = 0``) and the usual Davio product rule otherwise.  A diagram is
+canonical for a fixed decomposition-type list (DTL), which is the whole
+point: sweeping the DTL explores BDDs, OFDDs and everything between.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.expr import expression as ex
+
+SHANNON = 0
+POS_DAVIO = 1
+NEG_DAVIO = 2
+
+FALSE = 0
+TRUE = 1
+_TERMINAL_LEVEL = 1 << 30
+
+
+class KfddManager:
+    """OKFDD manager over ``num_vars`` variables with a fixed DTL."""
+
+    def __init__(self, num_vars: int, dtl: Sequence[int] | None = None,
+                 node_limit: int = 1_000_000):
+        self.num_vars = num_vars
+        self.dtl = list(dtl) if dtl is not None else [POS_DAVIO] * num_vars
+        if len(self.dtl) != num_vars:
+            raise ValueError("decomposition-type list length mismatch")
+        if any(t not in (SHANNON, POS_DAVIO, NEG_DAVIO) for t in self.dtl):
+            raise ValueError("bad decomposition type")
+        self.node_limit = node_limit
+        self._level = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low = [0, 1]
+        self._high = [0, 0]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._xor_memo: dict[tuple[int, int], int] = {}
+        self._and_memo: dict[tuple[int, int], int] = {}
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if self.dtl[level] == SHANNON:
+            if low == high:
+                return low
+        else:
+            if high == FALSE:
+                return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        if node > self.node_limit:
+            raise ReproError(f"KFDD node limit exceeded ({self.node_limit})")
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def level(self, node: int) -> int:
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        return self._high[node]
+
+    def _cofactors(self, node: int, level: int) -> tuple[int, int]:
+        """(low, high) of ``node`` viewed at ``level``."""
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        # Variable absent: Shannon -> both cofactors equal the node;
+        # Davio -> difference part is 0.
+        if self.dtl[level] == SHANNON:
+            return node, node
+        return node, FALSE
+
+    # -- operators ------------------------------------------------------------
+
+    def xor_(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_memo.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        if level == _TERMINAL_LEVEL:  # both terminals, f != g handled above
+            return TRUE
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        result = self._mk(level, self.xor_(f0, g0), self.xor_(f1, g1))
+        self._xor_memo[key] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._and_memo.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        if self.dtl[level] == SHANNON:
+            result = self._mk(level, self.and_(f0, g0), self.and_(f1, g1))
+        else:
+            low = self.and_(f0, g0)
+            high = self.xor_(
+                self.xor_(self.and_(f0, g1), self.and_(f1, g0)),
+                self.and_(f1, g1),
+            )
+            result = self._mk(level, low, high)
+        self._and_memo[key] = result
+        return result
+
+    def not_(self, f: int) -> int:
+        return self.xor_(f, TRUE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.xor_(self.xor_(f, g), self.and_(f, g))
+
+    # -- builders ------------------------------------------------------------
+
+    def pi_literal(self, var: int, negated: bool = False) -> int:
+        kind = self.dtl[var]
+        if kind == SHANNON:
+            node = self._mk(var, FALSE, TRUE)  # x
+            return self.not_(node) if negated else node
+        if kind == POS_DAVIO:
+            node = self._mk(var, FALSE, TRUE)  # x
+            return self.not_(node) if negated else node
+        node = self._mk(var, FALSE, TRUE)  # x̄ under negative Davio
+        return node if negated else self.not_(node)
+
+    def from_expr(self, expr: ex.Expr) -> int:
+        if isinstance(expr, ex.Const):
+            return TRUE if expr.value else FALSE
+        if isinstance(expr, ex.Lit):
+            return self.pi_literal(expr.var, expr.negated)
+        if isinstance(expr, ex.Not):
+            return self.not_(self.from_expr(expr.arg))
+        children = [self.from_expr(child) for child in expr.children()]
+        result = children[0]
+        for child in children[1:]:
+            if isinstance(expr, ex.And):
+                result = self.and_(result, child)
+            elif isinstance(expr, ex.Or):
+                result = self.or_(result, child)
+            else:
+                result = self.xor_(result, child)
+        return result
+
+    # -- queries ---------------------------------------------------------------
+
+    def evaluate(self, node: int, minterm: int) -> int:
+        if node <= 1:
+            return node
+        var = self._level[node]
+        bit = (minterm >> var) & 1
+        kind = self.dtl[var]
+        if kind == SHANNON:
+            branch = self._high[node] if bit else self._low[node]
+            return self.evaluate(branch, minterm)
+        literal = bit if kind == POS_DAVIO else 1 - bit
+        value = self.evaluate(self._low[node], minterm)
+        if literal:
+            value ^= self.evaluate(self._high[node], minterm)
+        return value
+
+    def node_count(self, node: int) -> int:
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return len(seen)
+
+
+def optimize_decomposition_types(
+    expr: ex.Expr, num_vars: int, start: Sequence[int] | None = None
+) -> tuple[list[int], int]:
+    """Greedy per-variable DTL search minimizing diagram node count.
+
+    Rebuild-based hill climbing (small functions only): for each variable
+    try the three decomposition types and keep the best, repeating until
+    no single change helps.  With no explicit ``start``, the climb begins
+    from whichever pure corner (all-Shannon = BDD, all-positive-Davio =
+    OFDD) is smaller, so the result never loses to either specialist.
+    Returns (DTL, node count).
+    """
+
+    def size(candidate: list[int]) -> int:
+        manager = KfddManager(num_vars, candidate)
+        return manager.node_count(manager.from_expr(expr))
+
+    if start is not None:
+        dtl = list(start)
+    else:
+        corners = [[POS_DAVIO] * num_vars, [SHANNON] * num_vars]
+        dtl = min(corners, key=size)
+    best = size(dtl)
+    improved = True
+    while improved:
+        improved = False
+        for var in range(num_vars):
+            for kind in (SHANNON, POS_DAVIO, NEG_DAVIO):
+                if kind == dtl[var]:
+                    continue
+                candidate = list(dtl)
+                candidate[var] = kind
+                candidate_size = size(candidate)
+                if candidate_size < best:
+                    best = candidate_size
+                    dtl = candidate
+                    improved = True
+    return dtl, best
+
+
+def factor_kfdd(manager: KfddManager, node: int) -> ex.Expr:
+    """Translate a KFDD into an expression (MUX for Shannon nodes,
+    AND/XOR for Davio nodes), sharing subdiagrams by object identity."""
+    memo: dict[int, ex.Expr] = {FALSE: ex.FALSE, TRUE: ex.TRUE}
+
+    def walk(current: int) -> ex.Expr:
+        cached = memo.get(current)
+        if cached is not None:
+            return cached
+        var = manager.level(current)
+        low = walk(manager.low(current))
+        high = walk(manager.high(current))
+        kind = manager.dtl[var]
+        x = ex.Lit(var)
+        if kind == SHANNON:
+            result = ex.or_([
+                ex.and_([ex.not_(x), low]),
+                ex.and_([x, high]),
+            ])
+        elif kind == POS_DAVIO:
+            result = ex.xor2(low, ex.and_([x, high]))
+        else:
+            result = ex.xor2(low, ex.and_([ex.not_(x), high]))
+        memo[current] = result
+        return result
+
+    return walk(node)

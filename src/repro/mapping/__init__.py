@@ -1,0 +1,24 @@
+"""Technology mapping — the stand-in for SIS ``map`` with mcnc.genlib.
+
+Tree-based dynamic-programming mapping (DAGON style): the network is
+decomposed into a NAND2/INV subject graph, broken into trees at
+multi-fanout points, and each tree is covered by minimum-area cell
+patterns from the library.  The built-in :data:`~repro.mapping.mcnc.MCNC_LITE`
+library carries the cell classes the paper lists: 2-input XOR/XNOR,
+2-input AND/OR, NAND/NOR up to four inputs, and AOI/OAI complex cells.
+"""
+
+from repro.mapping.cell import Cell, CellLibrary
+from repro.mapping.genlib import parse_genlib
+from repro.mapping.mcnc import MCNC_LITE, mcnc_lite_library
+from repro.mapping.mapper import MappedNetwork, map_network
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "MCNC_LITE",
+    "MappedNetwork",
+    "map_network",
+    "mcnc_lite_library",
+    "parse_genlib",
+]

@@ -1,0 +1,90 @@
+"""Cells and cell libraries.
+
+A cell is a named single-output function with an area and one or more
+*pattern trees* over the subject-graph basis (2-input NAND and INV).
+Pattern trees are nested tuples::
+
+    ("nand", p, q) | ("inv", p) | int   # int = input leaf index
+
+Leaf indices number the cell's formal inputs; a leaf may appear only once
+per pattern (tree matching).  Multiple patterns per cell cover the
+different NAND/INV decompositions of the same function (e.g. XNOR both as
+its own 4-NAND form and as INV-of-XOR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LibraryError
+
+Pattern = tuple | int
+
+
+def pattern_inputs(pattern: Pattern) -> int:
+    """Number of distinct leaves in a pattern."""
+    leaves: set[int] = set()
+
+    def walk(node: Pattern) -> None:
+        if isinstance(node, int):
+            leaves.add(node)
+            return
+        for child in node[1:]:
+            walk(child)
+
+    walk(pattern)
+    return len(leaves)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell.
+
+    ``literals`` is the literal count of the cell's SOP expression (the
+    quantity SIS ``map`` reports as *lits*: an XOR cell ``a·b̄ + ā·b``
+    counts 4, a NAND2 counts 2, an inverter 1); it defaults to
+    ``num_inputs`` when a library format does not say otherwise.
+    """
+
+    name: str
+    area: float
+    num_inputs: int
+    patterns: tuple[Pattern, ...]
+    literals: int = 0
+
+    def __post_init__(self) -> None:
+        if self.literals <= 0:
+            object.__setattr__(self, "literals", self.num_inputs)
+        for pattern in self.patterns:
+            if pattern_inputs(pattern) != self.num_inputs:
+                raise LibraryError(
+                    f"cell {self.name}: pattern leaf count != num_inputs"
+                )
+
+
+@dataclass
+class CellLibrary:
+    """A set of cells; the mapper consults :attr:`cells` directly."""
+
+    name: str
+    cells: list[Cell] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [cell.name for cell in self.cells]
+        if len(set(names)) != len(names):
+            raise LibraryError(f"library {self.name}: duplicate cell names")
+        if not any(c.patterns == (("inv", 0),) or ("inv", 0) in c.patterns
+                   for c in self.cells):
+            raise LibraryError(
+                f"library {self.name}: an inverter cell is required"
+            )
+        if not any(("nand", 0, 1) in c.patterns for c in self.cells):
+            raise LibraryError(
+                f"library {self.name}: a 2-input NAND cell is required"
+            )
+
+    def cell(self, name: str) -> Cell:
+        for cell in self.cells:
+            if cell.name == name:
+                return cell
+        raise KeyError(name)

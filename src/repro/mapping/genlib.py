@@ -1,0 +1,157 @@
+"""Parsing Berkeley genlib cell descriptions into pattern trees.
+
+Supports the common genlib subset::
+
+    GATE nand2 1392 Y = !(A*B); PIN * INV 1 999 1 .2 1 .2
+
+Only the gate name, area and expression are used (pin timing is ignored —
+we map for area like the paper).  The expression grammar is
+``! * + ( )`` over single identifiers, with ``*`` optionally implicit by
+juxtaposition NOT supported (SIS genlibs always write the ``*``).
+
+The expression is converted into a canonical NAND/INV pattern tree with
+**balanced** binarization of n-ary AND/OR — matching how
+:mod:`repro.network.netlist` builds gate trees, so canonical patterns line
+up with subject graphs.  Cells whose function needs more than one useful
+decomposition (XOR/XNOR and wide NAND/NOR) can get extra hand patterns via
+:func:`repro.mapping.mcnc.mcnc_lite_library`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.mapping.cell import Cell, CellLibrary, Pattern
+
+_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z0-9_]*|[!*+()])")
+
+
+@dataclass
+class _Parser:
+    text: str
+    pos: int = 0
+
+    def peek(self) -> str | None:
+        match = _TOKEN.match(self.text, self.pos)
+        return match.group(1) if match else None
+
+    def take(self) -> str:
+        match = _TOKEN.match(self.text, self.pos)
+        if not match:
+            raise ParseError(f"bad genlib expression near {self.text[self.pos:]!r}")
+        self.pos = match.end()
+        return match.group(1)
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+
+# Internal expression AST: ("and", [..]) ("or", [..]) ("not", x) ("var", name)
+
+
+def _parse_or(parser: _Parser):
+    terms = [_parse_and(parser)]
+    while parser.peek() == "+":
+        parser.take()
+        terms.append(_parse_and(parser))
+    return ("or", terms) if len(terms) > 1 else terms[0]
+
+
+def _parse_and(parser: _Parser):
+    factors = [_parse_atom(parser)]
+    while parser.peek() == "*":
+        parser.take()
+        factors.append(_parse_atom(parser))
+    return ("and", factors) if len(factors) > 1 else factors[0]
+
+
+def _parse_atom(parser: _Parser):
+    token = parser.take()
+    if token == "!":
+        return ("not", _parse_atom(parser))
+    if token == "(":
+        inner = _parse_or(parser)
+        parser.expect(")")
+        return inner
+    if token in ("*", "+", ")"):
+        raise ParseError(f"unexpected {token!r}")
+    return ("var", token)
+
+
+def expression_to_pattern(text: str) -> tuple[Pattern, list[str]]:
+    """Parse a genlib output expression into (pattern, input names)."""
+    parser = _Parser(text)
+    ast = _parse_or(parser)
+    names: list[str] = []
+
+    def index_of(name: str) -> int:
+        if name not in names:
+            names.append(name)
+        return names.index(name)
+
+    def convert(node, inverted: bool) -> Pattern:
+        kind = node[0]
+        if kind == "var":
+            leaf: Pattern = index_of(node[1])
+            return ("inv", leaf) if inverted else leaf
+        if kind == "not":
+            return convert(node[1], not inverted)
+        parts = node[1]
+        if kind == "and":
+            # AND = INV(NAND); NAND when inverted.
+            nand = _balanced_nand(
+                [convert(p, False) for p in parts]
+            )
+            return nand if inverted else ("inv", nand)
+        # OR = NAND of inverted inputs; NOR when inverted.
+        nand = _balanced_nand([convert(p, True) for p in parts])
+        return ("inv", nand) if inverted else nand
+
+
+    def _balanced_nand(parts: list[Pattern]) -> Pattern:
+        # n-ary AND tree: balanced pairing, INV between levels, final NAND.
+        while len(parts) > 2:
+            merged = []
+            for i in range(0, len(parts) - 1, 2):
+                merged.append(("inv", ("nand", parts[i], parts[i + 1])))
+            if len(parts) % 2:
+                merged.append(parts[-1])
+            parts = merged
+        if len(parts) == 1:
+            return parts[0]
+        return ("nand", parts[0], parts[1])
+
+    pattern = convert(ast, False)
+    return pattern, names
+
+
+def _literal_occurrences(expression: str) -> int:
+    """Number of literal occurrences in a genlib expression."""
+    return len(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", expression))
+
+
+def parse_genlib(text: str, name: str = "genlib") -> CellLibrary:
+    """Parse genlib text into a :class:`CellLibrary`."""
+    cells = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line or not line.upper().startswith("GATE"):
+            continue
+        match = re.match(
+            r"GATE\s+(\S+)\s+([\d.]+)\s+(\w+)\s*=\s*([^;]+);", line
+        )
+        if not match:
+            raise ParseError(f"bad GATE line: {line!r}")
+        cell_name, area, _out, expression = match.groups()
+        if expression.strip() in ("0", "1", "CONST0", "CONST1"):
+            continue  # constant cells are not needed; constants fold away
+        pattern, names = expression_to_pattern(expression)
+        cells.append(
+            Cell(cell_name, float(area), len(names), (pattern,),
+                 literals=_literal_occurrences(expression))
+        )
+    return CellLibrary(name, cells)

@@ -1,0 +1,157 @@
+"""Dynamic-programming tree mapping over the subject graph (DAGON style).
+
+Every live subject node gets a best (cell, leaf-signals) cover by trying
+each library pattern rooted there; internal pattern nodes must be
+single-fanout (tree condition), leaves recurse into already-solved
+subproblems.  Multi-fanout nodes and outputs become cell boundaries.  The
+objective is total cell area, the paper's optimization target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LibraryError
+from repro.mapping.cell import Cell, CellLibrary, Pattern
+from repro.mapping.subject import C0, C1, INV, NAND, PI, SubjectGraph, subject_graph
+from repro.network.netlist import Network
+
+
+@dataclass
+class MappedCell:
+    """One cell instance in the mapped netlist."""
+
+    cell: Cell
+    root: int
+    inputs: tuple[int, ...]  # subject-graph signal ids, pattern-leaf order
+
+
+@dataclass
+class MappedNetwork:
+    """Result of technology mapping."""
+
+    library: CellLibrary
+    cells: list[MappedCell] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    graph: "SubjectGraph | None" = None
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.cells)
+
+    @property
+    def literal_count(self) -> int:
+        """Post-mapping ``lits`` of Table 2: cell-function literal counts
+        summed over instances (an XOR cell counts 4, NAND2 counts 2)."""
+        return sum(c.cell.literals for c in self.cells)
+
+    @property
+    def pin_count(self) -> int:
+        return sum(len(c.inputs) for c in self.cells)
+
+    @property
+    def area(self) -> float:
+        return sum(c.cell.area for c in self.cells)
+
+    def cell_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for instance in self.cells:
+            histogram[instance.cell.name] = histogram.get(instance.cell.name, 0) + 1
+        return histogram
+
+
+def map_network(net: Network, library: CellLibrary) -> MappedNetwork:
+    """Map a logic network onto ``library`` for minimum area."""
+    graph = subject_graph(net)
+    return _map_subject(graph, library)
+
+
+def _map_subject(graph: SubjectGraph, library: CellLibrary) -> MappedNetwork:
+    live = graph.live_nodes()
+    fanout = graph.fanout_counts()
+    best_cost: dict[int, float] = {}
+    best_match: dict[int, tuple[Cell, tuple[int, ...]] | None] = {}
+
+    for node in live:
+        kind = graph.kinds[node]
+        if kind in (PI, C0, C1):
+            best_cost[node] = 0.0
+            best_match[node] = None
+            continue
+        choice: tuple[Cell, tuple[int, ...]] | None = None
+        cost = float("inf")
+        for cell in library.cells:
+            for pattern in cell.patterns:
+                bindings = _match(graph, fanout, pattern, node)
+                if bindings is None:
+                    continue
+                leaves = tuple(bindings[i] for i in range(cell.num_inputs))
+                candidate = cell.area + sum(
+                    best_cost[leaf] for leaf in set(leaves)
+                )
+                if candidate < cost:
+                    cost = candidate
+                    choice = (cell, leaves)
+        if choice is None:
+            raise LibraryError(
+                f"no cell covers subject node {node} ({kind})"
+            )
+        best_cost[node] = cost
+        best_match[node] = choice
+
+    mapped = MappedNetwork(library=library, outputs=list(graph.outputs),
+                           graph=graph)
+    emitted: set[int] = set()
+
+    def emit(node: int) -> None:
+        if node in emitted or best_match.get(node) is None:
+            return
+        emitted.add(node)
+        cell, leaves = best_match[node]
+        mapped.cells.append(MappedCell(cell, node, leaves))
+        for leaf in leaves:
+            emit(leaf)
+
+    for root in graph.outputs:
+        emit(root)
+    return mapped
+
+
+def _match(
+    graph: SubjectGraph,
+    fanout: dict[int, int],
+    pattern: Pattern,
+    node: int,
+) -> dict[int, int] | None:
+    """Match ``pattern`` rooted at ``node``; returns leaf bindings or None."""
+    bindings: dict[int, int] = {}
+
+    def walk(p: Pattern, n: int, is_root: bool) -> bool:
+        if isinstance(p, int):
+            bound = bindings.get(p)
+            if bound is None:
+                bindings[p] = n
+                return True
+            return bound == n
+        if not is_root and fanout.get(n, 0) > 1:
+            return False  # internal pattern nodes must be tree edges
+        kind = p[0]
+        if kind == "inv":
+            if graph.kinds[n] != INV:
+                return False
+            return walk(p[1], graph.fanins[n][0], False)
+        if kind == "nand":
+            if graph.kinds[n] != NAND:
+                return False
+            a, b = graph.fanins[n]
+            checkpoint = dict(bindings)
+            if walk(p[1], a, False) and walk(p[2], b, False):
+                return True
+            bindings.clear()
+            bindings.update(checkpoint)
+            return walk(p[1], b, False) and walk(p[2], a, False)
+        raise ValueError(f"bad pattern node {p!r}")
+
+    if walk(pattern, node, True):
+        return bindings
+    return None

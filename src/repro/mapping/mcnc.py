@@ -1,0 +1,59 @@
+"""The built-in ``mcnc_lite`` cell library.
+
+Table 2 maps with ``mcnc.genlib``, described as having (1) 2-input
+XOR/XNOR, (2) 2-input AND/OR, (3) NAND/NOR up to four inputs and (4) four
+complex cells such as AOI22.  This library reproduces exactly those cell
+classes with mcnc-like relative areas (the classic λ²-flavoured numbers:
+inverter 928, 2-input NAND 1392, …).
+
+XOR and XNOR get an extra hand-written pattern each: the canonical
+NAND/INV form of the *complemented* cell wrapped in an inverter, so a
+``NOT(XOR(a,b))`` subject shape still maps onto one XNOR cell (and vice
+versa) instead of five gates.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.cell import Cell, CellLibrary
+from repro.mapping.genlib import parse_genlib
+
+MCNC_LITE = """\
+# mcnc_lite - the cell classes of mcnc.genlib used by the paper
+GATE inv    928  Y = !A;
+GATE nand2  1392 Y = !(A*B);
+GATE nand3  1856 Y = !(A*B*C);
+GATE nand4  2320 Y = !(A*B*C*D);
+GATE nor2   1392 Y = !(A+B);
+GATE nor3   1856 Y = !(A+B+C);
+GATE nor4   2320 Y = !(A+B+C+D);
+GATE and2   1856 Y = A*B;
+GATE or2    1856 Y = A+B;
+GATE xor2   2320 Y = A*!B + !A*B;
+GATE xnor2  2320 Y = A*B + !A*!B;
+GATE aoi21  1856 Y = !(A*B + C);
+GATE aoi22  2320 Y = !(A*B + C*D);
+GATE oai21  1856 Y = !((A+B) * C);
+GATE oai22  2320 Y = !((A+B) * (C+D));
+"""
+
+# XOR subject form: NAND(NAND(a, INV b), NAND(INV a, b))
+_XOR_PATTERN = ("nand", ("nand", 0, ("inv", 1)), ("nand", ("inv", 0), 1))
+# XNOR subject form: NAND(NAND(a, b), NAND(INV a, INV b))
+_XNOR_PATTERN = ("nand", ("nand", 0, 1), ("nand", ("inv", 0), ("inv", 1)))
+
+
+def mcnc_lite_library() -> CellLibrary:
+    """Parse :data:`MCNC_LITE` and augment the XOR/XNOR pattern sets."""
+    library = parse_genlib(MCNC_LITE, name="mcnc_lite")
+    cells = []
+    for cell in library.cells:
+        if cell.name == "xor2":
+            patterns = cell.patterns + (("inv", _XNOR_PATTERN),)
+            cell = Cell(cell.name, cell.area, cell.num_inputs, patterns,
+                        literals=cell.literals)
+        elif cell.name == "xnor2":
+            patterns = cell.patterns + (("inv", _XOR_PATTERN),)
+            cell = Cell(cell.name, cell.area, cell.num_inputs, patterns,
+                        literals=cell.literals)
+        cells.append(cell)
+    return CellLibrary("mcnc_lite", cells)

@@ -1,0 +1,141 @@
+"""Subject-graph construction: networks decomposed into NAND2 + INV.
+
+The canonical expansions (matching the genlib pattern converter and the
+balanced gate trees built by :class:`~repro.network.netlist.Network`):
+
+* ``AND(a,b) = INV(NAND(a,b))``
+* ``OR(a,b)  = NAND(INV(a), INV(b))``
+* ``XOR(a,b) = NAND(NAND(a, INV(b)), NAND(INV(a), b))``
+* ``NOT(a)   = INV(a)``
+
+The subject graph is structurally hashed, so shared logic stays shared and
+inverter pairs cancel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.netlist import GateType, Network
+
+PI = "pi"
+INV = "inv"
+NAND = "nand"
+C0 = "c0"
+C1 = "c1"
+
+
+@dataclass
+class SubjectGraph:
+    """NAND2/INV DAG with structural hashing."""
+
+    num_inputs: int
+    kinds: list[str] = field(default_factory=list)
+    fanins: list[tuple[int, ...]] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    _hash: dict[tuple, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            self.kinds = [C0, C1] + [PI] * self.num_inputs
+            self.fanins = [()] * (2 + self.num_inputs)
+
+    @property
+    def const0(self) -> int:
+        return 0
+
+    @property
+    def const1(self) -> int:
+        return 1
+
+    def pi(self, index: int) -> int:
+        return 2 + index
+
+    def inv(self, a: int) -> int:
+        if self.kinds[a] == INV:
+            return self.fanins[a][0]
+        if self.kinds[a] == C0:
+            return self.const1
+        if self.kinds[a] == C1:
+            return self.const0
+        return self._node(INV, (a,))
+
+    def nand(self, a: int, b: int) -> int:
+        if self.kinds[a] == C0 or self.kinds[b] == C0:
+            return self.const1
+        if self.kinds[a] == C1:
+            return self.inv(b)
+        if self.kinds[b] == C1:
+            return self.inv(a)
+        if a == b:
+            return self.inv(a)
+        if a > b:
+            a, b = b, a
+        return self._node(NAND, (a, b))
+
+    def _node(self, kind: str, fanins: tuple[int, ...]) -> int:
+        key = (kind, fanins)
+        node = self._hash.get(key)
+        if node is None:
+            node = len(self.kinds)
+            self.kinds.append(kind)
+            self.fanins.append(fanins)
+            self._hash[key] = node
+        return node
+
+    def live_nodes(self) -> list[int]:
+        seen: set[int] = set()
+        order: list[int] = []
+        for root in self.outputs:
+            stack = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node in seen:
+                    continue
+                if expanded:
+                    seen.add(node)
+                    order.append(node)
+                    continue
+                stack.append((node, True))
+                for child in self.fanins[node]:
+                    if child not in seen:
+                        stack.append((child, False))
+        return order
+
+    def fanout_counts(self) -> dict[int, int]:
+        live = self.live_nodes()
+        live_set = set(live)
+        counts = {node: 0 for node in live}
+        for node in live:
+            for child in self.fanins[node]:
+                if child in live_set:
+                    counts[child] += 1
+        for root in self.outputs:
+            counts[root] = counts.get(root, 0) + 1
+        return counts
+
+
+def subject_graph(net: Network) -> SubjectGraph:
+    """Expand a logic network into its NAND2/INV subject graph."""
+    graph = SubjectGraph(net.num_inputs)
+    values: dict[int, int] = {0: graph.const0, 1: graph.const1}
+    for node in net.live_nodes():
+        gate = net.type_of(node)
+        if gate is GateType.PI:
+            values[node] = graph.pi(net.pi_index(node))
+        elif gate is GateType.NOT:
+            values[node] = graph.inv(values[net.fanin(node)[0]])
+        elif gate is GateType.AND:
+            a, b = (values[f] for f in net.fanin(node))
+            values[node] = graph.inv(graph.nand(a, b))
+        elif gate is GateType.OR:
+            a, b = (values[f] for f in net.fanin(node))
+            values[node] = graph.nand(graph.inv(a), graph.inv(b))
+        elif gate is GateType.XOR:
+            a, b = (values[f] for f in net.fanin(node))
+            values[node] = graph.nand(
+                graph.nand(a, graph.inv(b)),
+                graph.nand(graph.inv(a), b),
+            )
+    graph.outputs = [values[out] for out in net.outputs]
+    return graph

@@ -1,0 +1,13 @@
+"""Multilevel logic networks: netlist, builders, simulation, verification."""
+
+from repro.network.netlist import GateType, Network
+from repro.network.build import network_from_exprs
+from repro.network.verify import equivalent_to_spec, networks_equivalent
+
+__all__ = [
+    "GateType",
+    "Network",
+    "equivalent_to_spec",
+    "network_from_exprs",
+    "networks_equivalent",
+]

@@ -1,0 +1,183 @@
+"""BLIF (Berkeley Logic Interchange Format) reading and writing.
+
+The IWLS'91 multilevel benchmark set — and everything SIS consumes or
+produces — travels as BLIF.  This module writes any :class:`Network` as
+BLIF (one ``.names`` block per gate) and reads structural BLIF back into
+a network, so results can be exchanged with external tools and the
+regenerated benchmark suite can be exported.
+
+Supported subset: ``.model``, ``.inputs``, ``.outputs``, ``.names`` with
+SOP rows (``-01 1`` style, on-set or off-set but not mixed), ``.end``.
+Latches and hierarchy are out of scope (the paper is combinational).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.network.netlist import GateType, Network
+
+
+def write_blif(net: Network, model: str | None = None) -> str:
+    """Serialize a network as BLIF text."""
+    lines = [f".model {model or net.name or 'repro'}"]
+    lines.append(".inputs " + " ".join(net.input_names))
+    output_names = net.output_names or [
+        f"y{i}" for i in range(net.num_outputs)
+    ]
+    lines.append(".outputs " + " ".join(output_names))
+
+    signal: dict[int, str] = {0: "$false", 1: "$true"}
+    for index in range(net.num_inputs):
+        signal[net.pi(index)] = net.input_names[index]
+    live = net.live_nodes()
+    counter = 0
+    needs_const = {0: False, 1: False}
+
+    def name_of(node: int) -> str:
+        nonlocal counter
+        if node not in signal:
+            counter += 1
+            signal[node] = f"n{counter}"
+        if node in (0, 1):
+            needs_const[node] = True
+        return signal[node]
+
+    body: list[str] = []
+    for node in live:
+        gate = net.type_of(node)
+        if gate in (GateType.PI, GateType.CONST0, GateType.CONST1):
+            continue
+        fanins = [name_of(child) for child in net.fanin(node)]
+        out = name_of(node)
+        header = f".names {' '.join(fanins)} {out}"
+        if gate is GateType.NOT:
+            body += [header, "0 1"]
+        elif gate is GateType.AND:
+            body += [header, "11 1"]
+        elif gate is GateType.OR:
+            body += [header, "1- 1", "-1 1"]
+        elif gate is GateType.XOR:
+            body += [header, "10 1", "01 1"]
+
+    # Output drivers: alias each PO name onto its driving signal.
+    for po_name, node in zip(output_names, net.outputs):
+        driver = name_of(node)
+        if driver != po_name:
+            body += [f".names {driver} {po_name}", "1 1"]
+    for const_node, needed in needs_const.items():
+        if needed:
+            name = signal[const_node]
+            body += [f".names {name}"] + (["1"] if const_node else [])
+    lines += body
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_blif(text: str) -> Network:
+    """Parse structural BLIF into a network (SOP ``.names`` blocks)."""
+    model_inputs: list[str] = []
+    model_outputs: list[str] = []
+    blocks: list[tuple[list[str], str, list[str]]] = []
+    current: tuple[list[str], str, list[str]] | None = None
+
+    logical_lines: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical_lines.append(pending + line)
+        pending = ""
+
+    for line in logical_lines:
+        stripped = line.strip()
+        if stripped.startswith("."):
+            parts = stripped.split()
+            key = parts[0]
+            if key == ".model":
+                model_name = parts[1] if len(parts) > 1 else "blif"
+            elif key == ".inputs":
+                model_inputs += parts[1:]
+            elif key == ".outputs":
+                model_outputs += parts[1:]
+            elif key == ".names":
+                if len(parts) < 2:
+                    raise ParseError("empty .names block")
+                current = (parts[1:-1], parts[-1], [])
+                blocks.append(current)
+            elif key in (".end", ".exdc"):
+                current = None
+            else:
+                raise ParseError(f"unsupported BLIF construct {key!r}")
+        else:
+            if current is None:
+                raise ParseError(f"cube row outside .names: {stripped!r}")
+            current[2].append(stripped)
+
+    net = Network(len(model_inputs), name=locals().get("model_name", "blif"),
+                  input_names=model_inputs)
+    nodes: dict[str, int] = {
+        name: net.pi(i) for i, name in enumerate(model_inputs)
+    }
+
+    # Topologically resolve blocks (BLIF allows any order).
+    remaining = list(blocks)
+    while remaining:
+        progressed = False
+        for block in list(remaining):
+            fanin_names, out_name, rows = block
+            if not all(name in nodes for name in fanin_names):
+                continue
+            nodes[out_name] = _build_names_block(net, fanin_names, rows, nodes)
+            remaining.remove(block)
+            progressed = True
+        if not progressed:
+            unresolved = [b[1] for b in remaining]
+            raise ParseError(f"unresolvable BLIF signals: {unresolved}")
+
+    try:
+        outputs = [nodes[name] for name in model_outputs]
+    except KeyError as missing:
+        raise ParseError(f"undriven output {missing}") from None
+    net.set_outputs(outputs, model_outputs)
+    return net
+
+
+def _build_names_block(net: Network, fanin_names: list[str],
+                       rows: list[str], nodes: dict[str, int]) -> int:
+    fanins = [nodes[name] for name in fanin_names]
+    if not fanin_names:
+        # Constant block: a "1" row means constant one.
+        return net.const1 if any(r.strip() == "1" for r in rows) else net.const0
+    on_terms: list[int] = []
+    off_terms: list[int] = []
+    for row in rows:
+        parts = row.split()
+        if len(parts) != 2:
+            raise ParseError(f"bad .names row {row!r}")
+        pattern, value = parts
+        if len(pattern) != len(fanins):
+            raise ParseError(f"row width mismatch in {row!r}")
+        literals = []
+        for ch, node in zip(pattern, fanins):
+            if ch == "1":
+                literals.append(node)
+            elif ch == "0":
+                literals.append(net.add_not(node))
+            elif ch != "-":
+                raise ParseError(f"bad cube character {ch!r}")
+        term = net.add_and_tree(literals) if literals else net.const1
+        if value == "1":
+            on_terms.append(term)
+        elif value == "0":
+            off_terms.append(term)
+        else:
+            raise ParseError(f"bad output value {value!r}")
+    if on_terms and off_terms:
+        raise ParseError("mixed on-set and off-set .names block")
+    if off_terms:
+        return net.add_not(net.add_or_tree(off_terms))
+    return net.add_or_tree(on_terms)

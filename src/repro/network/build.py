@@ -1,0 +1,73 @@
+"""Building networks from expression trees.
+
+Expressions are trees; the structural hashing in :class:`Network` restores
+sharing across outputs (the paper's SIS-``resub`` merge step).  N-ary
+AND/OR/XOR operators become balanced binary trees, matching the paper's
+"balanced, binary tree of XOR gates" join.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.expr import expression as ex
+from repro.network.netlist import Network
+
+
+def add_expr(net: Network, expr: ex.Expr,
+             var_map: Sequence[int] | None = None,
+             _memo: dict[int, int] | None = None) -> int:
+    """Add ``expr`` to ``net`` and return its node.
+
+    ``var_map`` translates expression variable ``j`` to primary input
+    ``var_map[j]`` (identity when omitted) so specifications over a local
+    support embed into the full-width network.  Shared subexpression
+    objects (OFDD-derived DAGs) are visited once via an id-memo.
+    """
+    if _memo is None:
+        _memo = {}
+    cached = _memo.get(id(expr))
+    if cached is not None:
+        return cached
+    if isinstance(expr, ex.Const):
+        result = net.const1 if expr.value else net.const0
+    elif isinstance(expr, ex.Lit):
+        pi = net.pi(var_map[expr.var] if var_map is not None else expr.var)
+        result = net.add_not(pi) if expr.negated else pi
+    elif isinstance(expr, ex.Not):
+        result = net.add_not(add_expr(net, expr.arg, var_map, _memo))
+    else:
+        children = [
+            add_expr(net, child, var_map, _memo) for child in expr.children()
+        ]
+        if isinstance(expr, ex.And):
+            result = net.add_and_tree(children)
+        elif isinstance(expr, ex.Or):
+            result = net.add_or_tree(children)
+        elif isinstance(expr, ex.Xor):
+            result = net.add_xor_tree(children)
+        else:
+            raise TypeError(
+                f"cannot build network node from {type(expr).__name__}"
+            )
+    _memo[id(expr)] = result
+    return result
+
+
+def network_from_exprs(
+    num_inputs: int,
+    exprs: Sequence[ex.Expr],
+    *,
+    name: str = "",
+    var_maps: Sequence[Sequence[int] | None] | None = None,
+    input_names: Sequence[str] | None = None,
+    output_names: Sequence[str] | None = None,
+) -> Network:
+    """Build a multi-output network from one expression per output."""
+    net = Network(num_inputs, name=name, input_names=input_names)
+    outputs = []
+    for index, expr in enumerate(exprs):
+        var_map = var_maps[index] if var_maps is not None else None
+        outputs.append(add_expr(net, expr, var_map))
+    net.set_outputs(outputs, output_names)
+    return net

@@ -1,0 +1,67 @@
+"""Graphviz (dot) export for networks and mapped netlists."""
+
+from __future__ import annotations
+
+from repro.mapping.mapper import MappedNetwork
+from repro.network.netlist import GateType, Network
+
+_SHAPES = {
+    GateType.AND: ("box", "AND"),
+    GateType.OR: ("ellipse", "OR"),
+    GateType.XOR: ("diamond", "XOR"),
+    GateType.NOT: ("triangle", "NOT"),
+}
+
+
+def network_to_dot(net: Network, name: str | None = None) -> str:
+    """Render a logic network as Graphviz dot text."""
+    lines = [f'digraph "{name or net.name or "network"}" {{',
+             "  rankdir=LR;"]
+    for node in net.live_nodes():
+        gate = net.type_of(node)
+        if gate is GateType.PI:
+            label = net.input_names[net.pi_index(node)]
+            lines.append(
+                f'  n{node} [shape=circle, label="{label}", '
+                f'style=filled, fillcolor=lightblue];'
+            )
+        elif gate in (GateType.CONST0, GateType.CONST1):
+            value = "0" if gate is GateType.CONST0 else "1"
+            lines.append(f'  n{node} [shape=plaintext, label="{value}"];')
+        else:
+            shape, label = _SHAPES[gate]
+            lines.append(f'  n{node} [shape={shape}, label="{label}"];')
+        for child in net.fanin(node):
+            lines.append(f"  n{child} -> n{node};")
+    for index, out in enumerate(net.outputs):
+        po = (net.output_names[index]
+              if index < len(net.output_names) else f"y{index}")
+        lines.append(
+            f'  po{index} [shape=doublecircle, label="{po}", '
+            f'style=filled, fillcolor=lightyellow];'
+        )
+        lines.append(f"  n{out} -> po{index};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def mapped_to_dot(mapped: MappedNetwork, name: str = "mapped") -> str:
+    """Render a mapped netlist as Graphviz dot text (one node per cell)."""
+    lines = [f'digraph "{name}" {{', "  rankdir=LR;"]
+    producers = {cell.root for cell in mapped.cells}
+    for cell in mapped.cells:
+        lines.append(
+            f'  s{cell.root} [shape=box, label="{cell.cell.name}"];'
+        )
+        for signal in cell.inputs:
+            if signal not in producers:
+                lines.append(
+                    f'  s{signal} [shape=circle, label="s{signal}", '
+                    f'style=filled, fillcolor=lightblue];'
+                )
+            lines.append(f"  s{signal} -> s{cell.root};")
+    for index, out in enumerate(mapped.outputs):
+        lines.append(f'  po{index} [shape=doublecircle, label="y{index}"];')
+        lines.append(f"  s{out} -> po{index};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,296 @@
+"""The multilevel network data structure.
+
+A :class:`Network` is a DAG of 2-input AND/OR/XOR gates and inverters over
+primary inputs and the two constants.  Gate creation goes through
+structurally-hashing ``add_*`` methods, so identical subfunctions built
+twice — e.g. by factoring two outputs that share a subexpression — collapse
+onto one node.  This plays the role of the SIS ``resub`` merge step the
+paper applies to multi-output functions.
+
+Gate-cost convention (the paper's, validated against Example 1):
+AND/OR cost one 2-input gate each, XOR costs three, inverters and buffers
+are free; pre-mapping literal count is twice the gate count.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+
+class GateType(enum.Enum):
+    CONST0 = "const0"
+    CONST1 = "const1"
+    PI = "pi"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+
+
+_COMMUTATIVE = {GateType.AND, GateType.OR, GateType.XOR}
+
+GATE_COST = {
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.PI: 0,
+    GateType.NOT: 0,
+    GateType.AND: 1,
+    GateType.OR: 1,
+    GateType.XOR: 3,
+}
+
+
+class Network:
+    """A structurally-hashed combinational network."""
+
+    def __init__(self, num_inputs: int, name: str = "",
+                 input_names: Sequence[str] | None = None):
+        self.name = name
+        self.num_inputs = num_inputs
+        self.types: list[GateType] = [GateType.CONST0, GateType.CONST1]
+        self.fanins: list[tuple[int, ...]] = [(), ()]
+        self._hash: dict[tuple, int] = {}
+        for _ in range(num_inputs):
+            self.types.append(GateType.PI)
+            self.fanins.append(())
+        self.outputs: list[int] = []
+        self.output_names: list[str] = []
+        if input_names is not None:
+            if len(input_names) != num_inputs:
+                raise ValueError("input_names length mismatch")
+            self.input_names = list(input_names)
+        else:
+            self.input_names = [f"x{i}" for i in range(num_inputs)]
+
+    # -- node handles ------------------------------------------------------
+
+    @property
+    def const0(self) -> int:
+        return 0
+
+    @property
+    def const1(self) -> int:
+        return 1
+
+    def pi(self, index: int) -> int:
+        if not 0 <= index < self.num_inputs:
+            raise IndexError(f"no primary input {index}")
+        return 2 + index
+
+    def pi_index(self, node: int) -> int:
+        """Inverse of :meth:`pi`; node must be a PI."""
+        if self.types[node] is not GateType.PI:
+            raise ValueError(f"node {node} is not a primary input")
+        return node - 2
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.types)
+
+    def type_of(self, node: int) -> GateType:
+        return self.types[node]
+
+    def fanin(self, node: int) -> tuple[int, ...]:
+        return self.fanins[node]
+
+    # -- gate construction (structural hashing + constant folding) ----------
+
+    def _lookup(self, gate: GateType, fanins: tuple[int, ...]) -> int:
+        if gate in _COMMUTATIVE:
+            fanins = tuple(sorted(fanins))
+        key = (gate, fanins)
+        node = self._hash.get(key)
+        if node is None:
+            node = len(self.types)
+            self.types.append(gate)
+            self.fanins.append(fanins)
+            self._hash[key] = node
+        return node
+
+    def add_not(self, a: int) -> int:
+        if self.types[a] is GateType.CONST0:
+            return self.const1
+        if self.types[a] is GateType.CONST1:
+            return self.const0
+        if self.types[a] is GateType.NOT:
+            return self.fanins[a][0]
+        return self._lookup(GateType.NOT, (a,))
+
+    def _complementary(self, a: int, b: int) -> bool:
+        return (self.types[a] is GateType.NOT and self.fanins[a][0] == b) or (
+            self.types[b] is GateType.NOT and self.fanins[b][0] == a
+        )
+
+    def add_and(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        if self.types[a] is GateType.CONST0 or self.types[b] is GateType.CONST0:
+            return self.const0
+        if self.types[a] is GateType.CONST1:
+            return b
+        if self.types[b] is GateType.CONST1:
+            return a
+        if self._complementary(a, b):
+            return self.const0
+        return self._lookup(GateType.AND, (a, b))
+
+    def add_or(self, a: int, b: int) -> int:
+        if a == b:
+            return a
+        if self.types[a] is GateType.CONST1 or self.types[b] is GateType.CONST1:
+            return self.const1
+        if self.types[a] is GateType.CONST0:
+            return b
+        if self.types[b] is GateType.CONST0:
+            return a
+        if self._complementary(a, b):
+            return self.const1
+        return self._lookup(GateType.OR, (a, b))
+
+    def add_xor(self, a: int, b: int) -> int:
+        if a == b:
+            return self.const0
+        if self.types[a] is GateType.CONST0:
+            return b
+        if self.types[b] is GateType.CONST0:
+            return a
+        if self.types[a] is GateType.CONST1:
+            return self.add_not(b)
+        if self.types[b] is GateType.CONST1:
+            return self.add_not(a)
+        if self._complementary(a, b):
+            return self.const1
+        return self._lookup(GateType.XOR, (a, b))
+
+    def add_gate(self, gate: GateType, a: int, b: int) -> int:
+        if gate is GateType.AND:
+            return self.add_and(a, b)
+        if gate is GateType.OR:
+            return self.add_or(a, b)
+        if gate is GateType.XOR:
+            return self.add_xor(a, b)
+        raise ValueError(f"add_gate handles 2-input gates only, not {gate}")
+
+    def add_and_tree(self, nodes: Iterable[int]) -> int:
+        return self._balanced_tree(list(nodes), self.add_and, self.const1)
+
+    def add_or_tree(self, nodes: Iterable[int]) -> int:
+        return self._balanced_tree(list(nodes), self.add_or, self.const0)
+
+    def add_xor_tree(self, nodes: Iterable[int]) -> int:
+        """Balanced binary XOR tree (the paper's Step 5 join)."""
+        return self._balanced_tree(list(nodes), self.add_xor, self.const0)
+
+    def _balanced_tree(self, nodes: list[int], op, empty: int) -> int:
+        if not nodes:
+            return empty
+        while len(nodes) > 1:
+            merged = []
+            for i in range(0, len(nodes) - 1, 2):
+                merged.append(op(nodes[i], nodes[i + 1]))
+            if len(nodes) % 2:
+                merged.append(nodes[-1])
+            nodes = merged
+        return nodes[0]
+
+    # -- outputs -----------------------------------------------------------
+
+    def set_outputs(self, nodes: Sequence[int],
+                    names: Sequence[str] | None = None) -> None:
+        self.outputs = list(nodes)
+        if names is not None:
+            if len(names) != len(nodes):
+                raise ValueError("output name count mismatch")
+            self.output_names = list(names)
+        else:
+            self.output_names = [f"y{i}" for i in range(len(nodes))]
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    # -- traversal and stats -------------------------------------------------
+
+    def live_nodes(self) -> list[int]:
+        """Nodes in the transitive fanin of any output, topological order."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        for root in self.outputs:
+            stack = [(root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if node in seen:
+                    continue
+                if expanded:
+                    seen.add(node)
+                    order.append(node)
+                    continue
+                stack.append((node, True))
+                for child in self.fanins[node]:
+                    if child not in seen:
+                        stack.append((child, False))
+        return order
+
+    def fanout_map(self, live: Iterable[int] | None = None) -> dict[int, list[int]]:
+        """node -> list of live consumers (duplicated per connection)."""
+        nodes = list(live) if live is not None else self.live_nodes()
+        node_set = set(nodes)
+        fanout: dict[int, list[int]] = {node: [] for node in nodes}
+        for node in nodes:
+            for child in self.fanins[node]:
+                if child in node_set:
+                    fanout[child].append(node)
+        return fanout
+
+    def two_input_gate_count(self) -> int:
+        """Live gate count in 2-input AND/OR gates (XOR = 3, inverters free)."""
+        return sum(GATE_COST[self.types[node]] for node in self.live_nodes())
+
+    def literal_count(self) -> int:
+        """Pre-mapping literal count: 2 per 2-input AND/OR gate."""
+        return 2 * self.two_input_gate_count()
+
+    def gate_type_histogram(self) -> dict[GateType, int]:
+        histogram: dict[GateType, int] = {}
+        for node in self.live_nodes():
+            gate = self.types[node]
+            if gate in (GateType.PI, GateType.CONST0, GateType.CONST1):
+                continue
+            histogram[gate] = histogram.get(gate, 0) + 1
+        return histogram
+
+    def depth(self) -> int:
+        """Longest PI→PO path counting AND/OR as 1 level, XOR as 2."""
+        level: dict[int, int] = {}
+        for node in self.live_nodes():
+            gate = self.types[node]
+            base = max((level.get(child, 0) for child in self.fanins[node]),
+                       default=0)
+            if gate in (GateType.AND, GateType.OR):
+                level[node] = base + 1
+            elif gate is GateType.XOR:
+                level[node] = base + 2
+            else:
+                level[node] = base
+        return max((level.get(out, 0) for out in self.outputs), default=0)
+
+    def clone(self) -> "Network":
+        """Shallow structural copy (nodes + hash table, no outputs)."""
+        other = Network.__new__(Network)
+        other.name = self.name
+        other.num_inputs = self.num_inputs
+        other.types = list(self.types)
+        other.fanins = list(self.fanins)
+        other._hash = dict(self._hash)
+        other.outputs = list(self.outputs)
+        other.output_names = list(self.output_names)
+        other.input_names = list(self.input_names)
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.name!r}, inputs={self.num_inputs}, "
+            f"outputs={self.num_outputs}, gates={self.two_input_gate_count()})"
+        )

@@ -1,0 +1,108 @@
+"""Extracting per-output expressions (and specs) from networks.
+
+Lets externally loaded netlists (BLIF) enter the synthesis flows: each
+output cone becomes an expression over its own support, wrapped into a
+:class:`~repro.spec.CircuitSpec`.  Shared nodes become shared expression
+objects, so cones stay DAG-shaped.
+"""
+
+from __future__ import annotations
+
+from repro.expr import expression as ex
+from repro.network.netlist import GateType, Network
+from repro.spec import CircuitSpec, OutputSpec
+from repro.utils.bitops import bit_indices
+
+
+def cone_support(net: Network, root: int) -> list[int]:
+    """Sorted PI indices in the transitive fanin of ``root``."""
+    seen: set[int] = set()
+    support: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if net.type_of(node) is GateType.PI:
+            support.add(net.pi_index(node))
+        stack.extend(net.fanin(node))
+    return sorted(support)
+
+
+def cone_expr(net: Network, root: int,
+              local_of: dict[int, int] | None = None) -> ex.Expr:
+    """Expression of ``root``'s cone; PIs map through ``local_of``."""
+    memo: dict[int, ex.Expr] = {}
+
+    def walk(node: int) -> ex.Expr:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        gate = net.type_of(node)
+        if gate is GateType.CONST0:
+            result: ex.Expr = ex.FALSE
+        elif gate is GateType.CONST1:
+            result = ex.TRUE
+        elif gate is GateType.PI:
+            index = net.pi_index(node)
+            result = ex.Lit(local_of[index] if local_of else index)
+        elif gate is GateType.NOT:
+            result = ex.not_(walk(net.fanin(node)[0]))
+        else:
+            a, b = (walk(f) for f in net.fanin(node))
+            if gate is GateType.AND:
+                result = ex.and_([a, b])
+            elif gate is GateType.OR:
+                result = ex.or_([a, b])
+            else:
+                result = ex.xor2(a, b)
+        memo[node] = result
+        return result
+
+    return walk(root)
+
+
+def spec_from_network(net: Network, name: str | None = None) -> CircuitSpec:
+    """Wrap a network as a specification (one expr output per PO)."""
+    outputs = []
+    names = net.output_names or [f"y{i}" for i in range(net.num_outputs)]
+    for po_name, root in zip(names, net.outputs):
+        support = cone_support(net, root)
+        local_of = {var: j for j, var in enumerate(support)}
+        outputs.append(
+            OutputSpec(
+                name=po_name,
+                support=tuple(support) if support else (0,),
+                expr=cone_expr(net, root, local_of if support else {}),
+            )
+        )
+    return CircuitSpec(
+        name=name or net.name or "netlist",
+        num_inputs=net.num_inputs,
+        outputs=outputs,
+        input_names=list(net.input_names),
+    )
+
+
+def spec_from_pla_text(text: str, name: str | None = None) -> CircuitSpec:
+    """Parse PLA text directly into a specification (cover outputs)."""
+    from repro.expr.pla import parse_pla
+
+    pla = parse_pla(text)
+    outputs = []
+    for j, cover in enumerate(pla.covers):
+        support = list(bit_indices(cover.support)) or [0]
+        local = cover.restrict_support(support)
+        output_name = (
+            pla.output_names[j] if j < len(pla.output_names) else f"y{j}"
+        )
+        outputs.append(
+            OutputSpec(name=output_name, support=tuple(support), cover=local)
+        )
+    return CircuitSpec(
+        name=name or "pla",
+        num_inputs=pla.num_inputs,
+        outputs=outputs,
+        input_names=list(pla.input_names),
+    )

@@ -1,0 +1,14 @@
+"""Ordered functional decision diagrams (OFDDs) with polarity vectors.
+
+The paper derives FPRM forms from OFDDs (Section 2) and uses the diagrams
+directly for its second factorization method (Section 3).  Our manager
+implements positive and negative Davio expansion per variable, driven by a
+polarity vector, with XOR/AND/OR apply operators, construction from covers,
+expressions, truth tables, BDDs and FPRM cube lists, and path-to-cube
+extraction.
+"""
+
+from repro.ofdd.manager import OfddManager
+from repro.ofdd.from_bdd import ofdd_from_bdd
+
+__all__ = ["OfddManager", "ofdd_from_bdd"]

@@ -1,0 +1,299 @@
+"""OFDD manager: decision diagrams under fixed-polarity Davio expansion.
+
+Semantics of an internal node ``(level, low, high)``:
+
+    f  =  low  ⊕  ℓ_level · high
+
+where ``ℓ_i`` is the *literal* of variable ``i`` under the manager's
+polarity vector — ``x_i`` when bit ``i`` of the polarity is 1 (positive
+Davio), ``x̄_i`` otherwise (negative Davio).  ``low`` is the cofactor with
+the literal absent and ``high`` the Boolean difference.  Reduction rule:
+``high == 0`` removes the node (zero-suppressed style), which makes the
+1-paths of the diagram exactly the cubes of the FPRM form — the property
+the paper's one-cube (OC) pattern set relies on.
+
+Note: the paper's Figure 1 uses the other classical reduction (merge when
+both subtrees are isomorphic), under which a path skipping a variable
+denotes two cubes.  Both reductions give canonical diagrams; ours keeps the
+cube bijection explicit, which simplifies cube extraction and pattern
+generation.  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.expr import expression as ex
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+from repro.utils.bitops import bit_indices
+
+FALSE = 0
+TRUE = 1
+_TERMINAL_LEVEL = 1 << 30
+
+
+class OfddManager:
+    """OFDD manager over ``num_vars`` variables with a fixed polarity vector."""
+
+    def __init__(self, num_vars: int, polarity: int | None = None,
+                 node_limit: int = 2_000_000):
+        universe = (1 << num_vars) - 1
+        self.num_vars = num_vars
+        self.polarity = universe if polarity is None else (polarity & universe)
+        self.node_limit = node_limit
+        self._level = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
+        self._low = [0, 1]
+        self._high = [0, 0]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._xor_memo: dict[tuple[int, int], int] = {}
+        self._and_memo: dict[tuple[int, int], int] = {}
+        self._paths_memo: dict[int, int] = {}
+
+    # -- node construction -----------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if high == FALSE:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        node = len(self._level)
+        if node > self.node_limit:
+            raise ReproError(f"OFDD node limit exceeded ({self.node_limit})")
+        self._level.append(level)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    @property
+    def size(self) -> int:
+        return len(self._level)
+
+    def level(self, node: int) -> int:
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        return node <= 1
+
+    def literal(self, var: int) -> int:
+        """The OFDD of the polarity-adjusted literal ``ℓ_var``."""
+        return self._mk(var, FALSE, TRUE)
+
+    def pi_literal(self, var: int, negated: bool = False) -> int:
+        """The OFDD of ``x_var`` (or its complement), whatever the polarity."""
+        positive = bool((self.polarity >> var) & 1)
+        wants_literal = positive != negated
+        node = self.literal(var)
+        if wants_literal:
+            return node
+        # x = 1 ⊕ x̄ (and vice versa)
+        return self.xor_(node, TRUE)
+
+    # -- apply operators ---------------------------------------------------------
+
+    def xor_(self, f: int, g: int) -> int:
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_memo.get(key)
+        if cached is not None:
+            return cached
+        lf, lg = self._level[f], self._level[g]
+        level = min(lf, lg)
+        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, FALSE)
+        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, FALSE)
+        result = self._mk(level, self.xor_(f0, g0), self.xor_(f1, g1))
+        self._xor_memo[key] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._and_memo.get(key)
+        if cached is not None:
+            return cached
+        lf, lg = self._level[f], self._level[g]
+        level = min(lf, lg)
+        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, FALSE)
+        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, FALSE)
+        # (f0 ⊕ ℓf1)(g0 ⊕ ℓg1) = f0g0 ⊕ ℓ(f0g1 ⊕ f1g0 ⊕ f1g1)   [ℓ² = ℓ]
+        low = self.and_(f0, g0)
+        high = self.xor_(
+            self.xor_(self.and_(f0, g1), self.and_(f1, g0)),
+            self.and_(f1, g1),
+        )
+        result = self._mk(level, low, high)
+        self._and_memo[key] = result
+        return result
+
+    def not_(self, f: int) -> int:
+        return self.xor_(f, TRUE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.xor_(self.xor_(f, g), self.and_(f, g))
+
+    # -- builders -----------------------------------------------------------------
+
+    def from_fprm_masks(self, masks: tuple[int, ...] | list[int]) -> int:
+        """Build from FPRM cube masks (each mask = literal set of one cube)."""
+        node = FALSE
+        for mask in masks:
+            node = self.xor_(node, self.cube_node(mask))
+        return node
+
+    def cube_node(self, mask: int) -> int:
+        """The OFDD of one FPRM cube (product of polarity literals)."""
+        node = TRUE
+        for var in sorted(bit_indices(mask), reverse=True):
+            node = self._mk(var, FALSE, node)
+        return node
+
+    def from_expr(self, expr: ex.Expr) -> int:
+        if isinstance(expr, ex.Const):
+            return TRUE if expr.value else FALSE
+        if isinstance(expr, ex.Lit):
+            return self.pi_literal(expr.var, expr.negated)
+        if isinstance(expr, ex.Not):
+            return self.not_(self.from_expr(expr.arg))
+        children = [self.from_expr(child) for child in expr.children()]
+        if isinstance(expr, ex.And):
+            result = TRUE
+            for child in children:
+                result = self.and_(result, child)
+            return result
+        if isinstance(expr, ex.Or):
+            result = FALSE
+            for child in children:
+                result = self.or_(result, child)
+            return result
+        if isinstance(expr, ex.Xor):
+            result = FALSE
+            for child in children:
+                result = self.xor_(result, child)
+            return result
+        raise TypeError(f"cannot build OFDD from {type(expr).__name__}")
+
+    def from_cover(self, cover: Cover) -> int:
+        node = FALSE
+        for cube in cover:
+            node = self.or_(node, self._sop_cube(cube))
+        return node
+
+    def _sop_cube(self, cube: Cube) -> int:
+        node = TRUE
+        for var in range(self.num_vars):
+            bit = 1 << var
+            if cube.pos & bit:
+                node = self.and_(node, self.pi_literal(var, False))
+            elif cube.neg & bit:
+                node = self.and_(node, self.pi_literal(var, True))
+        return node
+
+    # -- queries ------------------------------------------------------------------
+
+    def evaluate(self, node: int, minterm: int) -> int:
+        """Value on a PI minterm (bit i of ``minterm`` = value of x_i)."""
+        literals = (minterm ^ ~self.polarity) & ((1 << self.num_vars) - 1)
+        memo: dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current <= 1:
+                return current
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            var = self._level[current]
+            value = walk(self._low[current])
+            if (literals >> var) & 1:
+                value ^= walk(self._high[current])
+            memo[current] = value
+            return value
+
+        return walk(node)
+
+    def cube_count(self, node: int) -> int:
+        """Number of FPRM cubes (1-paths) without enumerating them."""
+        cached = self._paths_memo.get(node)
+        if cached is not None:
+            return cached
+        if node == FALSE:
+            result = 0
+        elif node == TRUE:
+            result = 1
+        else:
+            result = self.cube_count(self._low[node]) + self.cube_count(
+                self._high[node]
+            )
+        self._paths_memo[node] = result
+        return result
+
+    def cubes(self, node: int, limit: int | None = None) -> tuple[int, ...]:
+        """FPRM cube masks of ``node`` (each 1-path is exactly one cube)."""
+        if limit is not None and self.cube_count(node) > limit:
+            raise ReproError(
+                f"FPRM cube count {self.cube_count(node)} exceeds limit {limit}"
+            )
+        out: list[int] = []
+
+        def walk(current: int, mask: int) -> None:
+            if current == FALSE:
+                return
+            if current == TRUE:
+                out.append(mask)
+                return
+            var = self._level[current]
+            walk(self._low[current], mask)
+            walk(self._high[current], mask | (1 << var))
+
+        walk(node, 0)
+        return tuple(sorted(out))
+
+    def node_count(self, node: int) -> int:
+        """Number of distinct internal nodes reachable from ``node``."""
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return len(seen)
+
+    def support(self, node: int) -> int:
+        mask = 0
+        seen: set[int] = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            mask |= 1 << self._level[current]
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return mask

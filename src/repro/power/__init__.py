@@ -1,0 +1,20 @@
+"""Switching-activity power estimation — stands in for SIS ``power_estimate``.
+
+Zero-delay model with temporally independent, equiprobable primary inputs
+(the SIS defaults): each gate's switching activity is ``2·p·(1-p)`` for
+signal probability ``p``, its switched capacitance is proportional to its
+fanout load, and total power is ``0.5 · Vdd² · f · Σ activity·cap``.
+Signal probabilities come from exact BDD counting on small input cones and
+deterministic bit-parallel sampling elsewhere.
+"""
+
+from repro.power.estimate import PowerReport, estimate_power
+from repro.power.mapped import estimate_mapped_power
+from repro.power.probability import signal_probabilities
+
+__all__ = [
+    "PowerReport",
+    "estimate_mapped_power",
+    "estimate_power",
+    "signal_probabilities",
+]

@@ -1,0 +1,25 @@
+"""sislite — a SIS 1.2 stand-in built from the same algorithmic parts.
+
+The paper compares against the best of the Berkeley SIS scripts ``rugged``,
+``boolean`` and ``algebraic`` (plus ``red_removal``); SIS itself is a C
+program we cannot run offline, so this package re-implements the
+SOP/kernel-based synthesis stack those scripts are built on:
+
+* Minato-Morreale ISOP and an espresso-style EXPAND/IRREDUNDANT loop for
+  two-level minimization (:mod:`repro.sislite.isop`,
+  :mod:`repro.sislite.espresso`);
+* kernel/co-kernel theory and fast-extract style common-divisor extraction
+  across outputs (:mod:`repro.sislite.divisors`,
+  :mod:`repro.sislite.extract`);
+* ``good_factor`` algebraic factoring (:mod:`repro.sislite.factor`);
+* script drivers producing 2-input AND/OR/NOT networks
+  (:mod:`repro.sislite.scripts`).
+
+Networks produced here never contain XOR gates — recovering XOR structure
+from SOP forms is exactly the weakness of conventional flows the paper
+exploits, and keeping the baseline SOP-based preserves that comparison.
+"""
+
+from repro.sislite.scripts import BaselineResult, script_algebraic, script_rugged_lite
+
+__all__ = ["BaselineResult", "script_algebraic", "script_rugged_lite"]

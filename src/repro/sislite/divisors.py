@@ -1,0 +1,127 @@
+"""Algebraic-division machinery: literal-set cubes, kernels, division.
+
+Inside sislite, a cube is a ``frozenset`` of *literal ids* — ``2*v`` for
+the positive literal of variable ``v``, ``2*v + 1`` for the negative one —
+and a function is a list of such cubes (an algebraic expression: no cube
+contains both phases, no cube covers another).  Variables may be primary
+inputs or intermediate nodes created by extraction, which is why this
+representation is used instead of the fixed-width :class:`Cube`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.expr.cover import Cover
+
+CubeSet = frozenset[int]
+
+
+def pos_lit(var: int) -> int:
+    return 2 * var
+
+
+def neg_lit(var: int) -> int:
+    return 2 * var + 1
+
+
+def lit_var(lit: int) -> int:
+    return lit // 2
+
+
+def lit_negated(lit: int) -> bool:
+    return bool(lit & 1)
+
+
+def cover_to_cubesets(cover: Cover) -> list[CubeSet]:
+    cubes = []
+    for cube in cover:
+        lits = set()
+        for var in range(cover.n):
+            bit = 1 << var
+            if cube.pos & bit:
+                lits.add(pos_lit(var))
+            elif cube.neg & bit:
+                lits.add(neg_lit(var))
+        cubes.append(frozenset(lits))
+    return cubes
+
+
+def literal_count(cubes: Iterable[CubeSet]) -> int:
+    return sum(len(c) for c in cubes)
+
+
+def literal_histogram(cubes: Iterable[CubeSet]) -> Counter:
+    counts: Counter[int] = Counter()
+    for cube in cubes:
+        counts.update(cube)
+    return counts
+
+
+def divide(cubes: list[CubeSet], divisor: list[CubeSet]
+           ) -> tuple[list[CubeSet], list[CubeSet]]:
+    """Algebraic (weak) division: ``F = D·Q + R`` with Q, R cube lists."""
+    if not divisor:
+        return [], list(cubes)
+    quotients: list[set[CubeSet]] = []
+    for d in divisor:
+        matches = {c - d for c in cubes if d <= c}
+        if not matches:
+            return [], list(cubes)
+        quotients.append(matches)
+    quotient = set.intersection(*quotients)
+    if not quotient:
+        return [], list(cubes)
+    quotient = sorted(quotient, key=sorted)
+    used = {q | d for q in quotient for d in divisor}
+    remainder = [c for c in cubes if c not in used]
+    return list(quotient), remainder
+
+
+def kernels(cubes: list[CubeSet], max_kernels: int = 200
+            ) -> list[tuple[CubeSet, list[CubeSet]]]:
+    """All (co-kernel, kernel) pairs, capped for big covers.
+
+    A kernel is a cube-free quotient of the function by a cube; cube-free
+    means no literal appears in every cube.  The top-level function itself
+    is included when cube-free.
+    """
+    out: list[tuple[CubeSet, list[CubeSet]]] = []
+    seen: set[frozenset[CubeSet]] = set()
+
+    def record(cokernel: CubeSet, kernel: list[CubeSet]) -> None:
+        key = frozenset(kernel)
+        if key not in seen:
+            seen.add(key)
+            out.append((cokernel, sorted(kernel, key=sorted)))
+
+    def walk(current: list[CubeSet], min_lit: int, cokernel: CubeSet) -> None:
+        if len(out) >= max_kernels:
+            return
+        counts = literal_histogram(current)
+        for lit in sorted(counts):
+            if lit < min_lit or counts[lit] < 2:
+                continue
+            sub = [c - {lit} for c in current if lit in c]
+            common = frozenset.intersection(*sub) if sub else frozenset()
+            if any(other < lit for other in common):
+                continue  # already enumerated from the smaller literal
+            kernel = [c - common for c in sub]
+            new_cokernel = cokernel | {lit} | common
+            record(new_cokernel, kernel)
+            walk(kernel, lit + 1, new_cokernel)
+
+    base_common = frozenset.intersection(*cubes) if cubes else frozenset()
+    if cubes and not base_common:
+        record(frozenset(), list(cubes))
+    elif cubes:
+        record(base_common, [c - base_common for c in cubes])
+    walk([c - base_common for c in cubes], -1, base_common)
+    return out
+
+
+def is_cube_free(cubes: list[CubeSet]) -> bool:
+    if not cubes:
+        return True
+    return not frozenset.intersection(*cubes)

@@ -1,0 +1,68 @@
+"""Espresso-style two-level minimization (EXPAND / IRREDUNDANT loop).
+
+A heuristic minimizer in the spirit of the espresso loop SIS runs inside
+``simplify``/``full_simplify``: each cube is expanded literal by literal
+while it stays inside the ON-set, then redundant cubes are removed.  With
+a dense truth-table oracle the containment checks are exact; for wide
+covers without a table, only single-cube containment is applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+from repro.truth.table import TruthTable
+from repro.utils.bitops import bit_indices
+
+
+def minimize_cover(cover: Cover, table: TruthTable | None = None) -> Cover:
+    """EXPAND + IRREDUNDANT against ``table`` (exact oracle) if given."""
+    if table is None:
+        return cover.single_cube_containment()
+    onset = table.bits.astype(bool)
+    indices = np.arange(len(onset), dtype=np.uint32)
+
+    def inside_onset(pos: int, neg: int) -> bool:
+        sel = (indices & np.uint32(pos)) == np.uint32(pos)
+        if neg:
+            sel &= (indices & np.uint32(neg)) == 0
+        return bool(np.all(onset[sel]))
+
+    expanded: list[Cube] = []
+    for cube in cover:
+        pos, neg = cube.pos, cube.neg
+        # Try dropping literals greedily, largest-gain-first order is
+        # approximated by scanning low to high variable index.
+        for var in bit_indices(pos | neg):
+            bit = 1 << var
+            if inside_onset(pos & ~bit, neg & ~bit):
+                pos &= ~bit
+                neg &= ~bit
+        expanded.append(Cube(cover.n, pos, neg))
+    result = Cover(cover.n, tuple(dict.fromkeys(expanded)))
+    result = result.single_cube_containment()
+    return _irredundant(result, onset, indices)
+
+
+def _irredundant(cover: Cover, onset: np.ndarray, indices: np.ndarray) -> Cover:
+    """Remove cubes whose minterms are covered by the remaining cubes."""
+    masks = []
+    for cube in cover:
+        sel = (indices & np.uint32(cube.pos)) == np.uint32(cube.pos)
+        if cube.neg:
+            sel &= (indices & np.uint32(cube.neg)) == 0
+        masks.append(sel)
+    keep = list(range(len(masks)))
+    # Largest cubes first so small redundant fragments drop out.
+    for i in sorted(range(len(masks)), key=lambda k: cover.cubes[k].num_literals,
+                    reverse=True):
+        others = np.zeros_like(onset)
+        for j in keep:
+            if j != i:
+                others |= masks[j]
+        if np.all(others[masks[i]]):
+            keep.remove(i)
+    kept = tuple(cover.cubes[i] for i in sorted(keep))
+    return Cover(cover.n, kept)

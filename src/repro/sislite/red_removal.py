@@ -1,0 +1,122 @@
+"""Redundant-wire removal for AND/OR networks — SIS ``red_removal``.
+
+The paper runs ``red_removal`` after every SIS script "to make fair
+comparisons"; this is the sislite counterpart.  A gate input is redundant
+when its stuck-at fault is untestable; we decide that exactly, per
+output cone, with BDDs: wire ``w`` into gate ``g`` is stuck-at-``v``
+redundant iff replacing it by the constant ``v`` leaves every output
+function unchanged.  Redundancies are removed one at a time (removing one
+can make another testable), smallest cones first, until a fixpoint.
+
+Cones whose BDDs exceed the node budget are left untouched — the same
+graceful degradation SIS shows on its biggest inputs.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.manager import BddManager
+from repro.errors import ReproError
+from repro.network.netlist import GateType, Network
+
+_BDD_BUDGET = 100_000
+_MAX_PASSES = 40
+
+
+def remove_redundant_wires(net: Network) -> Network:
+    """Return a network with stuck-at-redundant fanins replaced by
+    constants (and the resulting constants propagated by strash)."""
+    current = net
+    for _ in range(_MAX_PASSES):
+        replacement = _find_one_redundancy(current)
+        if replacement is None:
+            return current
+        current = _rebuild_with(current, *replacement)
+    return current
+
+
+def _output_bdds(net: Network, manager: BddManager,
+                 forced: tuple[int, int, int] | None) -> list[int] | None:
+    """BDDs of all outputs; ``forced`` = (gate, pin, value) overrides one
+    wire.  Returns None when a gate type is outside AND/OR/NOT land."""
+    values: dict[int, int] = {0: 0, 1: 1}
+    for node in net.live_nodes():
+        gate = net.type_of(node)
+        if gate is GateType.PI:
+            values[node] = manager.var(net.pi_index(node))
+            continue
+        if gate in (GateType.CONST0, GateType.CONST1):
+            continue
+        fanins = net.fanin(node)
+        inputs = []
+        for pin, child in enumerate(fanins):
+            if forced is not None and forced[0] == node and forced[1] == pin:
+                inputs.append(forced[2])
+            else:
+                inputs.append(values[child])
+        if gate is GateType.NOT:
+            values[node] = manager.not_(inputs[0])
+        elif gate is GateType.AND:
+            values[node] = manager.and_(inputs[0], inputs[1])
+        elif gate is GateType.OR:
+            values[node] = manager.or_(inputs[0], inputs[1])
+        elif gate is GateType.XOR:
+            values[node] = manager.xor_(inputs[0], inputs[1])
+        else:  # pragma: no cover - defensive
+            return None
+    return [values[out] for out in net.outputs]
+
+
+def _find_one_redundancy(net: Network) -> tuple[int, int, int] | None:
+    """(gate, pin, constant) of the first redundant wire, or None."""
+    try:
+        manager = BddManager(net.num_inputs, node_limit=_BDD_BUDGET)
+        golden = _output_bdds(net, manager, None)
+        if golden is None:
+            return None
+        for node in net.live_nodes():
+            gate = net.type_of(node)
+            if gate not in (GateType.AND, GateType.OR):
+                continue
+            # Controlling-value faults first: s-a-1 on AND pins, s-a-0 on
+            # OR pins delete the wire without constant-propagating the gate.
+            friendly = 1 if gate is GateType.AND else 0
+            for pin in range(2):
+                for value in (friendly, 1 - friendly):
+                    candidate = _output_bdds(net, manager, (node, pin, value))
+                    if candidate == golden:
+                        return (node, pin, value)
+    except ReproError:
+        return None
+    return None
+
+
+def _rebuild_with(net: Network, gate: int, pin: int, value: int) -> Network:
+    """Copy the network with one wire tied to a constant (strash folds)."""
+    rebuilt = Network(net.num_inputs, name=net.name,
+                      input_names=net.input_names)
+    mapping: dict[int, int] = {0: rebuilt.const0, 1: rebuilt.const1}
+    for node in net.live_nodes():
+        kind = net.type_of(node)
+        if kind is GateType.PI:
+            mapping[node] = rebuilt.pi(net.pi_index(node))
+            continue
+        if kind in (GateType.CONST0, GateType.CONST1):
+            continue
+        fanins = []
+        for position, child in enumerate(net.fanin(node)):
+            if node == gate and position == pin:
+                fanins.append(rebuilt.const1 if value else rebuilt.const0)
+            else:
+                fanins.append(mapping[child])
+        if kind is GateType.NOT:
+            mapping[node] = rebuilt.add_not(fanins[0])
+        elif kind is GateType.AND:
+            mapping[node] = rebuilt.add_and(fanins[0], fanins[1])
+        elif kind is GateType.OR:
+            mapping[node] = rebuilt.add_or(fanins[0], fanins[1])
+        else:
+            mapping[node] = rebuilt.add_xor(fanins[0], fanins[1])
+    rebuilt.set_outputs(
+        [mapping[out] for out in net.outputs], net.output_names
+    )
+    return rebuilt

@@ -1,0 +1,330 @@
+"""Baseline script drivers — the stand-ins for SIS ``rugged``/``algebraic``.
+
+``script_rugged_lite`` is the full pipeline the paper's Table 2 compares
+against: two-level minimization per output (ISOP + espresso-lite), shared
+divisor extraction across outputs (fx), kernel-based good-factoring, and
+decomposition into a 2-input AND/OR/NOT network.  ``script_algebraic``
+skips the cross-output extraction, mirroring the cheaper SIS script.
+
+Wide-support outputs specified as multilevel expressions (e.g. the 16-bit
+adder) are kept structural with XOR gates expanded into AND/OR logic —
+SIS, too, processes such designs node-wise in SOP space and pays the
+3-gate price per XOR.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import VerificationError
+from repro.expr import expression as ex
+from repro.expr.demorgan import minimize_inverters_guarded
+from repro.network.build import add_expr
+from repro.network.netlist import Network
+from repro.network.verify import VerifyResult, equivalent_to_spec
+from repro.sislite.divisors import (
+    CubeSet,
+    cover_to_cubesets,
+    lit_negated,
+    lit_var,
+)
+from repro.sislite.espresso import minimize_cover
+from repro.sislite.extract import ExtractedNetwork, fast_extract
+from repro.sislite.factor import factor_cover
+from repro.sislite.isop import isop_cover
+from repro.sislite.red_removal import remove_redundant_wires
+from repro.spec import CircuitSpec, OutputSpec
+
+_DENSE_LIMIT = 16
+_SOP_CUBE_CAP = 600
+_RED_REMOVAL_GATE_CAP = 300
+
+
+def _shannon_expr(bits, width: int, memo: dict) -> ex.Expr:
+    """Mux-tree (Shannon) decomposition of a dense truth table.
+
+    The escape hatch for functions whose irredundant covers explode
+    (16-input parity has 2^15 prime cubes): a conventional tool cannot
+    flatten them either and falls back to whatever structure it has.  Memo
+    on the table bytes shares equal cofactors, so e.g. parity costs two
+    mux chains, not an exponential tree.
+    """
+    key = (width, bits.tobytes())
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if not bits.any():
+        result: ex.Expr = ex.FALSE
+    elif bits.all():
+        result = ex.TRUE
+    elif width <= 4:
+        from repro.sislite.isop import isop_cover
+        from repro.truth.table import TruthTable
+
+        cover = isop_cover(TruthTable(width, bits.astype("uint8")))
+        terms = []
+        for cube in cover:
+            lits: list[ex.Expr] = []
+            for var in range(width):
+                bit = 1 << var
+                if cube.pos & bit:
+                    lits.append(ex.Lit(var))
+                elif cube.neg & bit:
+                    lits.append(ex.Lit(var, True))
+            terms.append(ex.and_(lits))
+        result = ex.or_(terms)
+    else:
+        half = len(bits) // 2
+        var = width - 1
+        if (bits[:half] == bits[half:]).all():
+            result = _shannon_expr(bits[:half], var, memo)
+        else:
+            e0 = _shannon_expr(bits[:half], var, memo)
+            e1 = _shannon_expr(bits[half:], var, memo)
+            x = ex.Lit(var)
+            result = ex.or_([ex.and_([x, e1]), ex.and_([ex.not_(x), e0])])
+    memo[key] = result
+    return result
+
+
+@dataclass
+class BaselineResult:
+    """Mirror of :class:`repro.core.synthesis.SynthesisResult` for sislite."""
+
+    network: Network
+    verify: VerifyResult | None = None
+    seconds: float = 0.0
+
+    @property
+    def two_input_gates(self) -> int:
+        return self.network.two_input_gate_count()
+
+    @property
+    def literals(self) -> int:
+        return self.network.literal_count()
+
+
+def script_rugged_lite(spec: CircuitSpec, verify: bool = True) -> BaselineResult:
+    """Full SOP baseline: simplify + fx extraction + good factor."""
+    return _run(spec, extract=True, verify=verify)
+
+
+def script_algebraic(spec: CircuitSpec, verify: bool = True) -> BaselineResult:
+    """Per-output SOP baseline without cross-output extraction."""
+    return _run(spec, extract=False, verify=verify)
+
+
+def script_structural(spec: CircuitSpec, verify: bool = True) -> BaselineResult:
+    """Structure-preserving baseline: keep multilevel specifications as
+    given (XORs expanded to AND/OR), flatten only table/cover outputs.
+
+    Mirrors how SIS handles the multilevel benchmark set — scripts like
+    ``rugged`` optimize the existing node structure rather than collapsing
+    whole circuits to two-level form.
+    """
+    return _run(spec, extract=True, verify=verify, prefer_structure=True)
+
+
+def best_baseline(spec: CircuitSpec, verify: bool = True
+                  ) -> tuple[BaselineResult, str]:
+    """The better of the SOP and structural baselines (fewest gates).
+
+    The paper compares against "the best results of the three SIS scripts
+    rugged, boolean and algebraic"; this is the analogous selection over
+    our script stand-ins.
+    """
+    candidates: list[tuple[BaselineResult, str]] = [
+        (script_rugged_lite(spec, verify), "rugged_lite")
+    ]
+    if any(o.expr is not None for o in spec.outputs):
+        candidates.append((script_structural(spec, verify), "structural"))
+    return min(candidates, key=lambda item: item[0].two_input_gates)
+
+
+def _run(spec: CircuitSpec, extract: bool, verify: bool,
+         prefer_structure: bool = False) -> BaselineResult:
+    start = time.perf_counter()
+    sop_indices: list[int] = []
+    sop_functions: list[list[CubeSet]] = []
+    structural: dict[int, ex.Expr] = {}
+    for index, output in enumerate(spec.outputs):
+        if prefer_structure and output.expr is not None:
+            structural[index] = _xor_free(output.expr)
+            continue
+        cubes = _two_level(output)
+        if cubes is None:
+            if output.expr is not None:
+                structural[index] = _xor_free(output.expr)
+            else:
+                table = output.local_table()
+                structural[index] = _shannon_expr(
+                    table.bits.astype(bool), output.width, {}
+                )
+        else:
+            sop_indices.append(index)
+            sop_functions.append(_globalize(cubes, output))
+    if extract and sop_functions:
+        net_ir = fast_extract(sop_functions, spec.num_inputs)
+    else:
+        net_ir = ExtractedNetwork(
+            num_inputs=spec.num_inputs,
+            num_roots=len(sop_functions),
+            functions=sop_functions,
+            next_var=spec.num_inputs,
+        )
+    network = _build_network(spec, net_ir, sop_indices, structural)
+    if network.two_input_gate_count() <= _RED_REMOVAL_GATE_CAP:
+        # The paper runs SIS red_removal after every script "to make fair
+        # comparisons"; mirror that on tractable networks.
+        network = remove_redundant_wires(network)
+    result = BaselineResult(network=network,
+                            seconds=time.perf_counter() - start)
+    if verify:
+        result.verify = equivalent_to_spec(network, spec)
+        if not result.verify:
+            raise VerificationError(
+                f"{spec.name}: baseline network not equivalent "
+                f"({result.verify.method}: {result.verify.detail})"
+            )
+    return result
+
+
+def _two_level(output: OutputSpec) -> list[CubeSet] | None:
+    """Minimized SOP cubes over local variables; None → keep structural."""
+    if output.width <= _DENSE_LIMIT:
+        table = output.local_table()
+        cover = isop_cover(table)
+        if len(cover) > _SOP_CUBE_CAP:
+            return None  # two-level form explodes (e.g. wide parity)
+        cover = minimize_cover(cover, table)
+        return cover_to_cubesets(cover)
+    if output.cover is not None:
+        return cover_to_cubesets(output.cover.single_cube_containment())
+    if output.expr is not None and _is_shallow_or_of_ands(output.expr):
+        return _flatten_or_of_ands(output.expr)
+    return None
+
+
+def _globalize(cubes: list[CubeSet], output: OutputSpec) -> list[CubeSet]:
+    mapped = []
+    for cube in cubes:
+        mapped.append(
+            frozenset(
+                2 * output.support[lit_var(lit)] + (lit & 1) for lit in cube
+            )
+        )
+    return mapped
+
+
+def _is_shallow_or_of_ands(expr: ex.Expr) -> bool:
+    if isinstance(expr, (ex.Lit, ex.Const)):
+        return True
+    if isinstance(expr, ex.And):
+        return all(isinstance(a, ex.Lit) for a in expr.args)
+    if isinstance(expr, ex.Or):
+        return all(_is_shallow_or_of_ands(a) and not isinstance(a, ex.Or)
+                   for a in expr.args)
+    return False
+
+
+def _flatten_or_of_ands(expr: ex.Expr) -> list[CubeSet]:
+    if isinstance(expr, ex.Const):
+        return [frozenset()] if expr.value else []
+    if isinstance(expr, ex.Lit):
+        return [frozenset({2 * expr.var + int(expr.negated)})]
+    if isinstance(expr, ex.And):
+        lits = frozenset(2 * a.var + int(a.negated) for a in expr.args)
+        return [lits]
+    assert isinstance(expr, ex.Or)
+    cubes: list[CubeSet] = []
+    for arg in expr.args:
+        cubes.extend(_flatten_or_of_ands(arg))
+    return cubes
+
+
+def _xor_free(expr: ex.Expr) -> ex.Expr:
+    """Replace XOR with AND/OR/NOT logic (the SOP world's XOR cost)."""
+    if isinstance(expr, (ex.Const, ex.Lit)):
+        return expr
+    if isinstance(expr, ex.Not):
+        return ex.not_(_xor_free(expr.arg))
+    children = [_xor_free(child) for child in expr.children()]
+    if isinstance(expr, ex.And):
+        return ex.and_(children)
+    if isinstance(expr, ex.Or):
+        return ex.or_(children)
+    result = children[0]
+    for child in children[1:]:
+        result = ex.or_(
+            [
+                ex.and_([result, ex.not_(child)]),
+                ex.and_([ex.not_(result), child]),
+            ]
+        )
+    return result
+
+
+def _tidy(expr: ex.Expr, width: int) -> ex.Expr:
+    return minimize_inverters_guarded(expr, width)
+
+
+def _build_network(
+    spec: CircuitSpec,
+    net_ir: ExtractedNetwork,
+    sop_indices: list[int],
+    structural: dict[int, ex.Expr],
+) -> Network:
+    network = Network(spec.num_inputs, name=f"{spec.name}:baseline",
+                      input_names=spec.input_names)
+    node_of_var: dict[int, int] = {
+        var: network.pi(var) for var in range(spec.num_inputs)
+    }
+
+    def build_expr(expr: ex.Expr) -> int:
+        if isinstance(expr, ex.Const):
+            return network.const1 if expr.value else network.const0
+        if isinstance(expr, ex.Lit):
+            node = node_of_var[expr.var]
+            return network.add_not(node) if expr.negated else node
+        if isinstance(expr, ex.Not):
+            return network.add_not(build_expr(expr.arg))
+        kids = [build_expr(child) for child in expr.children()]
+        if isinstance(expr, ex.And):
+            return network.add_and_tree(kids)
+        if isinstance(expr, ex.Or):
+            return network.add_or_tree(kids)
+        raise TypeError("baseline networks are AND/OR/NOT only")
+
+    # Divisor nodes: later extractions can rewrite earlier divisor bodies
+    # to reference newer variables, so build in dependency order.
+    pending = list(range(net_ir.num_roots, len(net_ir.functions)))
+    while pending:
+        progressed = False
+        for func_index in list(pending):
+            body = net_ir.functions[func_index]
+            vars_used = {lit_var(lit) for cube in body for lit in cube}
+            if vars_used <= node_of_var.keys():
+                expr = _tidy(factor_cover(body), net_ir.next_var)
+                node_of_var[net_ir.node_var[func_index]] = build_expr(expr)
+                pending.remove(func_index)
+                progressed = True
+        if not progressed:  # pragma: no cover - extraction is acyclic
+            raise RuntimeError("cyclic divisor dependencies")
+
+    outputs: dict[int, int] = {}
+    for position, spec_index in enumerate(sop_indices):
+        expr = _tidy(factor_cover(net_ir.functions[position]),
+                     net_ir.next_var)
+        outputs[spec_index] = build_expr(expr)
+    for spec_index, expr in structural.items():
+        outputs[spec_index] = add_expr(
+            network,
+            _tidy(expr, len(spec.outputs[spec_index].support)),
+            list(spec.outputs[spec_index].support),
+        )
+    network.set_outputs(
+        [outputs[i] for i in range(spec.num_outputs)],
+        [o.name for o in spec.outputs],
+    )
+    return network

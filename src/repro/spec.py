@@ -1,0 +1,175 @@
+"""Circuit specifications — the input format both synthesis flows consume.
+
+A :class:`CircuitSpec` is a multi-output Boolean function.  Each output is
+an :class:`OutputSpec` over its own *local* support (a tuple of global
+input indices) carrying at least one of three representations:
+
+* a dense :class:`~repro.truth.table.TruthTable` (supports ≤ ~20 inputs),
+* an SOP :class:`~repro.expr.cover.Cover`,
+* a multilevel :class:`~repro.expr.expression.Expr` tree,
+
+all over the local variables ``0..len(support)-1`` where local variable
+``j`` denotes global input ``support[j]``.  Wide-support outputs (e.g. the
+33-input ``my_adder`` carry chain) only carry covers/expressions; dense
+requests on them raise :class:`~repro.errors.TooManyVariablesError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TooManyVariablesError
+from repro.expr import expression as ex
+from repro.expr.cover import Cover
+from repro.truth.table import MAX_DENSE_VARS, TruthTable
+
+
+@dataclass
+class OutputSpec:
+    """One output function over a local support."""
+
+    name: str
+    support: tuple[int, ...]
+    table: TruthTable | None = None
+    cover: Cover | None = None
+    expr: ex.Expr | None = None
+
+    def __post_init__(self) -> None:
+        width = len(self.support)
+        if self.table is None and self.cover is None and self.expr is None:
+            raise ValueError(f"output {self.name} has no representation")
+        if self.table is not None and self.table.n != width:
+            raise ValueError(f"output {self.name}: table width mismatch")
+        if self.cover is not None and self.cover.n != width:
+            raise ValueError(f"output {self.name}: cover width mismatch")
+        if self.expr is not None and self.expr.support() >> width:
+            raise ValueError(f"output {self.name}: expr uses unknown variable")
+
+    @property
+    def width(self) -> int:
+        return len(self.support)
+
+    def local_table(self) -> TruthTable:
+        """Dense truth table over the local support (cached)."""
+        if self.table is None:
+            if self.width > MAX_DENSE_VARS:
+                raise TooManyVariablesError(
+                    f"output {self.name}: {self.width}-input support has no "
+                    f"dense table"
+                )
+            if self.cover is not None:
+                self.table = TruthTable.from_cover(self.cover)
+            else:
+                assert self.expr is not None
+                size = 1 << self.width
+                indices = np.arange(size, dtype=np.uint32)
+                rows = [
+                    ((indices >> j) & 1).astype(np.uint8)
+                    for j in range(self.width)
+                ]
+                self.table = TruthTable(
+                    self.width, _simulate_expr(self.expr, rows, size)
+                )
+        return self.table
+
+    def evaluate(self, global_minterm: int) -> int:
+        """Value on one global input minterm."""
+        local = 0
+        for j, var in enumerate(self.support):
+            if (global_minterm >> var) & 1:
+                local |= 1 << j
+        if self.table is not None:
+            return self.table[local]
+        if self.expr is not None:
+            return self.expr.evaluate(local)
+        assert self.cover is not None
+        return self.cover.evaluate(local)
+
+    def simulate(self, inputs: np.ndarray) -> np.ndarray:
+        """Bit-parallel evaluation; ``inputs`` has shape (num_global, V)."""
+        local_rows = [inputs[var] for var in self.support]
+        if self.table is not None:
+            index = np.zeros(inputs.shape[1], dtype=np.int64)
+            for j, row in enumerate(local_rows):
+                index |= row.astype(np.int64) << j
+            return self.table.bits[index]
+        if self.expr is not None:
+            return _simulate_expr(self.expr, local_rows, inputs.shape[1])
+        assert self.cover is not None
+        out = np.zeros(inputs.shape[1], dtype=np.uint8)
+        for cube in self.cover:
+            sel = np.ones(inputs.shape[1], dtype=np.uint8)
+            for j, row in enumerate(local_rows):
+                bit = 1 << j
+                if cube.pos & bit:
+                    sel &= row
+                elif cube.neg & bit:
+                    sel &= row ^ 1
+            out |= sel
+        return out
+
+
+def _simulate_expr(expr: ex.Expr, rows: list[np.ndarray], width: int) -> np.ndarray:
+    if isinstance(expr, ex.Const):
+        fill = 1 if expr.value else 0
+        return np.full(width, fill, dtype=np.uint8)
+    if isinstance(expr, ex.Lit):
+        row = rows[expr.var]
+        return row ^ 1 if expr.negated else row
+    if isinstance(expr, ex.Not):
+        return _simulate_expr(expr.arg, rows, width) ^ 1
+    values = [_simulate_expr(child, rows, width) for child in expr.children()]
+    result = values[0].copy()
+    if isinstance(expr, ex.And):
+        for value in values[1:]:
+            result &= value
+    elif isinstance(expr, ex.Or):
+        for value in values[1:]:
+            result |= value
+    elif isinstance(expr, ex.Xor):
+        for value in values[1:]:
+            result ^= value
+    else:
+        raise TypeError(f"cannot simulate {type(expr).__name__}")
+    return result
+
+
+@dataclass
+class CircuitSpec:
+    """A named multi-output specification plus benchmark metadata."""
+
+    name: str
+    num_inputs: int
+    outputs: list[OutputSpec]
+    is_arithmetic: bool = False
+    description: str = ""
+    substitution: str | None = None
+    input_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.input_names:
+            self.input_names = [f"x{i}" for i in range(self.num_inputs)]
+        for output in self.outputs:
+            for var in output.support:
+                if not 0 <= var < self.num_inputs:
+                    raise ValueError(
+                        f"{self.name}/{output.name}: support index {var} "
+                        f"out of range"
+                    )
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def output_names(self) -> list[str]:
+        return [output.name for output in self.outputs]
+
+    def simulate(self, inputs: np.ndarray) -> np.ndarray:
+        """Shape (num_outputs, V) reference values for the given patterns."""
+        return np.stack([output.simulate(inputs) for output in self.outputs])
+
+    def evaluate(self, global_minterm: int) -> tuple[int, ...]:
+        return tuple(output.evaluate(global_minterm) for output in self.outputs)

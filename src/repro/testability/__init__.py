@@ -1,0 +1,22 @@
+"""Single stuck-at testability analysis.
+
+Backs the paper's testability claims: synthesized FPRM networks are
+irredundant and the primary-input pattern sets derived from the cubes
+(AZ + OC + AO + SA1) form a complete single-stuck-at test set — no
+conventional test generation needed.
+"""
+
+from repro.testability.faults import Fault, fault_list
+from repro.testability.fault_sim import FaultSimResult, fault_coverage
+from repro.testability.compaction import compact_test_set, detection_matrix
+from repro.testability.test_gen import pattern_test_set
+
+__all__ = [
+    "Fault",
+    "FaultSimResult",
+    "compact_test_set",
+    "detection_matrix",
+    "fault_coverage",
+    "fault_list",
+    "pattern_test_set",
+]

@@ -1,0 +1,46 @@
+"""Test-set compaction: a minimal-ish subset keeping full coverage.
+
+The cube-derived pattern sets are already small, but many patterns detect
+overlapping fault sets; reverse-order greedy compaction (drop a pattern
+if the rest still detect everything) typically shrinks them further —
+useful when the test set feeds real ATE time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.netlist import Network
+from repro.testability.fault_sim import _simulate_with_fault
+from repro.testability.faults import Fault, fault_list
+
+
+def detection_matrix(net: Network, patterns: np.ndarray,
+                     faults: list[Fault] | None = None) -> np.ndarray:
+    """Boolean matrix [fault, pattern]: does the pattern detect it?"""
+    if faults is None:
+        faults = fault_list(net)
+    golden = _simulate_with_fault(net, patterns, None)
+    matrix = np.zeros((len(faults), patterns.shape[1]), dtype=bool)
+    for row, fault in enumerate(faults):
+        faulty = _simulate_with_fault(net, patterns, fault)
+        matrix[row] = (faulty != golden).any(axis=0)
+    return matrix
+
+
+def compact_test_set(net: Network, patterns: np.ndarray,
+                     faults: list[Fault] | None = None) -> np.ndarray:
+    """Greedy reverse compaction preserving the detected-fault set."""
+    if faults is None:
+        faults = fault_list(net)
+    matrix = detection_matrix(net, patterns, faults)
+    detectable = matrix.any(axis=1)
+    keep = list(range(patterns.shape[1]))
+    for column in reversed(range(patterns.shape[1])):
+        trial = [c for c in keep if c != column]
+        if not trial:
+            continue
+        still = matrix[:, trial].any(axis=1)
+        if (still == detectable).all():
+            keep = trial
+    return patterns[:, keep]

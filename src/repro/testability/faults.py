@@ -1,0 +1,44 @@
+"""Single stuck-at fault model on logic networks.
+
+Faults live on gate *output* wires and on each gate *input pin*; inverters
+are treated as part of the wire (their faults collapse onto the driver),
+matching the usual fault-collapsing convention and the paper's gate-level
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.netlist import GateType, Network
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """Stuck-at fault: ``pin`` is -1 for the gate output, else the fanin
+    position the fault sits on."""
+
+    node: int
+    pin: int
+    value: int
+
+    def describe(self, net: Network) -> str:
+        kind = net.type_of(self.node).value
+        where = "out" if self.pin == -1 else f"in{self.pin}"
+        return f"{kind}@{self.node}.{where} s-a-{self.value}"
+
+
+def fault_list(net: Network) -> list[Fault]:
+    """All single stuck-at faults on live AND/OR/XOR gates and PIs."""
+    faults: list[Fault] = []
+    for node in net.live_nodes():
+        gate = net.type_of(node)
+        if gate in (GateType.CONST0, GateType.CONST1, GateType.NOT):
+            continue
+        for value in (0, 1):
+            faults.append(Fault(node, -1, value))
+        if gate in (GateType.AND, GateType.OR, GateType.XOR):
+            for pin in range(len(net.fanin(node))):
+                for value in (0, 1):
+                    faults.append(Fault(node, pin, value))
+    return faults

@@ -1,0 +1,61 @@
+"""Test sets derived from the FPRM pattern sets (no ATPG).
+
+The paper's claim (Sections 1 and 6): for circuits synthesized from FPRM
+forms, a complete single-stuck-at test set can be read off the cubes —
+the AZ / OC / AO / SA1 pattern families of Section 4 — without running
+conventional test generation.  :func:`pattern_test_set` assembles exactly
+those patterns for every output of a synthesis result and returns them as
+primary-input vectors ready for fault simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import full_pattern_set, to_pi_patterns
+from repro.core.synthesis import SynthesisResult
+from repro.expr.esop import FprmForm
+from repro.fprm.polarity import choose_polarity
+from repro.spec import CircuitSpec
+from repro.truth.spectra import fprm_from_table
+from repro.truth.table import MAX_DENSE_VARS
+
+
+def pattern_test_set(spec: CircuitSpec,
+                     result: SynthesisResult | None = None) -> np.ndarray:
+    """PI test vectors (shape ``(num_inputs, V)``) from the FPRM cubes.
+
+    Per output: the one-cube set, the stuck-at-1 set, all-zero and
+    all-one, translated from literal space through the output's polarity
+    vector (taken from the synthesis reports when ``result`` is given,
+    recomputed otherwise) and embedded into the global inputs with
+    don't-care positions at 0.
+    """
+    vectors: list[int] = []
+    seen: set[int] = set()
+    for index, output in enumerate(spec.outputs):
+        if output.width > MAX_DENSE_VARS:
+            continue
+        table = output.local_table()
+        if result is not None and index < len(result.reports):
+            polarity = result.reports[index].polarity
+        else:
+            polarity = choose_polarity(table)
+        form: FprmForm = fprm_from_table(table, polarity)
+        local_patterns = to_pi_patterns(form, full_pattern_set(form))
+        for pattern in local_patterns:
+            global_pattern = 0
+            for j, var in enumerate(output.support):
+                if (pattern >> j) & 1:
+                    global_pattern |= 1 << var
+            if global_pattern not in seen:
+                seen.add(global_pattern)
+                vectors.append(global_pattern)
+    if not vectors:
+        vectors = [0]
+    out = np.zeros((spec.num_inputs, len(vectors)), dtype=np.uint8)
+    for column, pattern in enumerate(vectors):
+        for var in range(spec.num_inputs):
+            if (pattern >> var) & 1:
+                out[var, column] = 1
+    return out

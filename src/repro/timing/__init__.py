@@ -1,0 +1,26 @@
+"""Static timing analysis (the delay study the paper defers).
+
+Two models:
+
+* **unit delay** on logic networks — AND/OR count 1 level, XOR counts 2
+  (its AND/OR realization is two levels deep), inverters are free;
+* **load-dependent cell delay** on mapped netlists — each cell contributes
+  ``intrinsic + k · fanout`` with genlib-flavoured constants.
+
+Both report arrival times and the critical path, so the FPRM and SOP
+flows can be compared on delay as well as area.
+"""
+
+from repro.timing.delay import (
+    MappedTimingReport,
+    NetworkTimingReport,
+    mapped_delay,
+    network_delay,
+)
+
+__all__ = [
+    "MappedTimingReport",
+    "NetworkTimingReport",
+    "mapped_delay",
+    "network_delay",
+]

@@ -1,0 +1,117 @@
+"""Arrival-time propagation and critical-path extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.mapper import MappedNetwork
+from repro.network.netlist import GateType, Network
+
+_GATE_LEVELS = {
+    GateType.AND: 1.0,
+    GateType.OR: 1.0,
+    GateType.XOR: 2.0,  # two AND/OR levels in any 2-input realization
+    GateType.NOT: 0.0,
+}
+
+# Cell delay = intrinsic + load_factor * fanout, in normalized gate units.
+# Intrinsics follow the mcnc-flavoured area ratios (bigger cell, slower).
+_CELL_INTRINSIC_PER_AREA = 1.0 / 1392.0  # nand2 == 1.0 units
+_LOAD_FACTOR = 0.2
+
+
+@dataclass
+class NetworkTimingReport:
+    """Unit-delay timing of a logic network."""
+
+    arrival: dict[int, float]
+    output_arrival: list[float]
+    critical_path: list[int] = field(default_factory=list)
+
+    @property
+    def delay(self) -> float:
+        return max(self.output_arrival, default=0.0)
+
+
+def network_delay(net: Network) -> NetworkTimingReport:
+    """Unit-delay arrival times plus the critical PI→PO path."""
+    arrival: dict[int, float] = {}
+    best_fanin: dict[int, int] = {}
+    for node in net.live_nodes():
+        gate = net.type_of(node)
+        fanins = net.fanin(node)
+        if not fanins:
+            arrival[node] = 0.0
+            continue
+        slowest = max(fanins, key=lambda child: arrival[child])
+        arrival[node] = arrival[slowest] + _GATE_LEVELS.get(gate, 0.0)
+        best_fanin[node] = slowest
+    outputs = [arrival.get(out, 0.0) for out in net.outputs]
+    path: list[int] = []
+    if net.outputs:
+        node = max(net.outputs, key=lambda out: arrival.get(out, 0.0))
+        while node in best_fanin:
+            path.append(node)
+            node = best_fanin[node]
+        path.append(node)
+        path.reverse()
+    return NetworkTimingReport(arrival, outputs, path)
+
+
+@dataclass
+class MappedTimingReport:
+    """Load-dependent timing of a mapped netlist."""
+
+    arrival: dict[int, float]
+    output_arrival: list[float]
+    critical_cells: list[str] = field(default_factory=list)
+
+    @property
+    def delay(self) -> float:
+        return max(self.output_arrival, default=0.0)
+
+
+def mapped_delay(mapped: MappedNetwork) -> MappedTimingReport:
+    """Cell-level arrival times: intrinsic + load · fanout per cell."""
+    load: dict[int, int] = {}
+    for cell in mapped.cells:
+        for signal in set(cell.inputs):
+            load[signal] = load.get(signal, 0) + 1
+    for out in mapped.outputs:
+        load[out] = load.get(out, 0) + 1
+
+    producer = {cell.root: cell for cell in mapped.cells}
+    arrival: dict[int, float] = {}
+    critical_of: dict[int, int] = {}
+
+    def arrival_of(signal: int) -> float:
+        cached = arrival.get(signal)
+        if cached is not None:
+            return cached
+        cell = producer.get(signal)
+        if cell is None:
+            arrival[signal] = 0.0  # PI or constant
+            return 0.0
+        inputs = set(cell.inputs)
+        worst = max(inputs, key=arrival_of, default=None)
+        base = arrival_of(worst) if worst is not None else 0.0
+        own = (
+            cell.cell.area * _CELL_INTRINSIC_PER_AREA
+            + _LOAD_FACTOR * load.get(signal, 1)
+        )
+        arrival[signal] = base + own
+        if worst is not None:
+            critical_of[signal] = worst
+        return arrival[signal]
+
+    outputs = [arrival_of(out) for out in mapped.outputs]
+    critical: list[str] = []
+    if mapped.outputs:
+        signal = max(mapped.outputs, key=lambda s: arrival.get(s, 0.0))
+        while signal in producer:
+            critical.append(producer[signal].cell.name)
+            if signal not in critical_of:
+                break
+            signal = critical_of[signal]
+        critical.reverse()
+    return MappedTimingReport(arrival, outputs, critical)

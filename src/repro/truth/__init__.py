@@ -1,0 +1,19 @@
+"""Bit-parallel truth tables and Reed-Muller spectra."""
+
+from repro.truth.table import TruthTable
+from repro.truth.spectra import (
+    fprm_spectrum,
+    inverse_pprm_spectrum,
+    pprm_spectrum,
+    spectrum_flip_polarity,
+    spectrum_to_masks,
+)
+
+__all__ = [
+    "TruthTable",
+    "fprm_spectrum",
+    "inverse_pprm_spectrum",
+    "pprm_spectrum",
+    "spectrum_flip_polarity",
+    "spectrum_to_masks",
+]

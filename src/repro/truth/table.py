@@ -1,0 +1,188 @@
+"""Dense truth tables backed by numpy.
+
+A :class:`TruthTable` over ``n`` variables stores ``2**n`` bytes (0/1); the
+index encodes the assignment with bit ``i`` = variable ``i``.  Dense tables
+are the workhorse for everything up to ~20 variables: FPRM spectra, ISOP
+generation, exact minimization of benchmark outputs, and brute-force
+equivalence oracles in tests.  Larger supports go through the BDD/OFDD
+packages instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import DimensionError, TooManyVariablesError
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+
+MAX_DENSE_VARS = 22
+
+
+def _check_width(n: int) -> None:
+    if n < 0:
+        raise ValueError("negative variable count")
+    if n > MAX_DENSE_VARS:
+        raise TooManyVariablesError(
+            f"dense truth table over {n} variables refused (max {MAX_DENSE_VARS})"
+        )
+
+
+class TruthTable:
+    """An immutable-by-convention dense truth table."""
+
+    __slots__ = ("n", "bits")
+
+    def __init__(self, n: int, bits: np.ndarray):
+        _check_width(n)
+        if bits.shape != (1 << n,):
+            raise DimensionError(
+                f"expected {1 << n} entries for {n} variables, got {bits.shape}"
+            )
+        self.n = n
+        self.bits = bits.astype(np.uint8, copy=False)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_function(cls, n: int, fn: Callable[[int], int]) -> "TruthTable":
+        """Tabulate ``fn(minterm)`` over all ``2**n`` minterms."""
+        _check_width(n)
+        bits = np.fromiter(
+            (1 if fn(m) else 0 for m in range(1 << n)), dtype=np.uint8, count=1 << n
+        )
+        return cls(n, bits)
+
+    @classmethod
+    def from_minterms(cls, n: int, minterms: Iterable[int]) -> "TruthTable":
+        _check_width(n)
+        bits = np.zeros(1 << n, dtype=np.uint8)
+        for m in minterms:
+            bits[m] = 1
+        return cls(n, bits)
+
+    @classmethod
+    def from_cover(cls, cover: Cover) -> "TruthTable":
+        """Tabulate an SOP cover (vectorized per cube)."""
+        _check_width(cover.n)
+        size = 1 << cover.n
+        bits = np.zeros(size, dtype=np.uint8)
+        indices = np.arange(size, dtype=np.uint32)
+        for cube in cover:
+            sel = (indices & np.uint32(cube.pos)) == np.uint32(cube.pos)
+            if cube.neg:
+                sel &= (indices & np.uint32(cube.neg)) == 0
+            bits[sel] = 1
+        return cls(cover.n, bits)
+
+    @classmethod
+    def constant(cls, n: int, value: int) -> "TruthTable":
+        _check_width(n)
+        fill = 1 if value else 0
+        return cls(n, np.full(1 << n, fill, dtype=np.uint8))
+
+    @classmethod
+    def variable(cls, n: int, var: int) -> "TruthTable":
+        _check_width(n)
+        indices = np.arange(1 << n, dtype=np.uint32)
+        return cls(n, ((indices >> var) & 1).astype(np.uint8))
+
+    # -- queries -----------------------------------------------------------
+
+    def __getitem__(self, minterm: int) -> int:
+        return int(self.bits[minterm])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self.bits, other.bits))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.bits.tobytes()))
+
+    def count_ones(self) -> int:
+        return int(self.bits.sum())
+
+    def is_constant(self) -> bool:
+        ones = self.count_ones()
+        return ones == 0 or ones == len(self.bits)
+
+    def support_mask(self) -> int:
+        """Mask of variables the function actually depends on."""
+        mask = 0
+        for var in range(self.n):
+            c0, c1 = self._cofactor_views(var)
+            if not np.array_equal(c0, c1):
+                mask |= 1 << var
+        return mask
+
+    def _cofactor_views(self, var: int) -> tuple[np.ndarray, np.ndarray]:
+        shaped = self.bits.reshape(-1, 1 << (var + 1))
+        return shaped[:, : 1 << var], shaped[:, 1 << var :]
+
+    # -- operations --------------------------------------------------------
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.n, (1 - self.bits).astype(np.uint8))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.bits & other.bits)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.bits | other.bits)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check(other)
+        return TruthTable(self.n, self.bits ^ other.bits)
+
+    def cofactor(self, var: int, value: int) -> "TruthTable":
+        """Shannon cofactor, returned over the same ``n`` variables."""
+        c0, c1 = self._cofactor_views(var)
+        half = c1 if value else c0
+        doubled = np.repeat(half.reshape(-1, 1 << var), 2, axis=0)
+        return TruthTable(self.n, np.ascontiguousarray(doubled.reshape(-1)))
+
+    def permute_inputs(self, xor_mask: int) -> "TruthTable":
+        """Complement selected inputs: ``g(x) = f(x ^ xor_mask)``."""
+        indices = np.arange(1 << self.n, dtype=np.uint32) ^ np.uint32(xor_mask)
+        return TruthTable(self.n, self.bits[indices])
+
+    def restrict_support(self, variables: list[int]) -> "TruthTable":
+        """Project onto ``variables`` (which must contain the true support).
+
+        ``variables[j]`` is the global index becoming local variable ``j``.
+        """
+        m = len(variables)
+        _check_width(m)
+        out = np.empty(1 << m, dtype=np.uint8)
+        for local in range(1 << m):
+            glob = 0
+            for j, var in enumerate(variables):
+                if (local >> j) & 1:
+                    glob |= 1 << var
+            out[local] = self.bits[glob]
+        return TruthTable(m, out)
+
+    def extend(self, n: int, variables: list[int]) -> "TruthTable":
+        """Embed this table into a wider universe.
+
+        Inverse of :meth:`restrict_support`; ``variables[j]`` is where local
+        variable ``j`` lands in the new universe of width ``n``.
+        """
+        _check_width(n)
+        indices = np.arange(1 << n, dtype=np.uint32)
+        local = np.zeros(1 << n, dtype=np.uint32)
+        for j, var in enumerate(variables):
+            local |= ((indices >> var) & 1).astype(np.uint32) << j
+        return TruthTable(n, self.bits[local])
+
+    def minterms(self) -> list[int]:
+        return [int(i) for i in np.nonzero(self.bits)[0]]
+
+    def _check(self, other: "TruthTable") -> None:
+        if self.n != other.n:
+            raise DimensionError(f"width mismatch: {self.n} vs {other.n}")

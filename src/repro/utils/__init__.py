@@ -1,0 +1,21 @@
+"""Shared low-level helpers: bit manipulation, deterministic RNG, tables."""
+
+from repro.utils.bitops import (
+    bit_indices,
+    iter_subsets,
+    mask_of,
+    parity,
+    popcount,
+)
+from repro.utils.rng import deterministic_rng
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "bit_indices",
+    "deterministic_rng",
+    "format_table",
+    "iter_subsets",
+    "mask_of",
+    "parity",
+    "popcount",
+]

@@ -1,0 +1,58 @@
+"""Bit-mask helpers used across cube, spectrum and pattern code.
+
+Variables are numbered ``0 .. n-1`` and variable ``i`` corresponds to bit
+``1 << i`` in every mask in the library.  Keeping one convention everywhere
+lets cubes, truth-table indices and primary-input patterns share masks
+without translation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask``."""
+    return mask.bit_count()
+
+
+def parity(mask: int) -> int:
+    """Parity (0/1) of the number of set bits in ``mask``."""
+    return mask.bit_count() & 1
+
+
+def bit_indices(mask: int) -> Iterator[int]:
+    """Yield the indices of set bits in ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """Build a mask with the given bit indices set."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask`` (including 0 and ``mask`` itself).
+
+    Uses the standard descending-subset enumeration trick; the number of
+    results is ``2**popcount(mask)``, so callers must keep supports small.
+    """
+    subset = mask
+    while True:
+        yield subset
+        if subset == 0:
+            return
+        subset = (subset - 1) & mask
+
+
+def lowest_bit_index(mask: int) -> int:
+    """Index of the lowest set bit; ``mask`` must be non-zero."""
+    if mask == 0:
+        raise ValueError("mask must be non-zero")
+    return (mask & -mask).bit_length() - 1

@@ -1,0 +1,61 @@
+"""Minimal fixed-width text-table formatting for harness reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    aligns: Sequence[str] | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    ``aligns`` is a per-column sequence of ``"l"`` or ``"r"``; numeric-looking
+    columns default to right alignment.
+    """
+    cells = [[_fmt(value) for value in row] for row in rows]
+    ncols = len(headers)
+    for row in cells:
+        if len(row) != ncols:
+            raise ValueError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if aligns is None:
+        aligns = [_default_align(i, cells) for i in range(ncols)]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(ncols)),
+    ]
+    for row in cells:
+        parts = []
+        for i, cell in enumerate(row):
+            if aligns[i] == "r":
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _default_align(col: int, cells: list[list[str]]) -> str:
+    for row in cells:
+        text = row[col]
+        if text and not _is_numeric(text):
+            return "l"
+    return "r"
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.lstrip("+-")
+    return stripped.replace(".", "", 1).replace("%", "", 1).isdigit()

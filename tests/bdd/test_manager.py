@@ -1,0 +1,128 @@
+"""ROBDD correctness against brute-force truth tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bdd.manager import BddManager
+from repro.errors import ReproError
+from repro.expr import expression as ex
+from repro.expr.cover import Cover
+
+N = 5
+
+
+def bdd_eval(manager: BddManager, node: int, minterm: int) -> int:
+    while node > 1:
+        var = manager.level(node)
+        node = (
+            manager.high(node) if (minterm >> var) & 1 else manager.low(node)
+        )
+    return node
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)), draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ex.not_(draw(expr_trees(depth=depth - 1)))
+    args = draw(st.lists(expr_trees(depth=depth - 1), min_size=2, max_size=3))
+    return {"and": ex.and_, "or": ex.or_, "xor": ex.xor_}[op](args)
+
+
+@given(expr_trees())
+def test_from_expr_matches_evaluation(e):
+    manager = BddManager(N)
+    node = manager.from_expr(e)
+    for m in range(1 << N):
+        assert bdd_eval(manager, node, m) == e.evaluate(m)
+
+
+@given(expr_trees(), expr_trees())
+def test_canonicity(a, b):
+    manager = BddManager(N)
+    na, nb = manager.from_expr(a), manager.from_expr(b)
+    equal_fn = all(a.evaluate(m) == b.evaluate(m) for m in range(1 << N))
+    assert (na == nb) == equal_fn
+
+
+@given(expr_trees())
+def test_sat_count(e):
+    manager = BddManager(N)
+    node = manager.from_expr(e)
+    brute = sum(e.evaluate(m) for m in range(1 << N))
+    assert manager.sat_count(node) == brute
+
+
+@given(expr_trees())
+def test_any_sat(e):
+    manager = BddManager(N)
+    node = manager.from_expr(e)
+    witness = manager.any_sat(node)
+    if witness is None:
+        assert all(e.evaluate(m) == 0 for m in range(1 << N))
+    else:
+        assert e.evaluate(witness) == 1
+
+
+@given(expr_trees(), st.integers(0, N - 1))
+def test_cofactor_and_exists(e, var):
+    manager = BddManager(N)
+    node = manager.from_expr(e)
+    for value in (0, 1):
+        cofactor = manager.cofactor(node, var, value)
+        for m in range(1 << N):
+            fixed = (m & ~(1 << var)) | (value << var)
+            assert bdd_eval(manager, cofactor, m) == e.evaluate(fixed)
+    ex_node = manager.exists(node, var)
+    for m in range(1 << N):
+        want = e.evaluate(m | (1 << var)) | e.evaluate(m & ~(1 << var))
+        assert bdd_eval(manager, ex_node, m) == want
+
+
+@given(expr_trees())
+def test_support(e):
+    manager = BddManager(N)
+    node = manager.from_expr(e)
+    support = manager.support(node)
+    for var in range(N):
+        depends = any(
+            e.evaluate(m) != e.evaluate(m ^ (1 << var))
+            for m in range(1 << N)
+        )
+        assert bool((support >> var) & 1) == depends
+
+
+def test_from_cover():
+    manager = BddManager(3)
+    cover = Cover.from_strings(["1-0", "-11"])
+    node = manager.from_cover(cover)
+    for m in range(8):
+        assert bdd_eval(manager, node, m) == cover.evaluate(m)
+
+
+def test_iter_cubes_is_disjoint_cover():
+    manager = BddManager(4)
+    e = ex.or_([ex.and_([ex.Lit(0), ex.Lit(1)]), ex.Lit(3)])
+    node = manager.from_expr(e)
+    cubes = list(manager.iter_cubes(node))
+    for m in range(16):
+        hits = sum(c.contains_minterm(m) for c in cubes)
+        assert hits == e.evaluate(m)  # disjoint: 0 or exactly 1
+
+
+def test_node_limit_enforced():
+    with pytest.raises(ReproError):
+        manager = BddManager(16, node_limit=10)
+        node = 1
+        for var in range(16):
+            node = manager.and_(node, manager.xor_(manager.var(var), 1))
+
+
+def test_implies_everywhere():
+    manager = BddManager(2)
+    a, b = manager.var(0), manager.var(1)
+    assert manager.implies_everywhere(manager.and_(a, b), a)
+    assert not manager.implies_everywhere(a, manager.and_(a, b))

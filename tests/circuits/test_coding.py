@@ -1,0 +1,84 @@
+"""Coding-theory extension circuits."""
+
+import pytest
+
+from repro.circuits import all_names, extension_names, get
+from repro.circuits.builders import popcount
+
+
+def test_extensions_not_in_table2_set():
+    assert len(all_names()) == 41
+    assert set(extension_names()) & set(all_names()) == set()
+    assert "hamming7_enc" in extension_names()
+
+
+def test_hamming_encoder_matrix():
+    enc = get("hamming7_enc")
+    for d in range(16):
+        p = enc.evaluate(d)
+        assert p[0] == (popcount(d & 0b1011) & 1)
+        assert p[1] == (popcount(d & 0b1101) & 1)
+        assert p[2] == (popcount(d & 0b1110) & 1)
+
+
+def test_zero_syndrome_for_valid_codewords():
+    enc = get("hamming7_enc")
+    syn = get("hamming7_syn")
+    for d in range(16):
+        parity = enc.evaluate(d)
+        word = d | (parity[0] << 4) | (parity[1] << 5) | (parity[2] << 6)
+        assert syn.evaluate(word) == (0, 0, 0)
+
+
+def test_single_error_correction():
+    enc = get("hamming7_enc")
+    cor = get("hamming7_cor")
+    for d in range(16):
+        parity = enc.evaluate(d)
+        word = d | (parity[0] << 4) | (parity[1] << 5) | (parity[2] << 6)
+        # No error: data recovered.
+        assert sum(b << j for j, b in enumerate(cor.evaluate(word))) == d
+        # Any single data-bit error: corrected.
+        for flip in range(4):
+            damaged = word ^ (1 << flip)
+            decoded = sum(b << j for j, b in enumerate(cor.evaluate(damaged)))
+            assert decoded == d, (d, flip)
+        # Any single parity-bit error: data untouched.
+        for flip in range(4, 7):
+            damaged = word ^ (1 << flip)
+            decoded = sum(b << j for j, b in enumerate(cor.evaluate(damaged)))
+            assert decoded == d, (d, flip)
+
+
+def test_crc4_linear():
+    crc = get("crc4")
+
+    def value(m):
+        return sum(b << j for j, b in enumerate(crc.evaluate(m)))
+
+    # CRC is GF(2)-linear: crc(a ^ b) = crc(a) ^ crc(b).
+    for a, b in [(0x35, 0x8A), (0xFF, 0x01), (0x5A, 0xA5)]:
+        assert value(a ^ b) == value(a) ^ value(b)
+    assert value(0) == 0
+
+
+def test_parity2d_consistency():
+    spec = get("parity2d")
+    for m in [0, 0b101010101, 0x1FF, 0b000111000]:
+        out = spec.evaluate(m)
+        rows, cols, total = out[:3], out[3:6], out[6]
+        # Total parity equals parity of row parities and of column parities.
+        assert total == (rows[0] ^ rows[1] ^ rows[2])
+        assert total == (cols[0] ^ cols[1] ^ cols[2])
+
+
+@pytest.mark.parametrize("name", ["hamming7_enc", "crc4", "parity2d"])
+def test_fprm_flow_wins_on_linear_codes(name):
+    from repro.core.synthesis import synthesize_fprm
+    from repro.sislite.scripts import best_baseline
+
+    spec = get(name)
+    ours = synthesize_fprm(spec)
+    base, _ = best_baseline(spec)
+    assert ours.verify
+    assert ours.two_input_gates <= base.two_input_gates

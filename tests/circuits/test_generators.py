@@ -1,0 +1,94 @@
+"""Parameterized circuit generators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import (
+    make_adder,
+    make_comparator,
+    make_multiplier,
+    make_parity,
+    make_weight,
+)
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+
+
+@pytest.mark.parametrize("nbits", [1, 2, 4])
+def test_adder_semantics(nbits):
+    spec = make_adder(nbits)
+    for a in range(min(1 << nbits, 8)):
+        for b in range(min(1 << nbits, 8)):
+            m = a | (b << nbits)
+            got = sum(bit << j for j, bit in enumerate(spec.evaluate(m)))
+            assert got == a + b
+
+
+def test_adder_with_carry_in():
+    spec = make_adder(2, carry_in=True)
+    assert spec.num_inputs == 5
+    m = 0b1_10_11  # a=3, b=2, cin=1
+    got = sum(bit << j for j, bit in enumerate(spec.evaluate(m)))
+    assert got == 3 + 2 + 1
+
+
+def test_wide_adder_is_structural():
+    spec = make_adder(12)
+    assert spec.num_inputs == 24
+    assert all(o.expr is not None for o in spec.outputs)
+    rng = np.random.default_rng(3)
+    inputs = rng.integers(0, 2, size=(24, 4)).astype(np.uint8)
+    out = spec.simulate(inputs)
+    for col in range(4):
+        a = sum(int(inputs[k, col]) << k for k in range(12))
+        b = sum(int(inputs[12 + k, col]) << k for k in range(12))
+        got = sum(int(out[j, col]) << j for j in range(13))
+        assert got == a + b
+
+
+def test_multiplier_semantics():
+    spec = make_multiplier(3)
+    for a in range(8):
+        for b in range(8):
+            got = sum(
+                bit << j
+                for j, bit in enumerate(spec.evaluate(a | (b << 3)))
+            )
+            assert got == a * b
+
+
+def test_comparator_semantics():
+    spec = make_comparator(3)
+    for a in range(8):
+        for b in range(8):
+            gt, lt, eq = spec.evaluate(a | (b << 3))
+            assert (gt, lt, eq) == (int(a > b), int(a < b), int(a == b))
+
+
+def test_parity_and_weight():
+    parity = make_parity(6)
+    weight = make_weight(6)
+    for m in range(64):
+        assert parity.evaluate(m) == (bin(m).count("1") & 1,)
+        got = sum(b << j for j, b in enumerate(weight.evaluate(m)))
+        assert got == bin(m).count("1")
+
+
+def test_bounds_checked():
+    with pytest.raises(ValueError):
+        make_adder(0)
+    with pytest.raises(ValueError):
+        make_multiplier(9)
+    with pytest.raises(ValueError):
+        make_weight(0)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: make_adder(3), lambda: make_multiplier(2),
+    lambda: make_comparator(2), lambda: make_parity(5),
+    lambda: make_weight(5),
+])
+def test_generated_circuits_synthesize(factory):
+    spec = factory()
+    result = synthesize_fprm(spec, SynthesisOptions())
+    assert result.verify

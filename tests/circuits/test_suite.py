@@ -1,0 +1,150 @@
+"""The benchmark circuit suite: registry, interfaces, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import all_names, arithmetic_names, get
+from repro.circuits.builders import popcount
+from repro.errors import UnknownCircuitError
+
+# (name, inputs, outputs) — Table 2's I/O column, all 41 circuits.
+TABLE2_IO = {
+    "5xp1": (7, 10), "9sym": (9, 1), "adr4": (8, 5), "add6": (12, 7),
+    "addm4": (9, 8), "bcd-div3": (4, 4), "cc": (21, 20), "co14": (14, 1),
+    "cm163a": (16, 5), "cm82a": (5, 3), "cm85a": (11, 3), "cmb": (16, 4),
+    "f2": (4, 4), "f51m": (8, 8), "frg1": (28, 3), "i1": (25, 13),
+    "i3": (132, 6), "i4": (192, 6), "i5": (133, 66), "m181": (15, 9),
+    "majority": (5, 1), "misg": (56, 23), "mish": (94, 34), "mlp4": (8, 8),
+    "my_adder": (33, 17), "parity": (16, 1), "pcle": (19, 9),
+    "pcler8": (27, 17), "pm1": (16, 13), "radd": (8, 5), "rd53": (5, 3),
+    "rd73": (7, 3), "rd84": (8, 4), "shift": (19, 16), "sqr6": (6, 12),
+    "squar5": (5, 8), "sym10": (10, 1), "t481": (16, 1), "tcon": (17, 16),
+    "xor10": (10, 1), "z4ml": (7, 4),
+}
+
+
+def test_all_41_circuits_registered():
+    assert set(all_names()) == set(TABLE2_IO)
+    assert len(all_names()) == 41
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2_IO))
+def test_io_counts_match_table2(name):
+    spec = get(name)
+    inputs, outputs = TABLE2_IO[name]
+    assert spec.num_inputs == inputs
+    assert spec.num_outputs == outputs
+
+
+def test_unknown_circuit_raises():
+    with pytest.raises(UnknownCircuitError):
+        get("nonexistent")
+
+
+def test_specs_are_cached():
+    assert get("z4ml") is get("z4ml")
+
+
+def test_arithmetic_flagging():
+    arith = set(arithmetic_names())
+    assert "z4ml" in arith and "mlp4" in arith and "t481" in arith
+    assert "cc" not in arith and "i3" not in arith
+
+
+def test_substitutions_documented():
+    for name in all_names():
+        spec = get(name)
+        if spec.substitution is not None:
+            assert len(spec.substitution) > 20, name
+
+
+def test_adder_semantics():
+    spec = get("adr4")
+    inputs = np.zeros((8, 3), dtype=np.uint8)
+    # 5 + 9 = 14; 15 + 15 = 30; 0 + 0 = 0
+    for col, (a, b) in enumerate([(5, 9), (15, 15), (0, 0)]):
+        for k in range(4):
+            inputs[k, col] = (a >> k) & 1
+            inputs[4 + k, col] = (b >> k) & 1
+    out = spec.simulate(inputs)
+    for col, (a, b) in enumerate([(5, 9), (15, 15), (0, 0)]):
+        got = sum(int(out[j, col]) << j for j in range(5))
+        assert got == a + b
+
+
+def test_multiplier_semantics():
+    spec = get("mlp4")
+    for a, b in [(3, 5), (15, 15), (0, 7), (12, 11)]:
+        m = a | (b << 4)
+        got = sum(bit << j for j, bit in enumerate(spec.evaluate(m)))
+        assert got == a * b
+
+
+def test_my_adder_semantics():
+    spec = get("my_adder")
+    rng = np.random.default_rng(7)
+    inputs = rng.integers(0, 2, size=(33, 8)).astype(np.uint8)
+    out = spec.simulate(inputs)
+    for col in range(8):
+        a = sum(int(inputs[k, col]) << k for k in range(16))
+        b = sum(int(inputs[16 + k, col]) << k for k in range(16))
+        cin = int(inputs[32, col])
+        got = sum(int(out[j, col]) << j for j in range(17))
+        assert got == a + b + cin
+
+
+def test_z4ml_bit_ordering_matches_paper():
+    # x26 = x3 ⊕ x6 ⊕ x1x4 ⊕ x1x7 ⊕ x4x7 (1-indexed).
+    spec = get("z4ml")
+    x26 = next(o for o in spec.outputs if o.name == "x26")
+    for m in range(128):
+        x = [None] + [(m >> i) & 1 for i in range(7)]  # 1-indexed
+        want = x[3] ^ x[6] ^ (x[1] & x[4]) ^ (x[1] & x[7]) ^ (x[4] & x[7])
+        assert x26.evaluate(m) == want
+
+
+def test_symmetric_functions():
+    assert get("9sym").evaluate(0b000000111) == (1,)
+    assert get("9sym").evaluate(0b111111111) == (0,)
+    assert get("majority").evaluate(0b00111) == (1,)
+    assert get("majority").evaluate(0b00011) == (0,)
+    for m in [0, 5, 77, 1023]:
+        assert get("xor10").evaluate(m) == (popcount(m) & 1,)
+
+
+def test_rd_weight_outputs():
+    spec = get("rd84")
+    for m in [0, 0xFF, 0b1010_1010]:
+        got = sum(bit << j for j, bit in enumerate(spec.evaluate(m)))
+        assert got == popcount(m)
+
+
+def test_squarers():
+    assert sum(
+        b << j for j, b in enumerate(get("sqr6").evaluate(13))
+    ) == 169
+    assert sum(
+        b << j for j, b in enumerate(get("squar5").evaluate(21))
+    ) == (21 * 21) & 0xFF
+
+
+def test_synthetic_circuits_are_deterministic():
+    from repro.circuits.synthetic import cc
+
+    a = cc()
+    b = cc()
+    for out_a, out_b in zip(a.outputs, b.outputs):
+        assert out_a.support == out_b.support
+        assert out_a.cover.cubes == out_b.cover.cubes
+
+
+def test_shift_hold_and_shift_modes():
+    spec = get("shift")
+    data = 0b1010_1100_0011_0101
+    base = data  # c0=c1=0: hold
+    out = spec.evaluate(base)
+    assert sum(b << j for j, b in enumerate(out)) == data
+    # c0=1 (input 16): shift left; bit i gets old bit i-1; bit 0 <- serial.
+    shifted = spec.evaluate(data | (1 << 16) | (1 << 18))
+    value = sum(b << j for j, b in enumerate(shifted))
+    assert value == (((data << 1) | 1) & 0xFFFF)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.options import SynthesisOptions
+from repro.truth.table import TruthTable
+
+
+@pytest.fixture
+def fast_options() -> SynthesisOptions:
+    """Synthesis options tuned for test speed (no verify; callers verify)."""
+    return SynthesisOptions(verify=False)
+
+
+@pytest.fixture
+def maj3_table() -> TruthTable:
+    """3-input majority — small, non-trivial, XOR-reducible."""
+    return TruthTable.from_function(3, lambda m: int(m.bit_count() >= 2))
+
+
+@pytest.fixture
+def parity4_table() -> TruthTable:
+    return TruthTable.from_function(4, lambda m: m.bit_count() & 1)

@@ -1,0 +1,121 @@
+"""Both factorization methods: correctness and structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.factor_cube import factor_cubes
+from repro.core.factor_ofdd import factor_ofdd
+from repro.core.grouping import disjoint_support_groups, most_common_variable
+from repro.expr import expression as ex
+from repro.ofdd.manager import OfddManager
+
+N = 5
+mask_sets = st.sets(st.integers(0, (1 << N) - 1), min_size=0, max_size=10)
+
+
+def evaluate_masks(masks, literals):
+    value = 0
+    for mask in masks:
+        if (literals & mask) == mask:
+            value ^= 1
+    return value
+
+
+@given(mask_sets)
+def test_cube_method_preserves_function(masks):
+    expr = factor_cubes(sorted(masks))
+    for m in range(1 << N):
+        assert expr.evaluate(m) == evaluate_masks(masks, m)
+
+
+@given(mask_sets)
+@settings(max_examples=50)
+def test_cube_method_with_reductions_preserves_function(masks):
+    expr = factor_cubes(sorted(masks), apply_reductions=True)
+    for m in range(1 << N):
+        assert expr.evaluate(m) == evaluate_masks(masks, m)
+
+
+@given(mask_sets)
+def test_ofdd_method_preserves_function(masks):
+    manager = OfddManager(N)
+    node = manager.from_fprm_masks(tuple(masks))
+    expr = factor_ofdd(manager, node)
+    for m in range(1 << N):
+        assert expr.evaluate(m) == evaluate_masks(masks, m)
+
+
+@given(mask_sets)
+def test_cube_method_never_exceeds_flat_cost(masks):
+    expr = factor_cubes(sorted(masks))
+    flat_cost = 0
+    non_const = [m for m in masks if m]
+    for mask in non_const:
+        flat_cost += max(mask.bit_count() - 1, 0)
+    if non_const:
+        flat_cost += 3 * (len(non_const) - 1)
+    if 0 in masks:
+        flat_cost += 0  # output inverter is free
+    assert expr.two_input_gate_count() <= flat_cost + 3
+
+
+def test_constant_cube_becomes_output_inverter():
+    expr = factor_cubes([0b000, 0b001])
+    assert isinstance(expr, ex.Not) or (
+        isinstance(expr, ex.Lit) and expr.negated
+    )
+
+
+def test_rule_d_factors_common_variable():
+    # x0x1 ⊕ x0x2 = x0(x1 ⊕ x2): 1 AND + 1 XOR = 4 gates, not 2 AND + XOR.
+    expr = factor_cubes([0b011, 0b101])
+    assert expr.two_input_gate_count() == 4
+
+
+def test_cse_merges_common_bodies():
+    # x0(x2⊕x3) ⊕ x1(x2⊕x3) should become (x0⊕x1)(x2⊕x3): 2 XOR + 1 AND.
+    masks = [0b0101, 0b1001, 0b0110, 0b1010]
+    expr = factor_cubes(masks)
+    assert expr.two_input_gate_count() <= 7
+
+
+def test_disjoint_support_groups():
+    groups = disjoint_support_groups([0b0011, 0b0110, 0b11000])
+    assert len(groups) == 2
+    assert sorted(map(len, groups)) == [1, 2]
+
+
+def test_disjoint_groups_constants_separate():
+    groups = disjoint_support_groups([0, 0b11])
+    assert [0] in groups
+
+
+def test_most_common_variable_tiebreak_prefers_small_cubes():
+    # x2 appears in the size-2 cube; x0 only in size-3+ cubes.
+    masks = [0b0110, 0b0101, 0b1001 | 0b0100]
+    var, count = most_common_variable(masks)
+    assert count == 3
+    assert var == 2  # min containing cube size 2 wins over var 0
+
+
+def test_ofdd_method_shares_common_children():
+    # f = x0·g ⊕ x1·g with g = x2 ⊕ x3: the OFDD shares g's subgraph; the
+    # factored expression must reuse one object for it.
+    manager = OfddManager(4)
+    masks = (0b0101, 0b1001, 0b0110, 0b1010)
+    node = manager.from_fprm_masks(masks)
+    expr = factor_ofdd(manager, node)
+    ids = set()
+
+    def collect(e):
+        ids.add(id(e))
+        for child in e.children():
+            collect(child)
+
+    collect(expr)
+    distinct = len(ids)
+    # Expanded tree would have more nodes than the shared DAG.
+    def count(e):
+        return 1 + sum(count(c) for c in e.children())
+
+    assert count(expr) >= distinct

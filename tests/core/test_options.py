@@ -1,0 +1,33 @@
+"""Synthesis options plumbing."""
+
+import pytest
+
+from repro.core.options import (
+    ControllabilityEngine,
+    FactorMethod,
+    SynthesisOptions,
+)
+
+
+def test_defaults():
+    options = SynthesisOptions()
+    assert options.factor_method is FactorMethod.AUTO
+    assert options.controllability is ControllabilityEngine.BDD
+    assert options.redundancy_removal
+    assert options.verify
+
+
+def test_replace_returns_new_object():
+    options = SynthesisOptions()
+    other = options.replace(verify=False, cube_limit=99)
+    assert other is not options
+    assert options.verify and not other.verify
+    assert other.cube_limit == 99
+    assert options.cube_limit != 99 or options.cube_limit == 2048
+
+
+def test_enums_are_string_valued():
+    assert FactorMethod("cube") is FactorMethod.CUBE
+    assert ControllabilityEngine("bdd") is ControllabilityEngine.BDD
+    with pytest.raises(ValueError):
+        FactorMethod("nonsense")

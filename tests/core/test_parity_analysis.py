@@ -1,0 +1,83 @@
+"""Cube-parity controllability analysis (the paper's cut Section 4 part)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parity_analysis import (
+    achievable_parity_pairs,
+    activated_cubes,
+    cube_union_patterns,
+    group_parity,
+    parity_of_pattern,
+)
+from repro.expr.esop import FprmForm
+
+N = 5
+
+
+@st.composite
+def forms(draw):
+    masks = draw(st.sets(st.integers(1, (1 << N) - 1), min_size=1, max_size=6))
+    return FprmForm.from_masks(N, (1 << N) - 1, masks)
+
+
+@given(forms())
+def test_union_patterns_contain_oc_and_az(form):
+    patterns = cube_union_patterns(form)
+    assert 0 in patterns
+    for mask in form.cubes:
+        assert mask in patterns
+
+
+@given(forms())
+def test_union_patterns_closed_under_union(form):
+    patterns = set(cube_union_patterns(form))
+    for a in patterns:
+        for b in patterns:
+            assert (a | b) in patterns
+
+
+def test_limit_enforced():
+    form = FprmForm.from_masks(16, (1 << 16) - 1,
+                               [1 << i for i in range(16)])
+    with pytest.raises(ValueError):
+        cube_union_patterns(form, limit=8)
+
+
+@given(forms())
+def test_parity_of_pattern_matches_evaluate(form):
+    for pattern in cube_union_patterns(form):
+        assert parity_of_pattern(form, pattern) == form.evaluate(
+            form.pi_pattern(pattern)
+        )
+
+
+@given(forms())
+@settings(max_examples=30, deadline=None)
+def test_achievable_pairs_are_exact_for_group_splits(form):
+    """Enumeration finds exactly the (g,h) pairs any PI pattern can make.
+
+    For a gate joining two cube groups, g and h are cube-subset parities;
+    brute-force over all 2^N literal patterns must agree with the cube
+    union enumeration — the paper's claim that the parities decide it.
+    """
+    cubes = list(form.cubes)
+    if len(cubes) < 2:
+        return
+    half = len(cubes) // 2
+    group_g, group_h = cubes[:half], cubes[half:]
+    enumerated = achievable_parity_pairs(form, group_g, group_h)
+    brute = set()
+    for pattern in range(1 << N):
+        brute.add(
+            (group_parity(group_g, pattern), group_parity(group_h, pattern))
+        )
+    assert enumerated == brute
+
+
+def test_activated_cubes():
+    form = FprmForm.from_masks(3, 0b111, [0b011, 0b100])
+    assert activated_cubes(form, 0b011) == (0b011,)
+    assert activated_cubes(form, 0b111) == (0b011, 0b100)
+    assert activated_cubes(form, 0b000) == ()

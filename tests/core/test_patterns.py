@@ -1,0 +1,84 @@
+"""AZ / OC / AO / SA1 pattern sets (paper Section 4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.patterns import (
+    ao_pattern,
+    az_pattern,
+    full_pattern_set,
+    oc_patterns,
+    sa1_patterns,
+    to_pi_patterns,
+)
+from repro.expr.esop import FprmForm
+
+N = 5
+
+
+@st.composite
+def forms(draw):
+    polarity = draw(st.integers(0, (1 << N) - 1))
+    masks = draw(st.sets(st.integers(0, (1 << N) - 1), min_size=1, max_size=6))
+    return FprmForm.from_masks(N, polarity, masks)
+
+
+def test_az_and_ao():
+    assert az_pattern() == 0
+    assert ao_pattern(4) == 0b1111
+
+
+@given(forms())
+def test_oc_pattern_activates_exactly_containing_cubes(form):
+    for pattern in oc_patterns(form):
+        # The OC pattern of cube C sets exactly C's literals to 1, so a
+        # cube is activated iff it is a subset of C.
+        for mask in form.cubes:
+            activated = (pattern & mask) == mask
+            assert activated == (mask & ~pattern == 0)
+
+
+@given(forms())
+def test_property_8_some_pattern_drives_one(form):
+    # Property 8: at least one OC pattern makes the function (an XOR of a
+    # cube subset) nonzero — the pattern of a minimal cube activates an
+    # odd set.  Check at the output: some pattern in OC ∪ {AO} gives 1,
+    # unless the form is constant-0.
+    if form.is_zero():
+        return
+    patterns = oc_patterns(form) + [ao_pattern(N)]
+    values = []
+    for pattern in patterns:
+        value = 0
+        for mask in form.cubes:
+            if (pattern & mask) == mask:
+                value ^= 1
+        values.append(value)
+    assert any(values) or 0 in form.cubes
+
+
+@given(forms())
+def test_sa1_patterns_flip_single_bits(form):
+    sa1 = set(sa1_patterns(form))
+    for mask in form.cubes:
+        for var in range(N):
+            if (mask >> var) & 1:
+                assert (mask & ~(1 << var)) in sa1
+
+
+@given(forms())
+def test_full_set_deduplicated_and_complete(form):
+    patterns = full_pattern_set(form)
+    assert len(patterns) == len(set(patterns))
+    assert patterns[0] == 0
+    assert ao_pattern(N) in patterns
+    for cube_pattern in oc_patterns(form):
+        assert cube_pattern in patterns
+
+
+@given(forms())
+def test_pi_translation_respects_polarity(form):
+    literal_patterns = full_pattern_set(form)
+    pi = to_pi_patterns(form, literal_patterns)
+    for literal, minterm in zip(literal_patterns, pi):
+        assert form.literal_minterm(minterm) == literal

@@ -1,0 +1,116 @@
+"""XOR-gate redundancy removal (paper Section 4, Properties 1-9)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tree as tr
+from repro.core.factor_cube import factor_cubes
+from repro.core.options import ControllabilityEngine, SynthesisOptions
+from repro.core.redundancy import RedundancyRemover
+from repro.core.tree import tree_from_expr
+from repro.expr.esop import FprmForm
+
+N = 5
+mask_sets = st.sets(st.integers(0, (1 << N) - 1), min_size=1, max_size=10)
+
+
+def run_removal(masks, **option_kwargs):
+    form = FprmForm.from_masks(N, (1 << N) - 1, masks)
+    expr = factor_cubes(list(form.cubes))
+    tree = tree_from_expr(expr)
+    options = SynthesisOptions(**option_kwargs)
+    remover = RedundancyRemover(tree, N, form, options)
+    return form, remover.run(), remover.stats
+
+
+def masks_value(masks, literals):
+    value = 0
+    for mask in masks:
+        if (literals & mask) == mask:
+            value ^= 1
+    return value
+
+
+@given(mask_sets)
+@settings(max_examples=100, deadline=None)
+def test_reduction_preserves_function_bdd_engine(masks):
+    form, tree, _ = run_removal(masks)
+    for m in range(1 << N):
+        assert tree.evaluate(m) == masks_value(masks, m)
+
+
+@given(mask_sets)
+@settings(max_examples=50, deadline=None)
+def test_reduction_preserves_function_enumeration_engine(masks):
+    form, tree, _ = run_removal(
+        masks, controllability=ControllabilityEngine.ENUMERATION
+    )
+    for m in range(1 << N):
+        assert tree.evaluate(m) == masks_value(masks, m)
+
+
+@given(mask_sets)
+@settings(max_examples=50, deadline=None)
+def test_reduction_preserves_function_simulation_engine(masks):
+    form, tree, _ = run_removal(
+        masks, controllability=ControllabilityEngine.SIMULATION_ONLY
+    )
+    for m in range(1 << N):
+        assert tree.evaluate(m) == masks_value(masks, m)
+
+
+@given(mask_sets)
+@settings(max_examples=50, deadline=None)
+def test_reduction_never_increases_gates(masks):
+    form = FprmForm.from_masks(N, (1 << N) - 1, masks)
+    expr = factor_cubes(list(form.cubes))
+    before = tree_from_expr(expr).two_input_gate_count()
+    _, tree, _ = run_removal(masks)
+    assert tree.two_input_gate_count() <= before
+
+
+def test_property_3_majority_becomes_and_or():
+    # maj = ab ⊕ ac ⊕ bc: pattern (1,1) at the joining XOR gates is
+    # uncontrollable, everything reduces to the AND/OR majority form.
+    masks = {0b011, 0b101, 0b110}
+    _, tree, stats = run_removal(masks)
+    ops = {node.op for node in tree.iter_nodes()}
+    assert tr.XOR not in ops
+    assert stats.xor_to_or >= 1
+    assert tree.two_input_gate_count() <= 5
+
+
+def test_parity_is_irreducible():
+    # "all the XOR gates in a parity function are not reducible."
+    masks = {0b00001, 0b00010, 0b00100, 0b01000, 0b10000}
+    _, tree, stats = run_removal(masks)
+    assert stats.total_reductions() == 0
+    xor_count = sum(1 for n in tree.iter_nodes() if n.op == tr.XOR)
+    assert xor_count == 4
+
+
+def test_rule_a_discovered():
+    # x0 ⊕ x0x1 = x0·x̄1 (rule (a) found via the pattern analysis).
+    masks = {0b01, 0b11}
+    form = FprmForm.from_masks(2, 0b11, masks)
+    expr = factor_cubes(list(masks))
+    tree = tree_from_expr(expr)
+    remover = RedundancyRemover(tree, 2, form, SynthesisOptions())
+    reduced = remover.run()
+    assert all(node.op != tr.XOR for node in reduced.iter_nodes())
+    for m in range(4):
+        assert reduced.evaluate(m) == masks_value(masks, m)
+
+
+def test_stats_track_engine_usage():
+    masks = {0b011, 0b101, 0b110}
+    _, _, stats = run_removal(masks)
+    assert stats.decided_by_simulation + stats.decided_by_engine > 0
+
+
+def test_disjoint_xor_skip_keeps_po_tree():
+    # Two disjoint-support cubes joined at the PO: that XOR is never
+    # reducible (the paper skips it outright).
+    masks = {0b00011, 0b01100}
+    _, tree, _ = run_removal(masks)
+    assert any(node.op == tr.XOR for node in tree.iter_nodes())

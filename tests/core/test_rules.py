@@ -1,0 +1,87 @@
+"""The paper's Reduction/Factorization rules (Section 3)."""
+
+from repro.core.rules import (
+    cube_expr,
+    reduce_rule_a_expr,
+    reduce_rule_b_expr,
+    reduce_rule_c_expr,
+    try_rule_a,
+    try_rule_b,
+)
+from repro.expr import expression as ex
+
+
+def evaluate_masks(masks, m):
+    value = 0
+    for mask in masks:
+        if (m & mask) == mask:
+            value ^= 1
+    return value
+
+
+def test_cube_expr():
+    assert cube_expr(0) == ex.TRUE
+    assert cube_expr(0b101).format() == "x0·x2"
+
+
+def test_rule_a_cube_level():
+    # A ⊕ AB with A = x0, B = x1: masks {0b01, 0b11}
+    hit = try_rule_a({0b01, 0b11})
+    assert hit is not None
+    expr, consumed = hit
+    assert consumed == {0b01, 0b11}
+    for m in range(4):
+        assert expr.evaluate(m) == evaluate_masks([0b01, 0b11], m)
+
+
+def test_rule_a_no_match():
+    assert try_rule_a({0b01, 0b10}) is None
+
+
+def test_rule_b_cube_level():
+    # AB ⊕ AC ⊕ ABC with A=x0, B=x1, C=x2.
+    masks = {0b011, 0b101, 0b111}
+    hit = try_rule_b(masks)
+    assert hit is not None
+    expr, consumed = hit
+    assert consumed == masks
+    for m in range(8):
+        assert expr.evaluate(m) == evaluate_masks(list(masks), m)
+
+
+def test_rule_b_requires_all_three():
+    assert try_rule_b({0b011, 0b101}) is None
+
+
+def test_rule_a_expression_level():
+    a, b = ex.Lit(0), ex.Lit(1)
+    reduced = reduce_rule_a_expr(a, b)
+    for m in range(4):
+        av, bv = a.evaluate(m), b.evaluate(m)
+        assert reduced.evaluate(m) == (av ^ (av & bv))
+
+
+def test_rule_b_expression_level():
+    a, b, c = ex.Lit(0), ex.Lit(1), ex.Lit(2)
+    reduced = reduce_rule_b_expr(a, b, c)
+    for m in range(8):
+        av, bv, cv = (x.evaluate(m) for x in (a, b, c))
+        want = (av & bv) ^ (av & cv) ^ (av & bv & cv)
+        assert reduced.evaluate(m) == want
+
+
+def test_rule_c_expression_level():
+    a, b = ex.Lit(0), ex.Lit(1)
+    reduced = reduce_rule_c_expr(a, b)
+    for m in range(4):
+        av, bv = a.evaluate(m), b.evaluate(m)
+        assert reduced.evaluate(m) == ((av & bv) ^ (1 - bv))
+
+
+def test_paper_equality_chain():
+    # (B ⊕ C) ⊕ BC = (B + C) + BC = B + C   (Section 4 closing identity)
+    b, c = ex.Lit(0), ex.Lit(1)
+    lhs = ex.xor_([ex.xor_([b, c]), ex.and_([b, c])])
+    rhs = ex.or_([b, c])
+    for m in range(4):
+        assert lhs.evaluate(m) == rhs.evaluate(m)

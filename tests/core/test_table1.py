@@ -1,0 +1,66 @@
+"""Table 1 of the paper: XOR and the three implied functions.
+
+| g h | g⊕h | g+h | g·h̄ | ḡ·h |
+| 0 0 |  0  |  0  |  0  |  0  |
+| 0 1 |  1  |  1  |  0  |  1  |
+| 1 0 |  1  |  1  |  1  |  0  |
+| 1 1 |  0  |  1  |  0  |  0  |
+
+Properties 3-4 follow: the replacement agrees with XOR exactly on the
+patterns that remain relevant.
+"""
+
+import itertools
+
+TABLE1 = {
+    (0, 0): (0, 0, 0, 0),
+    (0, 1): (1, 1, 0, 1),
+    (1, 0): (1, 1, 1, 0),
+    (1, 1): (0, 1, 0, 0),
+}
+
+
+def implied(g, h):
+    return (g ^ h, g | h, g & (1 - h), (1 - g) & h)
+
+
+def test_table1_values():
+    for (g, h), row in TABLE1.items():
+        assert implied(g, h) == row
+
+
+def test_property_3_or_replacement():
+    # If (1,1) never occurs, g+h agrees with g⊕h on the rest.
+    for g, h in [(0, 0), (0, 1), (1, 0)]:
+        assert (g | h) == (g ^ h)
+
+
+def test_property_4_and_replacements():
+    # (0,1) missing -> g·h̄ matches; (1,0) missing -> ḡ·h matches.
+    for g, h in [(0, 0), (1, 0), (1, 1)]:
+        assert (g & (1 - h)) == (g ^ h) or (g, h) == (1, 1)
+    # exact agreement on the relevant set:
+    for g, h in [(0, 0), (1, 0)]:
+        assert (g & (1 - h)) == (g ^ h)
+    for g, h in [(0, 0), (0, 1)]:
+        assert ((1 - g) & h) == (g ^ h)
+
+
+def test_replacement_table_is_exhaustive():
+    # Every subset of relevant patterns maps to a function agreeing with
+    # XOR on that subset (the redundancy remover's _REPLACEMENTS table).
+    from repro.core.redundancy import _REPLACEMENTS
+    from repro.core.tree import TNode
+
+    for relevant in map(frozenset, itertools.chain.from_iterable(
+        itertools.combinations([(0, 1), (1, 0), (1, 1)], k)
+        for k in range(3)
+    )):
+        if relevant == frozenset({(0, 1), (1, 0), (1, 1)}):
+            continue
+        builder = _REPLACEMENTS[relevant]
+        g, h = TNode.lit(0), TNode.lit(1)
+        replacement = builder(g, h)
+        for pattern in relevant | {(0, 0)}:
+            literals = pattern[0] | (pattern[1] << 1)
+            assert replacement.evaluate(literals) == pattern[0] ^ pattern[1]

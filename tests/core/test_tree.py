@@ -1,0 +1,80 @@
+"""Gate-tree IR: conversion, evaluation, simplification."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import tree as tr
+from repro.core.tree import TNode, expr_from_tree, simplify_tree, tree_from_expr
+from repro.expr import expression as ex
+
+N = 4
+
+
+@st.composite
+def literal_exprs(draw, depth=3):
+    """Literal-space expressions (positive literals, as N_x requires)."""
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)))
+    op = draw(st.sampled_from(["and", "or", "xor"]))
+    args = draw(
+        st.lists(literal_exprs(depth=depth - 1), min_size=2, max_size=3)
+    )
+    return {"and": ex.and_, "or": ex.or_, "xor": ex.xor_}[op](args)
+
+
+@given(literal_exprs())
+def test_tree_roundtrip_semantics(e):
+    tree = tree_from_expr(e)
+    back = expr_from_tree(tree)
+    for m in range(1 << N):
+        assert tree.evaluate(m) == e.evaluate(m)
+        assert back.evaluate(m) == e.evaluate(m)
+
+
+@given(literal_exprs())
+def test_gate_count_preserved_by_binarization(e):
+    tree = tree_from_expr(e)
+    assert tree.two_input_gate_count() == e.two_input_gate_count()
+
+
+def test_simplify_constants():
+    a = TNode.lit(0)
+    t = TNode.gate(tr.AND, a, TNode.const(1))
+    assert simplify_tree(t).op == tr.LIT
+    t = TNode.gate(tr.AND, TNode.lit(0), TNode.const(0))
+    assert simplify_tree(t).op == tr.C0
+    t = TNode.gate(tr.OR, TNode.lit(0), TNode.const(1))
+    assert simplify_tree(t).op == tr.C1
+    t = TNode.gate(tr.XOR, TNode.lit(0), TNode.const(0))
+    assert simplify_tree(t).op == tr.LIT
+
+
+def test_simplify_xor_with_one_becomes_inverter():
+    t = TNode.gate(tr.XOR, TNode.lit(0), TNode.const(1))
+    s = simplify_tree(t)
+    assert s.op == tr.NOT and s.kids[0].op == tr.LIT
+
+
+def test_simplify_double_negation():
+    t = TNode.invert(TNode.invert(TNode.lit(2)))
+    assert simplify_tree(t).op == tr.LIT
+
+
+def test_replace_with_preserves_identity():
+    node = TNode.gate(tr.XOR, TNode.lit(0), TNode.lit(1))
+    keep = node
+    node.replace_with(TNode.gate(tr.OR, TNode.lit(0), TNode.lit(1)))
+    assert keep.op == tr.OR
+
+
+@given(literal_exprs())
+def test_support(e):
+    tree = tree_from_expr(e)
+    assert tree.support() == e.support()
+
+
+def test_copy_is_deep():
+    node = TNode.gate(tr.AND, TNode.lit(0), TNode.lit(1))
+    clone = node.copy()
+    clone.kids[0].var = 3
+    assert node.kids[0].var == 0

@@ -1,0 +1,82 @@
+"""Unit + property tests for SOP covers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+
+N = 5
+
+
+@st.composite
+def covers(draw, n=N, max_cubes=5):
+    num = draw(st.integers(0, max_cubes))
+    cubes = []
+    for _ in range(num):
+        pos = draw(st.integers(0, (1 << n) - 1))
+        neg = draw(st.integers(0, (1 << n) - 1)) & ~pos
+        cubes.append(Cube(n, pos, neg))
+    return Cover(n, tuple(cubes))
+
+
+@given(covers())
+def test_scc_preserves_function(cover):
+    reduced = cover.single_cube_containment()
+    assert reduced.num_cubes <= cover.num_cubes
+    for m in range(1 << N):
+        assert reduced.evaluate(m) == cover.evaluate(m)
+
+
+@given(covers(), covers())
+def test_union_is_or(a, b):
+    u = a.union(b)
+    for m in range(1 << N):
+        assert u.evaluate(m) == (a.evaluate(m) | b.evaluate(m))
+
+
+@given(covers(), covers())
+def test_intersection_is_and(a, b):
+    meet = a.intersection(b)
+    for m in range(1 << N):
+        assert meet.evaluate(m) == (a.evaluate(m) & b.evaluate(m))
+
+
+@given(covers(), st.integers(0, N - 1), st.integers(0, 1))
+def test_cofactor_semantics(cover, var, value):
+    cofactor = cover.cofactor(var, value)
+    for m in range(1 << N):
+        fixed = (m & ~(1 << var)) | (value << var)
+        assert cofactor.evaluate(m) == cover.evaluate(fixed)
+
+
+def test_zero_and_one():
+    assert Cover.zero(3).is_zero()
+    assert Cover.one(3).is_one()
+    assert Cover.one(3).evaluate(0b101) == 1
+
+
+def test_restrict_lift_roundtrip():
+    cover = Cover.from_strings(["1-0--", "-1--1"])
+    narrowed = cover.restrict_support([0, 1, 2, 4])
+    lifted = narrowed.lift_support(5, [0, 1, 2, 4])
+    for m in range(32):
+        assert lifted.evaluate(m) == cover.evaluate(m)
+
+
+def test_restrict_support_rejects_escaping_literal():
+    cover = Cover.from_strings(["1-1"])
+    with pytest.raises(ValueError):
+        cover.restrict_support([0, 1])
+
+
+def test_support_mask():
+    cover = Cover.from_strings(["1--", "--0"])
+    assert cover.support == 0b101
+
+
+def test_format():
+    cover = Cover.from_strings(["10", "-1"])
+    assert cover.format(["a", "b"]) == "a·b' + b"
+    assert Cover.zero(2).format() == "0"

@@ -1,0 +1,114 @@
+"""Unit + property tests for cubes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError
+from repro.expr.cube import Cube
+
+N = 6
+
+
+@st.composite
+def cubes(draw, n=N):
+    pos = draw(st.integers(0, (1 << n) - 1))
+    neg = draw(st.integers(0, (1 << n) - 1)) & ~pos
+    return Cube(n, pos, neg)
+
+
+minterms = st.integers(0, (1 << N) - 1)
+
+
+def test_contradictory_literals_rejected():
+    with pytest.raises(ValueError):
+        Cube(3, 0b001, 0b001)
+
+
+def test_literal_outside_universe_rejected():
+    with pytest.raises(ValueError):
+        Cube(2, 0b100, 0)
+
+
+def test_from_string_roundtrip():
+    cube = Cube.from_string("01-1")
+    assert cube.to_string() == "01-1"
+    assert cube.pos == 0b1010
+    assert cube.neg == 0b0001
+
+
+def test_from_minterm_covers_exactly_one():
+    cube = Cube.from_minterm(4, 0b0101)
+    assert cube.minterm_count() == 1
+    assert cube.contains_minterm(0b0101)
+    assert not cube.contains_minterm(0b0100)
+
+
+@given(cubes(), minterms)
+def test_containment_semantics(cube, minterm):
+    expected = all(
+        ((minterm >> v) & 1) == 1
+        for v in range(N)
+        if (cube.pos >> v) & 1
+    ) and all(
+        ((minterm >> v) & 1) == 0
+        for v in range(N)
+        if (cube.neg >> v) & 1
+    )
+    assert cube.contains_minterm(minterm) == expected
+
+
+@given(cubes(), cubes())
+def test_covers_iff_minterm_subset(a, b):
+    brute = all(a.contains_minterm(m) for m in b.minterms())
+    assert a.covers(b) == brute
+
+
+@given(cubes(), cubes())
+def test_intersects_iff_common_minterm(a, b):
+    brute = any(b.contains_minterm(m) for m in a.minterms())
+    assert a.intersects(b) == brute
+
+
+@given(cubes(), cubes())
+def test_intersection_is_conjunction(a, b):
+    meet = a.intersection(b)
+    for m in range(1 << N):
+        both = a.contains_minterm(m) and b.contains_minterm(m)
+        got = meet is not None and meet.contains_minterm(m)
+        assert got == both
+
+
+@given(cubes(), cubes())
+def test_consensus_covered_by_union(a, b):
+    c = a.consensus(b)
+    if c is not None:
+        for m in c.minterms():
+            assert a.contains_minterm(m) or b.contains_minterm(m)
+
+
+@given(cubes())
+def test_minterm_count_matches_enumeration(cube):
+    assert cube.minterm_count() == len(list(cube.minterms()))
+
+
+@given(cubes(), st.integers(0, N - 1), st.integers(0, 1))
+def test_restrict_is_cofactor(cube, var, value):
+    restricted = cube.restrict(var, value)
+    for m in range(1 << N):
+        if ((m >> var) & 1) != value:
+            continue
+        want = cube.contains_minterm(m)
+        got = restricted is not None and restricted.contains_minterm(m)
+        assert got == want
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(DimensionError):
+        Cube(3).covers(Cube(4))
+
+
+def test_format_names():
+    cube = Cube.from_string("1-0")
+    assert cube.format(["a", "b", "c"]) == "a·c'"
+    assert Cube.universe(3).format() == "1"

@@ -1,0 +1,66 @@
+"""Inverter-minimization (De Morgan phase assignment)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr import expression as ex
+from repro.expr.demorgan import minimize_inverters
+
+N = 4
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)), draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ex.not_(draw(exprs(depth=depth - 1)))
+    args = draw(st.lists(exprs(depth=depth - 1), min_size=2, max_size=3))
+    return {"and": ex.and_, "or": ex.or_, "xor": ex.xor_}[op](args)
+
+
+def count_inverters(e):
+    total = 0
+    if isinstance(e, ex.Not):
+        total += 1
+    elif isinstance(e, ex.Lit) and e.negated:
+        total += 1
+    return total + sum(count_inverters(c) for c in e.children())
+
+
+@given(exprs())
+def test_function_preserved(e):
+    rewritten = minimize_inverters(e)
+    for m in range(1 << N):
+        assert rewritten.evaluate(m) == e.evaluate(m)
+
+
+@given(exprs())
+def test_never_more_inverters(e):
+    rewritten = minimize_inverters(e)
+    assert count_inverters(rewritten) <= count_inverters(e)
+
+
+def test_and_of_complements_becomes_nor_style():
+    # ¬(x̄0·x̄1·x̄2) = x0 + x1 + x2 — zero inverters.
+    e = ex.not_(ex.and_([ex.Lit(0, True), ex.Lit(1, True), ex.Lit(2, True)]))
+    rewritten = minimize_inverters(e)
+    assert count_inverters(rewritten) == 0
+    for m in range(8):
+        assert rewritten.evaluate(m) == e.evaluate(m)
+
+
+def test_xor_absorbs_negation():
+    e = ex.not_(ex.Xor((ex.Lit(0), ex.Lit(1, True))))
+    rewritten = minimize_inverters(e)
+    assert count_inverters(rewritten) == 0
+
+
+@given(exprs())
+def test_gate_count_not_increased(e):
+    rewritten = minimize_inverters(e)
+    # De Morgan swaps AND<->OR 1:1 and keeps XOR; only inverters change.
+    assert (
+        rewritten.two_input_gate_count() <= e.two_input_gate_count()
+    )

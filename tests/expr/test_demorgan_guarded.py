@@ -1,0 +1,47 @@
+"""The sharing guard on inverter minimization."""
+
+from repro.expr import expression as ex
+from repro.expr.demorgan import minimize_inverters_guarded
+
+
+def xor_free_chain(n):
+    """XOR chain expanded into AND/OR/NOT — heavy both-phase sharing."""
+    result = ex.Lit(0)
+    for i in range(1, n):
+        child = ex.Lit(i)
+        result = ex.or_([
+            ex.and_([result, ex.not_(child)]),
+            ex.and_([ex.not_(result), child]),
+        ])
+    return result
+
+
+def strashed_gates(e, width):
+    from repro.network.build import network_from_exprs
+
+    net = network_from_exprs(width, [e])
+    return net.two_input_gate_count()
+
+
+def test_guard_refuses_sharing_breaking_rewrite():
+    # The naive phase rewrite duplicates the both-phase chain; the guard
+    # must keep the original (3 gates per XOR stage).
+    chain = xor_free_chain(8)
+    guarded = minimize_inverters_guarded(chain, 8)
+    assert strashed_gates(guarded, 8) <= strashed_gates(chain, 8)
+    assert strashed_gates(guarded, 8) == 21  # 7 stages * 3 gates
+
+
+def test_guard_accepts_pure_improvements():
+    e = ex.not_(ex.and_([ex.Lit(0, True), ex.Lit(1, True)]))
+    guarded = minimize_inverters_guarded(e, 2)
+    # ¬(x̄·ȳ) = x + y: one gate, zero inverters.
+    assert strashed_gates(guarded, 2) == 1
+    assert isinstance(guarded, ex.Or)
+
+
+def test_guard_preserves_semantics():
+    chain = xor_free_chain(5)
+    guarded = minimize_inverters_guarded(chain, 5)
+    for m in range(32):
+        assert guarded.evaluate(m) == chain.evaluate(m)

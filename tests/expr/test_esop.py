@@ -1,0 +1,84 @@
+"""Tests for ESOP covers and FPRM forms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr.esop import EsopCover, FprmForm
+from repro.expr.cube import Cube
+
+N = 5
+
+
+@st.composite
+def fprm_forms(draw, n=N):
+    polarity = draw(st.integers(0, (1 << n) - 1))
+    masks = draw(st.sets(st.integers(0, (1 << n) - 1), max_size=8))
+    return FprmForm.from_masks(n, polarity, masks)
+
+
+def test_duplicate_cubes_rejected():
+    with pytest.raises(ValueError):
+        FprmForm(3, 0b111, (0b001, 0b001))
+
+
+def test_polarity_wider_than_universe_rejected():
+    with pytest.raises(ValueError):
+        FprmForm(2, 0b111, ())
+
+
+def test_constant_cube_detection():
+    assert FprmForm(3, 7, (0,)).has_constant_cube
+    assert not FprmForm(3, 7, (1,)).has_constant_cube
+
+
+def test_evaluate_positive_polarity():
+    # f = x0 ⊕ x1·x2  (all positive)
+    form = FprmForm(3, 0b111, (0b001, 0b110))
+    for m in range(8):
+        want = ((m >> 0) & 1) ^ (((m >> 1) & 1) & ((m >> 2) & 1))
+        assert form.evaluate(m) == want
+
+
+def test_evaluate_negative_polarity():
+    # f = x̄0 with variable 0 in negative polarity
+    form = FprmForm(1, 0b0, (0b1,))
+    assert form.evaluate(0) == 1
+    assert form.evaluate(1) == 0
+
+
+@given(fprm_forms())
+def test_cube_objects_agree_with_evaluate(form):
+    esop = form.to_esop()
+    for m in range(1 << N):
+        assert esop.evaluate(m) == form.evaluate(m)
+
+
+@given(fprm_forms())
+def test_literal_pattern_roundtrip(form):
+    for m in range(1 << N):
+        literal = form.literal_minterm(m)
+        assert form.pi_pattern(literal) == m
+
+
+@given(fprm_forms(), fprm_forms())
+def test_xor_of_forms(a, b):
+    if a.polarity != b.polarity:
+        with pytest.raises(ValueError):
+            a.xor(b)
+        return
+    c = a.xor(b)
+    for m in range(1 << N):
+        assert c.evaluate(m) == (a.evaluate(m) ^ b.evaluate(m))
+
+
+def test_format_shows_polarity():
+    form = FprmForm(2, 0b01, (0b11, 0))
+    text = form.format(["a", "b"])
+    assert "a·b'" in text and "1" in text
+
+
+def test_esop_counts():
+    cover = EsopCover(3, (Cube(3, 0b011, 0), Cube(3, 0, 0b100)))
+    assert cover.num_cubes == 2
+    assert cover.num_literals == 3

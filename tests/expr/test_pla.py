@@ -1,0 +1,77 @@
+"""PLA reader/writer round trips."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expr.pla import Pla, parse_pla, write_pla
+
+SAMPLE = """\
+# a 3-input, 2-output example
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+.p 3
+1-0 10
+-11 11
+000 01
+.e
+"""
+
+
+def test_parse_basic():
+    pla = parse_pla(SAMPLE)
+    assert pla.num_inputs == 3
+    assert pla.num_outputs == 2
+    assert pla.input_names == ["a", "b", "c"]
+    assert [len(c) for c in pla.covers] == [2, 2]
+
+
+def test_parse_semantics():
+    pla = parse_pla(SAMPLE)
+    f, g = pla.covers
+    assert f.evaluate(0b001) == 1   # a=1,b=0,c=0 matches 1-0
+    assert f.evaluate(0b110) == 1   # b=1,c=1 matches -11
+    assert g.evaluate(0b000) == 1   # 000 column 2
+    assert f.evaluate(0b000) == 0
+
+
+def test_roundtrip():
+    pla = parse_pla(SAMPLE)
+    text = write_pla(pla)
+    again = parse_pla(text)
+    for j in range(pla.num_outputs):
+        for m in range(8):
+            assert again.covers[j].evaluate(m) == pla.covers[j].evaluate(m)
+
+
+def test_missing_header_raises():
+    with pytest.raises(ParseError):
+        parse_pla("1-0 1\n")
+
+
+def test_bad_output_char_raises():
+    with pytest.raises(ParseError):
+        parse_pla(".i 2\n.o 1\n1- x\n")
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(ParseError):
+        parse_pla(".i 3\n.o 1\n1- 1\n")
+
+
+def test_unspecified_directive_raises():
+    with pytest.raises(ParseError):
+        parse_pla(".i 2\n.o 1\n.phase 1\n11 1\n")
+
+
+def test_joined_line_form():
+    # Some PLA writers omit the space between input and output parts.
+    pla = parse_pla(".i 2\n.o 1\n111\n")
+    assert pla.covers[0].evaluate(0b11) == 1
+
+
+def test_write_type_fd_outputs():
+    pla = Pla(2, 2, [parse_pla(".i 2\n.o 1\n11 1\n").covers[0]] * 2)
+    text = write_pla(pla)
+    assert ".i 2" in text and ".o 2" in text and text.count("11 ") == 2

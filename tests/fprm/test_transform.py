@@ -1,0 +1,41 @@
+"""FPRM derivation from tables, covers and expressions agree."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import expression as ex
+from repro.expr.cover import Cover
+from repro.expr.cube import Cube
+from repro.fprm.transform import fprm_of_cover, fprm_of_expr, fprm_of_table
+from repro.truth.table import TruthTable
+
+N = 4
+
+
+@st.composite
+def covers(draw, n=N):
+    num = draw(st.integers(1, 4))
+    cubes = []
+    for _ in range(num):
+        pos = draw(st.integers(0, (1 << n) - 1))
+        neg = draw(st.integers(0, (1 << n) - 1)) & ~pos
+        cubes.append(Cube(n, pos, neg))
+    return Cover(n, tuple(cubes))
+
+
+@given(covers(), st.integers(0, (1 << N) - 1))
+@settings(max_examples=50)
+def test_cover_and_table_routes_agree(cover, polarity):
+    table = TruthTable.from_cover(cover)
+    via_table = fprm_of_table(table, polarity)
+    via_cover = fprm_of_cover(cover, polarity)
+    assert via_table.cubes == via_cover.cubes  # canonical per polarity
+
+
+@given(st.integers(0, (1 << N) - 1))
+def test_expr_route_agrees(polarity):
+    e = ex.xor_([ex.Lit(0), ex.and_([ex.Lit(1), ex.Lit(2)]), ex.Lit(3, True)])
+    table = TruthTable.from_function(N, e.evaluate)
+    via_table = fprm_of_table(table, polarity)
+    via_expr = fprm_of_expr(e, N, polarity)
+    assert via_table.cubes == via_expr.cubes

@@ -1,0 +1,29 @@
+"""Ablation harness sanity."""
+
+from repro.harness.ablation import (
+    AblationRow,
+    ablate_factor_method,
+    ablate_redundancy_removal,
+)
+
+SMALL = ["majority", "rd53"]
+
+
+def test_redundancy_ablation_rows():
+    rows = ablate_redundancy_removal(SMALL)
+    assert [r.circuit for r in rows] == SMALL
+    for row in rows:
+        assert set(row.variants) == {"with_rr", "without_rr"}
+        assert row.variants["with_rr"] <= row.variants["without_rr"]
+
+
+def test_factor_method_ablation_rows():
+    rows = ablate_factor_method(["rd53"])
+    row = rows[0]
+    assert set(row.variants) == {"cube", "ofdd", "auto"}
+    assert row.best() in row.variants
+
+
+def test_ablation_row_best():
+    row = AblationRow("x", {"a": 3, "b": 1})
+    assert row.best() == "b"

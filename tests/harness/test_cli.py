@@ -1,0 +1,79 @@
+"""The repro-synth command-line tool."""
+
+import pytest
+
+from repro.harness.cli import load_spec, main
+
+PLA = """\
+.i 3
+.o 2
+.ilb a b c
+.ob f g
+1-0 10
+-11 11
+000 01
+.e
+"""
+
+BLIF = """\
+.model small
+.inputs a b
+.outputs f
+.names a b f
+10 1
+01 1
+.end
+"""
+
+
+@pytest.fixture
+def pla_file(tmp_path):
+    path = tmp_path / "small.pla"
+    path.write_text(PLA)
+    return path
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    path = tmp_path / "small.blif"
+    path.write_text(BLIF)
+    return path
+
+
+def test_load_spec_pla(pla_file):
+    spec = load_spec(pla_file)
+    assert spec.num_inputs == 3 and spec.num_outputs == 2
+    assert spec.evaluate(0b001) == (1, 0)
+
+
+def test_load_spec_blif(blif_file):
+    spec = load_spec(blif_file)
+    assert spec.num_inputs == 2 and spec.num_outputs == 1
+    assert spec.evaluate(0b01) == (1,)
+    assert spec.evaluate(0b11) == (0,)
+
+
+def test_cli_report(pla_file, capsys):
+    assert main([str(pla_file), "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "gates:" in out and "power:" in out
+
+
+def test_cli_writes_blif_roundtrip(pla_file, tmp_path, capsys):
+    out_path = tmp_path / "out.blif"
+    assert main([str(pla_file), "-o", str(out_path)]) == 0
+    from repro.network.blif import parse_blif
+    from repro.network.verify import equivalent_to_spec
+
+    net = parse_blif(out_path.read_text())
+    assert equivalent_to_spec(net, load_spec(pla_file))
+
+
+def test_cli_sislite_flow(blif_file, capsys):
+    assert main([str(blif_file), "--flow", "sislite", "--report"]) == 0
+    assert "sislite" in capsys.readouterr().out
+
+
+def test_cli_mapping_report(blif_file, capsys):
+    assert main([str(blif_file), "--report", "--map"]) == 0
+    assert "mapped:" in capsys.readouterr().out

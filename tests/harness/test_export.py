@@ -1,0 +1,41 @@
+"""Suite export: PLA + BLIF artifacts round-trip."""
+
+from repro.circuits import get
+from repro.expr.pla import parse_pla
+from repro.harness.export import export_circuit, main
+from repro.network.blif import parse_blif
+from repro.network.verify import equivalent_to_spec
+
+
+def test_export_writes_all_artifacts(tmp_path):
+    files = export_circuit("rd53", tmp_path)
+    assert set(files) == {"rd53.pla", "rd53.fprm.blif", "rd53.sislite.blif"}
+
+
+def test_exported_pla_matches_spec(tmp_path):
+    export_circuit("bcd-div3", tmp_path)
+    pla = parse_pla((tmp_path / "bcd-div3.pla").read_text())
+    spec = get("bcd-div3")
+    assert pla.num_inputs == spec.num_inputs
+    for j, cover in enumerate(pla.covers):
+        for m in range(1 << spec.num_inputs):
+            assert cover.evaluate(m) == spec.evaluate(m)[j]
+
+
+def test_exported_blif_is_equivalent(tmp_path):
+    export_circuit("z4ml", tmp_path)
+    net = parse_blif((tmp_path / "z4ml.fprm.blif").read_text())
+    assert equivalent_to_spec(net, get("z4ml"))
+    base = parse_blif((tmp_path / "z4ml.sislite.blif").read_text())
+    assert equivalent_to_spec(base, get("z4ml"))
+
+
+def test_wide_circuit_skips_pla(tmp_path):
+    files = export_circuit("parity", tmp_path)  # 16-wide table output
+    assert "parity.pla" not in files
+    assert "parity.fprm.blif" in files
+
+
+def test_cli(tmp_path, capsys):
+    assert main(["--dir", str(tmp_path), "--circuits", "majority"]) == 0
+    assert (tmp_path / "majority.pla").exists()

@@ -1,0 +1,52 @@
+"""The experiment runner and Table 2 driver."""
+
+import pytest
+
+from repro.harness.experiment import run_circuit
+from repro.harness.table2 import format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def t481_row():
+    return run_circuit("t481")
+
+
+def test_run_circuit_metrics(t481_row):
+    row = t481_row
+    assert row.name == "t481"
+    assert row.inputs == 16 and row.outputs == 1
+    assert row.arithmetic
+    assert row.ours.premap_lits > 0
+    assert row.baseline.premap_lits > row.ours.premap_lits
+    assert row.ours.mapped_gates > 0
+    assert row.baseline.power_uw > 0
+
+
+def test_t481_headline_improvement(t481_row):
+    # The paper's flagship row: a very large mapped-literal improvement.
+    assert t481_row.improve_lits_pct > 50
+
+
+def test_table2_formatting(t481_row):
+    text = format_table2([t481_row])
+    assert "t481*" in text
+    assert "Total arith." in text
+    assert "Total all" in text
+    assert "improve%lits" in text
+
+
+def test_run_table2_subset():
+    rows = run_table2(["majority", "rd53"])
+    assert [r.name for r in rows] == ["majority", "rd53"]
+    text = format_table2(rows)
+    assert "rd53*" in text
+
+
+def test_cli_main(tmp_path, capsys):
+    from repro.harness.table2 import main
+
+    out = tmp_path / "table.txt"
+    assert main(["--circuits", "majority", "--out", str(out)]) == 0
+    assert "majority" in out.read_text()
+    captured = capsys.readouterr()
+    assert "Total all" in captured.out

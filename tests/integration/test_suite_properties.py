@@ -1,0 +1,63 @@
+"""Cross-cutting suite invariants both flows must uphold."""
+
+import pytest
+
+from repro.circuits import all_names, arithmetic_names, get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.network.netlist import GateType
+
+FAST = ["z4ml", "rd53", "cm82a", "bcd-div3", "f2", "majority", "tcon",
+        "pcle", "i5", "cm163a"]
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_literal_metric_consistency(name):
+    result = synthesize_fprm(get(name), SynthesisOptions(verify=False))
+    net = result.network
+    assert net.literal_count() == 2 * net.two_input_gate_count()
+    histogram = net.gate_type_histogram()
+    recomputed = (
+        histogram.get(GateType.AND, 0)
+        + histogram.get(GateType.OR, 0)
+        + 3 * histogram.get(GateType.XOR, 0)
+    )
+    assert recomputed == net.two_input_gate_count()
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_depth_positive_for_nontrivial(name):
+    result = synthesize_fprm(get(name), SynthesisOptions(verify=False))
+    if result.two_input_gates > 0:
+        assert result.network.depth() >= 1
+
+
+def test_arithmetic_set_is_the_documented_one():
+    arith = set(arithmetic_names())
+    # The bold-face circuits of Table 2, as DESIGN.md documents.
+    assert {"z4ml", "adr4", "add6", "mlp4", "my_adder", "t481", "9sym",
+            "sym10", "rd53", "rd73", "rd84", "parity", "xor10",
+            "majority", "co14", "cm82a", "cm85a", "bcd-div3", "5xp1",
+            "f51m", "addm4", "sqr6", "squar5", "radd"} <= arith
+    assert len(arith) < len(all_names())
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_reports_align_with_outputs(name):
+    spec = get(name)
+    result = synthesize_fprm(spec, SynthesisOptions(verify=False))
+    assert [r.name for r in result.reports] == spec.output_names
+
+
+def test_pcle_semantics():
+    spec = get("pcle")
+    # p0 = (x0 ⊕ x1) & x18
+    assert spec.evaluate((1 << 0) | (1 << 18)) [0] == 1
+    assert spec.evaluate((1 << 0) | (1 << 1) | (1 << 18))[0] == 0
+    assert spec.evaluate(1 << 0)[0] == 0
+
+
+def test_i5_gate_budget_matches_published_literals():
+    # DESIGN: i5 regenerated at 2 gates per output (264 literals total).
+    result = synthesize_fprm(get("i5"), SynthesisOptions(verify=False))
+    assert result.literals == 264

@@ -1,0 +1,123 @@
+"""OKFDD correctness across decomposition-type lists."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import expression as ex
+from repro.kfdd import (
+    NEG_DAVIO,
+    POS_DAVIO,
+    SHANNON,
+    KfddManager,
+    factor_kfdd,
+    optimize_decomposition_types,
+)
+
+N = 4
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)), draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ex.not_(draw(exprs(depth=depth - 1)))
+    args = draw(st.lists(exprs(depth=depth - 1), min_size=2, max_size=3))
+    return {"and": ex.and_, "or": ex.or_, "xor": ex.xor_}[op](args)
+
+
+dtls = st.lists(
+    st.sampled_from([SHANNON, POS_DAVIO, NEG_DAVIO]), min_size=N, max_size=N
+)
+
+
+@given(exprs(), dtls)
+@settings(max_examples=150, deadline=None)
+def test_any_dtl_evaluates_correctly(e, dtl):
+    manager = KfddManager(N, dtl)
+    node = manager.from_expr(e)
+    for m in range(1 << N):
+        assert manager.evaluate(node, m) == e.evaluate(m)
+
+
+@given(exprs(), exprs(), dtls)
+@settings(max_examples=80, deadline=None)
+def test_canonicity_per_dtl(a, b, dtl):
+    manager = KfddManager(N, dtl)
+    na, nb = manager.from_expr(a), manager.from_expr(b)
+    same = all(a.evaluate(m) == b.evaluate(m) for m in range(1 << N))
+    assert (na == nb) == same
+
+
+def test_pure_corners_match_specialists():
+    # All-Shannon == BDD node counts; all-positive-Davio == OFDD counts.
+    from repro.bdd.manager import BddManager
+    from repro.ofdd.manager import OfddManager
+
+    e = ex.xor_([ex.Lit(0), ex.and_([ex.Lit(1), ex.Lit(2)]), ex.Lit(3)])
+    shannon = KfddManager(N, [SHANNON] * N)
+    bdd = BddManager(N)
+    assert (
+        shannon.node_count(shannon.from_expr(e))
+        == len({n for n in _bdd_nodes(bdd, bdd.from_expr(e))})
+    )
+    davio = KfddManager(N, [POS_DAVIO] * N)
+    ofdd = OfddManager(N)
+    assert (
+        davio.node_count(davio.from_expr(e))
+        == ofdd.node_count(ofdd.from_expr(e))
+    )
+
+
+def _bdd_nodes(bdd, root):
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node <= 1 or node in seen:
+            continue
+        seen.add(node)
+        stack.append(bdd.low(node))
+        stack.append(bdd.high(node))
+    return seen
+
+
+@given(exprs(), dtls)
+@settings(max_examples=60, deadline=None)
+def test_factor_kfdd_preserves_function(e, dtl):
+    manager = KfddManager(N, dtl)
+    node = manager.from_expr(e)
+    back = factor_kfdd(manager, node)
+    for m in range(1 << N):
+        assert back.evaluate(m) == e.evaluate(m)
+
+
+def test_optimizer_never_worse_than_start():
+    e = ex.or_([ex.and_([ex.Lit(0), ex.Lit(1)]),
+                ex.and_([ex.Lit(2), ex.Lit(3)])])
+    start = [POS_DAVIO] * N
+    manager = KfddManager(N, start)
+    start_size = manager.node_count(manager.from_expr(e))
+    _, best = optimize_decomposition_types(e, N, start)
+    assert best <= start_size
+
+
+def test_mixed_dtl_beats_pure_on_mux():
+    # ITE(s, a, b): Shannon on s is the natural choice.
+    e = ex.or_([
+        ex.and_([ex.Lit(0), ex.Lit(1)]),
+        ex.and_([ex.Lit(0, True), ex.Lit(2)]),
+    ])
+    dtl, best = optimize_decomposition_types(e, 3)
+    pure_davio = KfddManager(3, [POS_DAVIO] * 3)
+    davio_size = pure_davio.node_count(pure_davio.from_expr(e))
+    assert best <= davio_size
+
+
+def test_bad_dtl_rejected():
+    with pytest.raises(ValueError):
+        KfddManager(2, [7, 0])
+    with pytest.raises(ValueError):
+        KfddManager(2, [SHANNON])

@@ -1,0 +1,61 @@
+"""Mapping against user-supplied genlib libraries."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.expr import expression as ex
+from repro.mapping.genlib import parse_genlib
+from repro.mapping.mapper import map_network
+from repro.network.build import network_from_exprs
+
+MINIMAL = """\
+GATE inv   1.0 Y = !A;
+GATE nand2 2.0 Y = !(A*B);
+"""
+
+RICH = MINIMAL + """\
+GATE and3  4.0 Y = A*B*C;
+GATE mux   5.0 Y = S*A + !S*B;
+"""
+
+
+def test_minimal_library_covers_everything():
+    library = parse_genlib(MINIMAL)
+    e = ex.xor_([ex.Lit(0), ex.or_([ex.Lit(1), ex.Lit(2)])])
+    mapped = map_network(network_from_exprs(3, [e]), library)
+    assert set(mapped.cell_histogram()) <= {"inv", "nand2"}
+    # NAND/INV cover of XOR+OR: strictly more cells than a rich library.
+    assert mapped.gate_count >= 5
+
+
+def test_rich_library_uses_complex_cells():
+    library = parse_genlib(RICH)
+    mux = ex.or_([
+        ex.and_([ex.Lit(0), ex.Lit(1)]),
+        ex.and_([ex.Lit(0, True), ex.Lit(2)]),
+    ])
+    mapped = map_network(network_from_exprs(3, [mux]), library)
+    assert "mux" in mapped.cell_histogram()
+    assert mapped.gate_count == 1
+
+
+def test_area_objective_prefers_cheaper_cover():
+    cheap_and3 = parse_genlib(MINIMAL + "GATE and3 2.5 Y = A*B*C;\n")
+    e = ex.and_([ex.Lit(0), ex.Lit(1), ex.Lit(2)])
+    mapped = map_network(network_from_exprs(3, [e]), cheap_and3)
+    assert mapped.cell_histogram() == {"and3": 1}
+
+
+def test_library_without_nand_rejected():
+    with pytest.raises(LibraryError):
+        parse_genlib("GATE inv 1.0 Y = !A;\n")
+
+
+def test_repeated_input_cell():
+    # Cells may reference an input twice (XOR-style); leaf-consistency in
+    # the matcher must bind both occurrences to the same signal.
+    library = parse_genlib(MINIMAL + "GATE weird 3.0 Y = A*!B + !A*B;\n")
+    e = ex.xor_([ex.Lit(0), ex.Lit(1)])
+    mapped = map_network(network_from_exprs(2, [e]), library)
+    assert "weird" in mapped.cell_histogram()
+    assert mapped.gate_count == 1

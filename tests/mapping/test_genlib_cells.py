@@ -1,0 +1,66 @@
+"""genlib parsing and the built-in mcnc_lite library."""
+
+import pytest
+
+from repro.errors import LibraryError, ParseError
+from repro.mapping.cell import Cell, CellLibrary, pattern_inputs
+from repro.mapping.genlib import expression_to_pattern, parse_genlib
+from repro.mapping.mcnc import MCNC_LITE, mcnc_lite_library
+
+
+def test_expression_to_pattern_nand():
+    pattern, names = expression_to_pattern("!(A*B)")
+    assert pattern == ("nand", 0, 1)
+    assert names == ["A", "B"]
+
+
+def test_expression_to_pattern_and_or():
+    pattern, _ = expression_to_pattern("A*B")
+    assert pattern == ("inv", ("nand", 0, 1))
+    pattern, _ = expression_to_pattern("A+B")
+    assert pattern == ("nand", ("inv", 0), ("inv", 1))
+
+
+def test_expression_to_pattern_xor():
+    pattern, _ = expression_to_pattern("A*!B + !A*B")
+    assert pattern == (
+        "nand",
+        ("nand", 0, ("inv", 1)),
+        ("nand", ("inv", 0), 1),
+    )
+
+
+def test_expression_to_pattern_aoi21():
+    pattern, names = expression_to_pattern("!(A*B + C)")
+    assert len(names) == 3
+    assert pattern_inputs(pattern) == 3
+
+
+def test_parse_genlib():
+    library = parse_genlib(MCNC_LITE, name="t")
+    names = {cell.name for cell in library.cells}
+    assert {"inv", "nand2", "nor2", "xor2", "xnor2", "aoi22"} <= names
+    assert library.cell("nand2").area == 1392
+    assert library.cell("xor2").literals == 4
+    assert library.cell("inv").literals == 1
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_genlib("GATE broken 10 Y = (A;\n")
+
+
+def test_library_requires_inverter_and_nand():
+    with pytest.raises(LibraryError):
+        CellLibrary("empty", [Cell("inv", 1.0, 1, (("inv", 0),))])
+
+
+def test_mcnc_lite_augments_xor_patterns():
+    library = mcnc_lite_library()
+    assert len(library.cell("xor2").patterns) == 2
+    assert len(library.cell("xnor2").patterns) == 2
+
+
+def test_cell_leaf_count_validation():
+    with pytest.raises(LibraryError):
+        Cell("bad", 1.0, 3, (("nand", 0, 1),))

@@ -1,0 +1,97 @@
+"""BLIF round trips and parser robustness."""
+
+import pytest
+
+from repro.circuits import get
+from repro.core.synthesis import synthesize_fprm
+from repro.core.options import SynthesisOptions
+from repro.errors import ParseError
+from repro.expr import expression as ex
+from repro.network.blif import parse_blif, write_blif
+from repro.network.build import network_from_exprs
+from repro.network.verify import networks_equivalent
+
+SAMPLE = """\
+.model tiny
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+1- 1
+-1 1
+.names c g
+0 1
+.end
+"""
+
+
+def test_parse_sample():
+    net = parse_blif(SAMPLE)
+    assert net.num_inputs == 3
+    assert net.num_outputs == 2
+    reference = network_from_exprs(
+        3,
+        [ex.or_([ex.and_([ex.Lit(0), ex.Lit(1)]), ex.Lit(2)]),
+         ex.not_(ex.Lit(2))],
+    )
+    assert networks_equivalent(net, reference)
+
+
+def test_blocks_in_any_order():
+    reordered = SAMPLE.replace(
+        ".names a b t1\n11 1\n.names t1 c f\n1- 1\n-1 1\n",
+        ".names t1 c f\n1- 1\n-1 1\n.names a b t1\n11 1\n",
+    )
+    assert networks_equivalent(parse_blif(reordered), parse_blif(SAMPLE))
+
+
+def test_offset_block():
+    text = ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n"
+    net = parse_blif(text)
+    nand = network_from_exprs(2, [ex.not_(ex.and_([ex.Lit(0), ex.Lit(1)]))])
+    assert networks_equivalent(net, nand)
+
+
+def test_constant_blocks():
+    text = (".model m\n.inputs a\n.outputs one zero\n"
+            ".names one\n1\n.names zero\n.end\n")
+    net = parse_blif(text)
+    assert net.outputs[0] == net.const1
+    assert net.outputs[1] == net.const0
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_blif(".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n")
+    with pytest.raises(ParseError):
+        parse_blif(".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n")
+    with pytest.raises(ParseError):
+        parse_blif(".model m\n.inputs a\n.outputs f\n.end\n")  # undriven
+
+
+def test_cycle_detection():
+    text = (".model m\n.inputs a\n.outputs f\n"
+            ".names g f\n1 1\n.names f g\n1 1\n.end\n")
+    with pytest.raises(ParseError):
+        parse_blif(text)
+
+
+@pytest.mark.parametrize("name", ["z4ml", "rd53", "t481"])
+def test_roundtrip_synthesized_networks(name):
+    spec = get(name)
+    net = synthesize_fprm(spec, SynthesisOptions(verify=False)).network
+    text = write_blif(net)
+    back = parse_blif(text)
+    assert networks_equivalent(net, back)
+
+
+def test_write_includes_interface_names():
+    net = network_from_exprs(
+        2, [ex.xor_([ex.Lit(0), ex.Lit(1)])],
+        input_names=["alpha", "beta"], output_names=["sum"],
+    )
+    text = write_blif(net, model="demo")
+    assert ".model demo" in text
+    assert ".inputs alpha beta" in text
+    assert ".outputs sum" in text

@@ -1,0 +1,86 @@
+"""Network cloning and the CircuitSpec representation layer."""
+
+import numpy as np
+import pytest
+
+from repro.expr import expression as ex
+from repro.expr.cover import Cover
+from repro.network.build import network_from_exprs
+from repro.network.netlist import Network
+from repro.spec import CircuitSpec, OutputSpec
+from repro.truth.table import TruthTable
+
+
+def test_clone_is_independent():
+    net = network_from_exprs(2, [ex.and_([ex.Lit(0), ex.Lit(1)])])
+    clone = net.clone()
+    clone.add_or(clone.pi(0), clone.pi(1))
+    assert clone.num_nodes == net.num_nodes + 1
+
+
+def test_clone_keeps_strash():
+    net = Network(2)
+    g = net.add_and(net.pi(0), net.pi(1))
+    clone = net.clone()
+    assert clone.add_and(clone.pi(0), clone.pi(1)) == g  # hash preserved
+
+
+def test_output_spec_requires_representation():
+    with pytest.raises(ValueError):
+        OutputSpec("f", (0, 1))
+
+
+def test_output_spec_width_checks():
+    with pytest.raises(ValueError):
+        OutputSpec("f", (0,), table=TruthTable.constant(2, 0))
+    with pytest.raises(ValueError):
+        OutputSpec("f", (0,), cover=Cover.zero(2))
+    with pytest.raises(ValueError):
+        OutputSpec("f", (0,), expr=ex.Lit(1))
+
+
+def test_spec_support_bounds_checked():
+    with pytest.raises(ValueError):
+        CircuitSpec(
+            name="bad", num_inputs=2,
+            outputs=[OutputSpec("f", (5,), expr=ex.Lit(0))],
+        )
+
+
+def test_representations_agree():
+    cover = Cover.from_strings(["1-0", "-11"])
+    table = TruthTable.from_cover(cover)
+    expr = ex.or_([
+        ex.and_([ex.Lit(0), ex.Lit(2, True)]),
+        ex.and_([ex.Lit(1), ex.Lit(2)]),
+    ])
+    outs = [
+        OutputSpec("t", (0, 1, 2), table=table),
+        OutputSpec("c", (0, 1, 2), cover=cover),
+        OutputSpec("e", (0, 1, 2), expr=expr),
+    ]
+    spec = CircuitSpec(name="tri", num_inputs=3, outputs=outs)
+    for m in range(8):
+        values = spec.evaluate(m)
+        assert values[0] == values[1] == values[2]
+    inputs = np.stack(
+        [np.array([(m >> v) & 1 for m in range(8)], dtype=np.uint8)
+         for v in range(3)]
+    )
+    sim = spec.simulate(inputs)
+    assert (sim[0] == sim[1]).all() and (sim[1] == sim[2]).all()
+
+
+def test_support_remapping():
+    # Local variable 0 maps to global input 2.
+    out = OutputSpec("f", (2,), expr=ex.Lit(0))
+    spec = CircuitSpec(name="remap", num_inputs=3, outputs=[out])
+    assert spec.evaluate(0b100) == (1,)
+    assert spec.evaluate(0b011) == (0,)
+
+
+def test_local_table_cached():
+    out = OutputSpec("f", (0, 1), expr=ex.and_([ex.Lit(0), ex.Lit(1)]))
+    t1 = out.local_table()
+    t2 = out.local_table()
+    assert t1 is t2

@@ -1,0 +1,34 @@
+"""Graphviz export sanity."""
+
+from repro.expr import expression as ex
+from repro.mapping import map_network, mcnc_lite_library
+from repro.network.build import network_from_exprs
+from repro.network.dot import mapped_to_dot, network_to_dot
+
+
+def test_network_dot_structure():
+    e = ex.xor_([ex.Lit(0), ex.and_([ex.Lit(1), ex.Lit(2)])])
+    net = network_from_exprs(3, [e], input_names=["a", "b", "c"],
+                             output_names=["f"])
+    dot = network_to_dot(net)
+    assert dot.startswith("digraph")
+    assert dot.rstrip().endswith("}")
+    assert 'label="a"' in dot and 'label="XOR"' in dot
+    assert 'label="f"' in dot
+    assert "->" in dot
+
+
+def test_mapped_dot_structure():
+    e = ex.xor_([ex.Lit(0), ex.Lit(1)])
+    mapped = map_network(network_from_exprs(2, [e]), mcnc_lite_library())
+    dot = mapped_to_dot(mapped)
+    assert 'label="xor2"' in dot
+    assert dot.count("doublecircle") == 1
+
+
+def test_dot_edge_count_matches_fanin():
+    e = ex.and_([ex.Lit(0), ex.Lit(1)])
+    net = network_from_exprs(2, [e])
+    dot = network_to_dot(net)
+    # 2 fanin edges + 1 PO edge.
+    assert dot.count("->") == 3

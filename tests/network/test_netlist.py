@@ -1,0 +1,108 @@
+"""Network structure: strash, constant folding, stats."""
+
+import pytest
+
+from repro.network.netlist import GateType, Network
+
+
+def test_pi_handles():
+    net = Network(3)
+    assert net.pi(0) != net.pi(1)
+    assert net.pi_index(net.pi(2)) == 2
+    with pytest.raises(IndexError):
+        net.pi(3)
+    with pytest.raises(ValueError):
+        net.pi_index(net.const0)
+
+
+def test_structural_hashing_commutative():
+    net = Network(2)
+    a, b = net.pi(0), net.pi(1)
+    assert net.add_and(a, b) == net.add_and(b, a)
+    assert net.add_or(a, b) == net.add_or(b, a)
+    assert net.add_xor(a, b) == net.add_xor(b, a)
+    assert net.add_and(a, b) != net.add_or(a, b)
+
+
+def test_constant_folding():
+    net = Network(1)
+    a = net.pi(0)
+    assert net.add_and(a, net.const0) == net.const0
+    assert net.add_and(a, net.const1) == a
+    assert net.add_or(a, net.const1) == net.const1
+    assert net.add_or(a, net.const0) == a
+    assert net.add_xor(a, net.const0) == a
+    assert net.add_xor(a, net.const1) == net.add_not(a)
+    assert net.add_and(a, a) == a
+    assert net.add_xor(a, a) == net.const0
+
+
+def test_complement_detection():
+    net = Network(1)
+    a = net.pi(0)
+    na = net.add_not(a)
+    assert net.add_and(a, na) == net.const0
+    assert net.add_or(a, na) == net.const1
+    assert net.add_xor(a, na) == net.const1
+    assert net.add_not(na) == a
+
+
+def test_gate_cost_convention():
+    net = Network(2)
+    a, b = net.pi(0), net.pi(1)
+    x = net.add_xor(a, b)
+    net.set_outputs([x])
+    assert net.two_input_gate_count() == 3  # XOR = 3 AND/OR gates
+    assert net.literal_count() == 6
+    net2 = Network(2)
+    g = net2.add_and(net2.pi(0), net2.pi(1))
+    net2.set_outputs([g])
+    assert net2.two_input_gate_count() == 1
+
+
+def test_dead_logic_not_counted():
+    net = Network(2)
+    a, b = net.pi(0), net.pi(1)
+    net.add_and(a, b)  # dangling
+    keep = net.add_or(a, b)
+    net.set_outputs([keep])
+    assert net.two_input_gate_count() == 1
+
+
+def test_live_nodes_topological():
+    net = Network(2)
+    a, b = net.pi(0), net.pi(1)
+    g = net.add_and(a, b)
+    h = net.add_or(g, a)
+    net.set_outputs([h])
+    order = net.live_nodes()
+    assert order.index(g) < order.index(h)
+    assert order.index(a) < order.index(g)
+
+
+def test_tree_builders_balanced():
+    net = Network(8)
+    out = net.add_xor_tree([net.pi(i) for i in range(8)])
+    net.set_outputs([out])
+    assert net.depth() == 6  # 3 XOR levels * 2
+    assert net.two_input_gate_count() == 21  # 7 XORs
+
+
+def test_fanout_map():
+    net = Network(2)
+    a, b = net.pi(0), net.pi(1)
+    g = net.add_and(a, b)
+    h = net.add_or(g, a)
+    k = net.add_xor(g, b)
+    net.set_outputs([h, k])
+    fanout = net.fanout_map()
+    assert sorted(fanout[g]) == sorted([h, k])
+
+
+def test_gate_histogram():
+    net = Network(2)
+    a, b = net.pi(0), net.pi(1)
+    net.set_outputs([net.add_xor(net.add_and(a, b), a)])
+    histogram = net.gate_type_histogram()
+    assert histogram[GateType.AND] == 1
+    assert histogram[GateType.XOR] == 1

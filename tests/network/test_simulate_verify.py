@@ -1,0 +1,114 @@
+"""Simulation + equivalence checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.expr import expression as ex
+from repro.network.build import network_from_exprs
+from repro.network.simulate import exhaustive_inputs, random_inputs, simulate
+from repro.network.verify import equivalent_to_spec, networks_equivalent
+from repro.spec import CircuitSpec, OutputSpec
+
+N = 4
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)), draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ex.not_(draw(expr_trees(depth=depth - 1)))
+    args = draw(st.lists(expr_trees(depth=depth - 1), min_size=2, max_size=3))
+    return {"and": ex.and_, "or": ex.or_, "xor": ex.xor_}[op](args)
+
+
+@given(expr_trees())
+@settings(max_examples=50)
+def test_network_simulation_matches_expr(e):
+    net = network_from_exprs(N, [e])
+    out = simulate(net, exhaustive_inputs(N))
+    for m in range(1 << N):
+        assert out[0, m] == e.evaluate(m)
+
+
+def test_exhaustive_inputs_shape():
+    inputs = exhaustive_inputs(3)
+    assert inputs.shape == (3, 8)
+    # Column m encodes minterm m.
+    for m in range(8):
+        for var in range(3):
+            assert inputs[var, m] == (m >> var) & 1
+
+
+def test_random_inputs_include_corners():
+    inputs = random_inputs(5, 16, "seed")
+    assert inputs.shape[1] == 16 + 2 + 10
+    assert (inputs[:, 0] == 0).all()
+    assert (inputs[:, 1] == 1).all()
+
+
+def test_simulate_rejects_wrong_rows():
+    net = network_from_exprs(2, [ex.Lit(0)])
+    with pytest.raises(ValueError):
+        simulate(net, np.zeros((3, 4), dtype=np.uint8))
+
+
+@given(expr_trees())
+@settings(max_examples=30)
+def test_equivalent_to_spec_accepts_correct_network(e):
+    spec = CircuitSpec(
+        name="t", num_inputs=N,
+        outputs=[OutputSpec("f", tuple(range(N)), expr=e)],
+    )
+    net = network_from_exprs(N, [e])
+    assert equivalent_to_spec(net, spec)
+
+
+def test_equivalent_to_spec_catches_bugs():
+    e = ex.and_([ex.Lit(0), ex.Lit(1)])
+    wrong = ex.or_([ex.Lit(0), ex.Lit(1)])
+    spec = CircuitSpec(
+        name="t", num_inputs=2,
+        outputs=[OutputSpec("f", (0, 1), expr=e)],
+    )
+    net = network_from_exprs(2, [wrong])
+    result = equivalent_to_spec(net, spec)
+    assert not result
+    assert "f" in result.detail
+
+
+def test_interface_mismatch():
+    spec = CircuitSpec(
+        name="t", num_inputs=2,
+        outputs=[OutputSpec("f", (0, 1), expr=ex.Lit(0))],
+    )
+    net = network_from_exprs(3, [ex.Lit(0)])
+    assert equivalent_to_spec(net, spec).method == "interface"
+
+
+def test_networks_equivalent():
+    a = network_from_exprs(2, [ex.xor_([ex.Lit(0), ex.Lit(1)])])
+    b = network_from_exprs(
+        2,
+        [ex.or_([
+            ex.and_([ex.Lit(0), ex.Lit(1, True)]),
+            ex.and_([ex.Lit(0, True), ex.Lit(1)]),
+        ])],
+    )
+    assert networks_equivalent(a, b)
+
+
+def test_wide_bdd_verification_uses_local_order():
+    # 24-input AND — exhaustive impossible, BDD per-output trivial.
+    e = ex.and_([ex.Lit(i) for i in range(24)])
+    spec = CircuitSpec(
+        name="wide", num_inputs=24,
+        outputs=[OutputSpec("f", tuple(range(24)), expr=e)],
+    )
+    net = network_from_exprs(24, [e])
+    result = equivalent_to_spec(net, spec)
+    assert result and result.method == "bdd"

@@ -1,0 +1,43 @@
+"""Network → expression/spec extraction."""
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.expr import expression as ex
+from repro.network.build import network_from_exprs
+from repro.network.to_expr import cone_expr, cone_support, spec_from_network
+from repro.network.verify import equivalent_to_spec
+
+
+def test_cone_support():
+    net = network_from_exprs(
+        4, [ex.and_([ex.Lit(1), ex.Lit(3)]), ex.Lit(0)]
+    )
+    assert cone_support(net, net.outputs[0]) == [1, 3]
+    assert cone_support(net, net.outputs[1]) == [0]
+
+
+def test_cone_expr_semantics():
+    e = ex.xor_([ex.Lit(0), ex.and_([ex.Lit(1), ex.Lit(2, True)])])
+    net = network_from_exprs(3, [e])
+    back = cone_expr(net, net.outputs[0])
+    for m in range(8):
+        assert back.evaluate(m) == e.evaluate(m)
+
+
+def test_spec_from_network_roundtrips_through_synthesis():
+    # Export z4ml's synthesized network as a spec and re-synthesize it.
+    original = get("z4ml")
+    net = synthesize_fprm(original, SynthesisOptions(verify=False)).network
+    derived = spec_from_network(net)
+    assert derived.num_inputs == 7 and derived.num_outputs == 4
+    result = synthesize_fprm(derived)  # verifies against the derived spec
+    assert result.verify
+    # And the re-synthesized network still implements the original.
+    assert equivalent_to_spec(result.network, original)
+
+
+def test_constant_output_cone():
+    net = network_from_exprs(2, [ex.TRUE])
+    spec = spec_from_network(net)
+    assert spec.outputs[0].expr == ex.TRUE

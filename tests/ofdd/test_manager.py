@@ -1,0 +1,113 @@
+"""OFDD manager: Davio semantics, apply operators, cube extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.expr import expression as ex
+from repro.expr.cover import Cover
+from repro.ofdd.manager import OfddManager
+
+N = 5
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)), draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if op == "not":
+        return ex.not_(draw(expr_trees(depth=depth - 1)))
+    args = draw(st.lists(expr_trees(depth=depth - 1), min_size=2, max_size=3))
+    return {"and": ex.and_, "or": ex.or_, "xor": ex.xor_}[op](args)
+
+
+polarities = st.integers(0, (1 << N) - 1)
+
+
+@given(expr_trees(), polarities)
+def test_from_expr_evaluates_correctly(e, polarity):
+    manager = OfddManager(N, polarity)
+    node = manager.from_expr(e)
+    for m in range(1 << N):
+        assert manager.evaluate(node, m) == e.evaluate(m)
+
+
+@given(expr_trees(), expr_trees(), polarities)
+def test_canonicity(a, b, polarity):
+    manager = OfddManager(N, polarity)
+    na, nb = manager.from_expr(a), manager.from_expr(b)
+    same = all(a.evaluate(m) == b.evaluate(m) for m in range(1 << N))
+    assert (na == nb) == same
+
+
+@given(expr_trees(), polarities)
+def test_cubes_reconstruct_fprm(e, polarity):
+    manager = OfddManager(N, polarity)
+    node = manager.from_expr(e)
+    masks = manager.cubes(node)
+    assert len(masks) == manager.cube_count(node)
+    literal = lambda m: (m ^ ~polarity) & ((1 << N) - 1)
+    for m in range(1 << N):
+        lits = literal(m)
+        value = 0
+        for mask in masks:
+            if (lits & mask) == mask:
+                value ^= 1
+        assert value == e.evaluate(m)
+
+
+@given(polarities)
+def test_pi_literal_semantics(polarity):
+    manager = OfddManager(N, polarity)
+    for var in range(N):
+        for negated in (False, True):
+            node = manager.pi_literal(var, negated)
+            for m in range(1 << N):
+                want = ((m >> var) & 1) ^ int(negated)
+                assert manager.evaluate(node, m) == want
+
+
+def test_cube_node_is_single_path():
+    manager = OfddManager(4, 0b1111)
+    node = manager.cube_node(0b1010)
+    assert manager.cube_count(node) == 1
+    assert manager.cubes(node) == (0b1010,)
+
+
+def test_from_fprm_masks_roundtrip():
+    manager = OfddManager(4, 0b0110)
+    masks = (0b0000, 0b0011, 0b1100)
+    node = manager.from_fprm_masks(masks)
+    assert manager.cubes(node) == tuple(sorted(masks))
+
+
+def test_cube_limit_enforced():
+    manager = OfddManager(4)
+    node = manager.from_expr(
+        ex.xor_([ex.Lit(0), ex.Lit(1), ex.Lit(2), ex.Lit(3)])
+    )
+    with pytest.raises(ReproError):
+        manager.cubes(node, limit=3)
+
+
+def test_from_cover():
+    manager = OfddManager(3, 0b111)
+    cover = Cover.from_strings(["1-0", "-11"])
+    node = manager.from_cover(cover)
+    for m in range(8):
+        assert manager.evaluate(node, m) == cover.evaluate(m)
+
+
+def test_davio_reduction_high_zero():
+    manager = OfddManager(2)
+    # x0 AND 0 -> FALSE, no node created for the high==0 case
+    assert manager.and_(manager.literal(0), 0) == 0
+
+
+def test_node_count_and_support():
+    manager = OfddManager(4)
+    node = manager.from_fprm_masks((0b0011, 0b1000))
+    assert manager.support(node) == 0b1011
+    assert manager.node_count(node) >= 2

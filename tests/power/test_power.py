@@ -1,0 +1,68 @@
+"""Signal probabilities and the power estimate."""
+
+import pytest
+
+from repro.expr import expression as ex
+from repro.network.build import network_from_exprs
+from repro.power.estimate import estimate_power
+from repro.power.probability import signal_probabilities
+
+
+def test_exact_probabilities_small_network():
+    e = ex.and_([ex.Lit(0), ex.Lit(1)])
+    net = network_from_exprs(2, [e])
+    probs = signal_probabilities(net, method="exact")
+    and_node = net.outputs[0]
+    assert probs[and_node] == pytest.approx(0.25)
+    assert probs[net.pi(0)] == pytest.approx(0.5)
+
+
+def test_exact_probabilities_xor():
+    e = ex.xor_([ex.Lit(0), ex.Lit(1)])
+    net = network_from_exprs(2, [e])
+    probs = signal_probabilities(net, method="exact")
+    assert probs[net.outputs[0]] == pytest.approx(0.5)
+
+
+def test_sampled_close_to_exact():
+    e = ex.or_([ex.and_([ex.Lit(0), ex.Lit(1)]), ex.Lit(2)])
+    net = network_from_exprs(3, [e])
+    exact = signal_probabilities(net, method="exact")
+    sampled = signal_probabilities(net, method="sampled")
+    for node, p in exact.items():
+        assert sampled[node] == pytest.approx(p, abs=0.03)
+
+
+def test_unknown_method_rejected():
+    net = network_from_exprs(1, [ex.Lit(0)])
+    with pytest.raises(ValueError):
+        signal_probabilities(net, method="wrong")
+
+
+def test_power_positive_and_deterministic():
+    e = ex.xor_([ex.Lit(0), ex.and_([ex.Lit(1), ex.Lit(2)])])
+    net = network_from_exprs(3, [e], name="p")
+    a = estimate_power(net)
+    b = estimate_power(net)
+    assert a.total_watts == b.total_watts
+    assert a.total_watts > 0
+    assert a.microwatts == pytest.approx(a.total_watts * 1e6)
+
+
+def test_bigger_network_burns_more_power():
+    small = network_from_exprs(2, [ex.and_([ex.Lit(0), ex.Lit(1)])], name="s")
+    big = network_from_exprs(
+        4,
+        [ex.xor_([ex.and_([ex.Lit(0), ex.Lit(1)]),
+                  ex.and_([ex.Lit(2), ex.Lit(3)])])],
+        name="b",
+    )
+    assert (
+        estimate_power(big).switched_cap_units
+        > estimate_power(small).switched_cap_units
+    )
+
+
+def test_constant_network_draws_nothing():
+    net = network_from_exprs(1, [ex.TRUE], name="c")
+    assert estimate_power(net).switched_cap_units == 0

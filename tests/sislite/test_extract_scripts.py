@@ -1,0 +1,84 @@
+"""Fast-extract and the baseline script drivers."""
+
+import pytest
+
+from repro.circuits import get
+from repro.sislite.divisors import pos_lit
+from repro.sislite.extract import fast_extract
+from repro.sislite.scripts import (
+    best_baseline,
+    script_algebraic,
+    script_rugged_lite,
+    script_structural,
+)
+
+
+def test_fast_extract_shares_common_divisor():
+    # f1 = ab + ac, f2 = db + dc: divisor (b + c) shared.  The full
+    # literal-savings accounting ("strong") is needed to value it; the
+    # vintage "sis" weighting scores this 2-occurrence divisor at zero.
+    a, b, c, d = (pos_lit(i) for i in range(4))
+    f1 = [frozenset({a, b}), frozenset({a, c})]
+    f2 = [frozenset({d, b}), frozenset({d, c})]
+    net = fast_extract([f1, f2], 4, strength="strong")
+    assert len(net.functions) == 3  # two roots + one divisor
+    divisor = net.functions[2]
+    assert set(divisor) == {frozenset({b}), frozenset({c})}
+    new_lit = pos_lit(net.node_var[2])
+    assert net.functions[0] == [frozenset({a, new_lit})]
+    assert net.functions[1] == [frozenset({d, new_lit})]
+
+
+def test_fast_extract_stops_when_unprofitable():
+    a, b = pos_lit(0), pos_lit(1)
+    net = fast_extract([[frozenset({a, b})]], 2)
+    assert len(net.functions) == 1
+
+
+@pytest.mark.parametrize("name", ["z4ml", "rd53", "bcd-div3", "majority"])
+def test_rugged_lite_verifies(name):
+    result = script_rugged_lite(get(name))
+    assert result.verify
+    assert result.two_input_gates > 0
+
+
+def test_algebraic_and_rugged_land_close():
+    # fx extraction is a greedy literal-count heuristic; it usually helps
+    # shared-logic circuits and never changes the result drastically.
+    spec = get("adr4")
+    rugged = script_rugged_lite(spec)
+    algebraic = script_algebraic(spec)
+    assert rugged.verify and algebraic.verify
+    assert rugged.two_input_gates <= int(1.2 * algebraic.two_input_gates)
+
+
+def test_structural_script_keeps_multilevel_shape():
+    spec = get("parity")  # structural XOR chain in the spec
+    result = script_structural(spec)
+    assert result.verify
+    # XOR-free expansion: 15 XORs * 3 gates.
+    assert result.two_input_gates == 45
+
+
+def test_baseline_networks_contain_no_xor():
+    from repro.network.netlist import GateType
+
+    for name in ["z4ml", "parity", "rd53"]:
+        result, _ = best_baseline(get(name))
+        histogram = result.network.gate_type_histogram()
+        assert GateType.XOR not in histogram, name
+
+
+def test_best_baseline_picks_minimum():
+    spec = get("xor10")
+    best, script = best_baseline(spec)
+    rugged = script_rugged_lite(spec)
+    assert best.two_input_gates <= rugged.two_input_gates
+
+
+def test_wide_parity_falls_back_to_structure():
+    # 16-input parity: the SOP route explodes; the cap must route the
+    # output through the structural/Shannon path and still verify.
+    result = script_rugged_lite(get("parity"))
+    assert result.verify
+    assert result.two_input_gates <= 60

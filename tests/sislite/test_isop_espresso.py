@@ -1,0 +1,68 @@
+"""Two-level minimization: ISOP + espresso-lite."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sislite.espresso import minimize_cover
+from repro.sislite.isop import isop_cover
+from repro.truth.table import TruthTable
+
+N = 5
+
+
+@st.composite
+def tables(draw, n=N):
+    bits = draw(st.binary(min_size=1 << n, max_size=1 << n))
+    return TruthTable(n, np.frombuffer(bits, dtype=np.uint8) & 1)
+
+
+@given(tables())
+def test_isop_covers_exactly(table):
+    cover = isop_cover(table)
+    for m in range(1 << N):
+        assert cover.evaluate(m) == table[m]
+
+
+@given(tables())
+@settings(max_examples=50)
+def test_isop_is_irredundant(table):
+    cover = isop_cover(table)
+    # Dropping any cube must lose some minterm.
+    for skip in range(cover.num_cubes):
+        lost = False
+        for m in table.minterms():
+            if not any(
+                c.contains_minterm(m)
+                for i, c in enumerate(cover.cubes)
+                if i != skip
+            ):
+                lost = True
+                break
+        assert lost
+
+
+@given(tables())
+@settings(max_examples=50)
+def test_espresso_preserves_function_and_never_grows(table):
+    cover = isop_cover(table)
+    minimized = minimize_cover(cover, table)
+    assert minimized.num_cubes <= cover.num_cubes
+    assert minimized.num_literals <= cover.num_literals
+    for m in range(1 << N):
+        assert minimized.evaluate(m) == table[m]
+
+
+def test_isop_constant_functions():
+    assert isop_cover(TruthTable.constant(3, 0)).num_cubes == 0
+    one = isop_cover(TruthTable.constant(3, 1))
+    assert one.num_cubes == 1 and one.cubes[0].is_tautology()
+
+
+def test_espresso_expands_to_primes():
+    # f = ab + ab̄ = a: espresso must find the single-literal cube.
+    table = TruthTable.from_function(2, lambda m: m & 1)
+    cover = isop_cover(table)
+    minimized = minimize_cover(cover, table)
+    assert minimized.num_cubes == 1
+    assert minimized.num_literals == 1

@@ -1,0 +1,73 @@
+"""Redundant-wire removal (the SIS red_removal stand-in)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import expression as ex
+from repro.network.build import network_from_exprs
+from repro.network.simulate import exhaustive_inputs, simulate
+from repro.sislite.red_removal import remove_redundant_wires
+
+N = 4
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return ex.Lit(draw(st.integers(0, N - 1)), draw(st.booleans()))
+    op = draw(st.sampled_from(["and", "or", "not"]))
+    if op == "not":
+        return ex.not_(draw(exprs(depth=depth - 1)))
+    args = draw(st.lists(exprs(depth=depth - 1), min_size=2, max_size=3))
+    return {"and": ex.and_, "or": ex.or_}[op](args)
+
+
+@given(exprs())
+@settings(max_examples=80, deadline=None)
+def test_removal_preserves_function(e):
+    net = network_from_exprs(N, [e])
+    cleaned = remove_redundant_wires(net)
+    golden = simulate(net, exhaustive_inputs(N))
+    got = simulate(cleaned, exhaustive_inputs(N))
+    assert (golden == got).all()
+
+
+@given(exprs())
+@settings(max_examples=60, deadline=None)
+def test_removal_never_grows(e):
+    net = network_from_exprs(N, [e])
+    cleaned = remove_redundant_wires(net)
+    assert cleaned.two_input_gate_count() <= net.two_input_gate_count()
+
+
+def test_classic_redundancy_removed():
+    # f = a·(a + b): the (a + b) OR gate is redundant; f = a.
+    a, b = ex.Lit(0), ex.Lit(1)
+    net = network_from_exprs(2, [ex.And((a, ex.Or((a, b))))])
+    assert net.two_input_gate_count() == 2
+    cleaned = remove_redundant_wires(net)
+    assert cleaned.two_input_gate_count() == 0
+    assert cleaned.outputs[0] == cleaned.pi(0)
+
+
+def test_consensus_redundancy_removed():
+    # ab + āc + bc: the consensus term bc is redundant.
+    a, b, c = ex.Lit(0), ex.Lit(1), ex.Lit(2)
+    f = ex.Or((
+        ex.Or((ex.And((a, b)), ex.And((ex.Not(a), c)))),
+        ex.And((b, c)),
+    ))
+    net = network_from_exprs(3, [f])
+    cleaned = remove_redundant_wires(net)
+    assert cleaned.two_input_gate_count() < net.two_input_gate_count()
+    golden = simulate(net, exhaustive_inputs(3))
+    got = simulate(cleaned, exhaustive_inputs(3))
+    assert (golden == got).all()
+
+
+def test_irredundant_network_untouched():
+    net = network_from_exprs(
+        2, [ex.and_([ex.Lit(0), ex.Lit(1)])]
+    )
+    cleaned = remove_redundant_wires(net)
+    assert cleaned.two_input_gate_count() == 1

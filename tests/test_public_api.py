@@ -1,0 +1,56 @@
+"""Public API surface: imports, __all__ consistency, docstrings."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.bdd",
+    "repro.circuits",
+    "repro.core",
+    "repro.esopmin",
+    "repro.expr",
+    "repro.fprm",
+    "repro.harness",
+    "repro.kfdd",
+    "repro.mapping",
+    "repro.network",
+    "repro.ofdd",
+    "repro.power",
+    "repro.sislite",
+    "repro.testability",
+    "repro.timing",
+    "repro.truth",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_documents_itself(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_quickstart_surface():
+    import repro
+
+    spec = repro.circuits.get("majority")
+    result = repro.synthesize_fprm(spec)
+    assert isinstance(result, repro.SynthesisResult)
+    assert result.verify
+    options = repro.SynthesisOptions(redundancy_removal=False)
+    assert repro.synthesize_fprm(spec, options).verify
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__.count(".") == 2

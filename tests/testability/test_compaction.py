@@ -1,0 +1,53 @@
+"""Test-set compaction preserves coverage while shrinking."""
+
+import numpy as np
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.network.simulate import exhaustive_inputs
+from repro.testability import fault_coverage, fault_list, pattern_test_set
+from repro.testability.compaction import compact_test_set, detection_matrix
+
+
+def test_detection_matrix_shape():
+    spec = get("majority")
+    net = synthesize_fprm(spec, SynthesisOptions(verify=False)).network
+    faults = fault_list(net)
+    patterns = exhaustive_inputs(5)
+    matrix = detection_matrix(net, patterns, faults)
+    assert matrix.shape == (len(faults), 32)
+    assert matrix.any()
+
+
+def test_compaction_preserves_coverage():
+    spec = get("rd53")
+    result = synthesize_fprm(spec, SynthesisOptions(verify=False))
+    patterns = pattern_test_set(spec, result)
+    faults = fault_list(result.network)
+    before = fault_coverage(result.network, patterns, faults)
+    compacted = compact_test_set(result.network, patterns, faults)
+    after = fault_coverage(result.network, compacted, faults)
+    assert after.detected == before.detected
+    assert compacted.shape[1] <= patterns.shape[1]
+
+
+def test_compaction_shrinks_exhaustive_set():
+    spec = get("majority")
+    net = synthesize_fprm(spec, SynthesisOptions(verify=False)).network
+    patterns = exhaustive_inputs(5)
+    compacted = compact_test_set(net, patterns)
+    assert compacted.shape[1] < 32  # far fewer than all 32 vectors
+    faults = fault_list(net)
+    assert (
+        fault_coverage(net, compacted, faults).detected
+        == fault_coverage(net, patterns, faults).detected
+    )
+
+
+def test_single_pattern_kept():
+    spec = get("majority")
+    net = synthesize_fprm(spec, SynthesisOptions(verify=False)).network
+    one = exhaustive_inputs(5)[:, :1]
+    compacted = compact_test_set(net, one)
+    assert compacted.shape[1] == 1

@@ -1,0 +1,78 @@
+"""Stuck-at faults, fault simulation and the cube-derived test sets."""
+
+import numpy as np
+
+from repro.circuits import get
+from repro.core.synthesis import synthesize_fprm
+from repro.expr import expression as ex
+from repro.network.build import network_from_exprs
+from repro.network.simulate import exhaustive_inputs
+from repro.testability.fault_sim import fault_coverage
+from repro.testability.faults import Fault, fault_list
+from repro.testability.test_gen import pattern_test_set
+
+
+def test_fault_list_contents():
+    net = network_from_exprs(2, [ex.and_([ex.Lit(0), ex.Lit(1)])])
+    faults = fault_list(net)
+    nodes = {f.node for f in faults}
+    # PIs (output faults only) + AND gate (output + 2 pins).
+    and_node = net.outputs[0]
+    assert Fault(and_node, -1, 0) in faults
+    assert Fault(and_node, 0, 1) in faults
+    assert Fault(and_node, 1, 0) in faults
+    assert net.pi(0) in nodes
+
+
+def test_exhaustive_patterns_detect_all_irredundant_faults():
+    # AND gate: all 4 patterns detect everything.
+    net = network_from_exprs(2, [ex.and_([ex.Lit(0), ex.Lit(1)])])
+    result = fault_coverage(net, exhaustive_inputs(2))
+    assert result.coverage == 1.0
+
+
+def test_redundant_wire_is_undetectable():
+    # f = a·(a + b): the OR gate's b-input is stuck-at-0 redundant.
+    a, b = ex.Lit(0), ex.Lit(1)
+    net = network_from_exprs(2, [ex.and_([a, ex.or_([a, b])])])
+    result = fault_coverage(net, exhaustive_inputs(2))
+    assert result.coverage < 1.0
+    assert any(f.pin >= 0 for f in result.undetected)
+
+
+def test_fault_describe():
+    net = network_from_exprs(2, [ex.and_([ex.Lit(0), ex.Lit(1)])])
+    fault = Fault(net.outputs[0], -1, 1)
+    assert "s-a-1" in fault.describe(net)
+
+
+def test_synthesized_z4ml_fully_testable_by_cube_patterns():
+    """The paper's testability claim on a real circuit: the AZ/OC/AO/SA1
+    pattern set detects every detectable single stuck-at fault."""
+    spec = get("z4ml")
+    result = synthesize_fprm(spec)
+    patterns = pattern_test_set(spec, result)
+    from_cubes = fault_coverage(result.network, patterns)
+    exhaustive = fault_coverage(result.network, exhaustive_inputs(7))
+    assert from_cubes.detected == exhaustive.detected
+
+
+def test_synthesized_networks_nearly_irredundant():
+    """Redundancy removal leaves (almost) no untestable faults."""
+    for name in ["rd53", "majority", "t481"]:
+        spec = get(name)
+        result = synthesize_fprm(spec)
+        if spec.num_inputs <= 10:
+            patterns = exhaustive_inputs(spec.num_inputs)
+        else:
+            patterns = pattern_test_set(spec, result)
+        coverage = fault_coverage(result.network, patterns).coverage
+        assert coverage >= 0.97, name
+
+
+def test_pattern_test_set_shape():
+    spec = get("rd53")
+    patterns = pattern_test_set(spec)
+    assert patterns.shape[0] == 5
+    assert patterns.shape[1] >= 3
+    assert patterns.dtype == np.uint8

@@ -1,0 +1,81 @@
+"""Static timing analysis tests."""
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.expr import expression as ex
+from repro.mapping import map_network, mcnc_lite_library
+from repro.network.build import network_from_exprs
+from repro.timing import mapped_delay, network_delay
+
+LIB = mcnc_lite_library()
+
+
+def test_unit_delay_levels():
+    # AND(OR(a,b), c): two levels.
+    e = ex.and_([ex.or_([ex.Lit(0), ex.Lit(1)]), ex.Lit(2)])
+    report = network_delay(network_from_exprs(3, [e]))
+    assert report.delay == 2.0
+
+
+def test_xor_counts_two_levels():
+    e = ex.xor_([ex.Lit(0), ex.Lit(1)])
+    report = network_delay(network_from_exprs(2, [e]))
+    assert report.delay == 2.0
+
+
+def test_inverters_free():
+    e = ex.not_(ex.and_([ex.Lit(0), ex.Lit(1, True)]))
+    report = network_delay(network_from_exprs(2, [e]))
+    assert report.delay == 1.0
+
+
+def test_critical_path_endpoints():
+    e = ex.and_([ex.or_([ex.Lit(0), ex.Lit(1)]), ex.Lit(2)])
+    net = network_from_exprs(3, [e])
+    report = network_delay(net)
+    assert report.critical_path[-1] == net.outputs[0]
+    assert report.critical_path[0] in (net.pi(0), net.pi(1))
+
+
+def test_balanced_tree_matches_depth():
+    e = ex.xor_([ex.Lit(i) for i in range(8)])
+    net = network_from_exprs(8, [e])
+    report = network_delay(net)
+    assert report.delay == net.depth()
+
+
+def test_mapped_delay_single_cell():
+    e = ex.xor_([ex.Lit(0), ex.Lit(1)])
+    mapped = map_network(network_from_exprs(2, [e]), LIB)
+    report = mapped_delay(mapped)
+    assert report.delay == pytest.approx(2320 / 1392 + 0.2)
+    assert report.critical_cells == ["xor2"]
+
+
+def test_mapped_delay_monotone_in_depth():
+    shallow = map_network(
+        network_from_exprs(2, [ex.and_([ex.Lit(0), ex.Lit(1)])]), LIB
+    )
+    deep = map_network(
+        network_from_exprs(
+            4,
+            [ex.and_([ex.and_([ex.and_([ex.Lit(0), ex.Lit(1)]), ex.Lit(2)]),
+                      ex.Lit(3)])],
+        ),
+        LIB,
+    )
+    assert mapped_delay(deep).delay >= mapped_delay(shallow).delay
+
+
+def test_flow_delay_comparison_runs():
+    spec = get("z4ml")
+    result = synthesize_fprm(spec, SynthesisOptions(verify=False))
+    mapped = map_network(result.network, LIB)
+    net_report = network_delay(result.network)
+    map_report = mapped_delay(mapped)
+    assert net_report.delay > 0
+    assert map_report.delay > 0
+    assert len(map_report.critical_cells) >= 1

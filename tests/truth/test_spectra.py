@@ -1,0 +1,69 @@
+"""Reed-Muller spectrum properties."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.truth.spectra import (
+    fprm_from_table,
+    fprm_spectrum,
+    inverse_pprm_spectrum,
+    pprm_spectrum,
+    spectrum_flip_polarity,
+    spectrum_to_masks,
+)
+from repro.truth.table import TruthTable
+
+N = 5
+
+
+@st.composite
+def tables(draw, n=N):
+    bits = draw(st.binary(min_size=1 << n, max_size=1 << n))
+    return TruthTable(n, np.frombuffer(bits, dtype=np.uint8) & 1)
+
+
+polarities = st.integers(0, (1 << N) - 1)
+
+
+@given(tables())
+def test_pprm_transform_is_involution(table):
+    spectrum = pprm_spectrum(table)
+    assert inverse_pprm_spectrum(spectrum, table.n) == table
+
+
+@given(tables(), polarities)
+def test_fprm_form_evaluates_to_function(table, polarity):
+    form = fprm_from_table(table, polarity)
+    for m in range(1 << N):
+        assert form.evaluate(m) == table[m]
+
+
+@given(tables(), polarities, st.integers(0, N - 1))
+def test_incremental_polarity_flip(table, polarity, var):
+    base = fprm_spectrum(table, polarity)
+    flipped = spectrum_flip_polarity(base, N, var)
+    direct = fprm_spectrum(table, polarity ^ (1 << var))
+    assert np.array_equal(flipped, direct)
+
+
+@given(tables())
+def test_fprm_is_canonical_per_polarity(table):
+    # Same function, same polarity -> identical cube set.
+    a = spectrum_to_masks(fprm_spectrum(table, 0))
+    b = spectrum_to_masks(fprm_spectrum(TruthTable(N, table.bits.copy()), 0))
+    assert a == b
+
+
+def test_known_pprm_example():
+    # maj(a,b,c) = ab ⊕ ac ⊕ bc
+    table = TruthTable.from_function(3, lambda m: int(m.bit_count() >= 2))
+    masks = spectrum_to_masks(pprm_spectrum(table))
+    assert set(masks) == {0b011, 0b101, 0b110}
+
+
+def test_known_fprm_negative_polarity():
+    # OR(a,b) with all-negative polarity: 1 ⊕ ā·b̄
+    table = TruthTable.from_function(2, lambda m: int(m != 0))
+    form = fprm_from_table(table, 0b00)
+    assert set(form.cubes) == {0b00, 0b11}

@@ -1,0 +1,93 @@
+"""Truth-table representation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, TooManyVariablesError
+from repro.expr.cover import Cover
+from repro.truth.table import TruthTable
+
+N = 5
+tables = st.integers(0, (1 << (1 << N)) - 1).map(
+    lambda bits: TruthTable(
+        N, np.array([(bits >> i) & 1 for i in range(1 << N)], dtype=np.uint8)
+    )
+)
+
+
+def test_width_guard():
+    with pytest.raises(TooManyVariablesError):
+        TruthTable.constant(40, 0)
+
+
+def test_shape_guard():
+    with pytest.raises(DimensionError):
+        TruthTable(2, np.zeros(3, dtype=np.uint8))
+
+
+def test_variable_and_constant():
+    v = TruthTable.variable(3, 1)
+    for m in range(8):
+        assert v[m] == (m >> 1) & 1
+    assert TruthTable.constant(3, 1).count_ones() == 8
+
+
+def test_from_cover_matches_cover():
+    cover = Cover.from_strings(["1-0", "-11"])
+    table = TruthTable.from_cover(cover)
+    for m in range(8):
+        assert table[m] == cover.evaluate(m)
+
+
+@given(tables, tables)
+def test_boolean_operations(a, b):
+    for m in range(1 << N):
+        assert (a & b)[m] == (a[m] & b[m])
+        assert (a | b)[m] == (a[m] | b[m])
+        assert (a ^ b)[m] == (a[m] ^ b[m])
+        assert (~a)[m] == 1 - a[m]
+
+
+@given(tables, st.integers(0, N - 1), st.integers(0, 1))
+def test_cofactor(a, var, value):
+    c = a.cofactor(var, value)
+    for m in range(1 << N):
+        fixed = (m & ~(1 << var)) | (value << var)
+        assert c[m] == a[fixed]
+
+
+@given(tables, st.integers(0, (1 << N) - 1))
+def test_permute_inputs(a, mask):
+    p = a.permute_inputs(mask)
+    for m in range(1 << N):
+        assert p[m] == a[m ^ mask]
+
+
+@given(tables)
+def test_support_mask_sound(a):
+    support = a.support_mask()
+    for var in range(N):
+        if not (support >> var) & 1:
+            assert a.cofactor(var, 0) == a.cofactor(var, 1)
+
+
+def test_restrict_extend_roundtrip():
+    table = TruthTable.from_function(3, lambda m: (m >> 1) & 1)
+    narrowed = table.restrict_support([1])
+    assert narrowed.n == 1
+    back = narrowed.extend(3, [1])
+    assert back == table
+
+
+def test_minterms():
+    table = TruthTable.from_minterms(3, [1, 5])
+    assert table.minterms() == [1, 5]
+
+
+def test_hash_and_eq():
+    a = TruthTable.from_minterms(3, [1])
+    b = TruthTable.from_minterms(3, [1])
+    assert a == b and hash(a) == hash(b)
+    assert a != TruthTable.from_minterms(3, [2])

@@ -1,0 +1,57 @@
+"""Unit tests for bit-mask helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_indices,
+    iter_subsets,
+    lowest_bit_index,
+    mask_of,
+    parity,
+    popcount,
+)
+
+masks = st.integers(min_value=0, max_value=(1 << 24) - 1)
+
+
+@given(masks)
+def test_popcount_matches_bin(mask):
+    assert popcount(mask) == bin(mask).count("1")
+
+
+@given(masks)
+def test_parity_is_popcount_mod_2(mask):
+    assert parity(mask) == popcount(mask) % 2
+
+
+@given(masks)
+def test_bit_indices_roundtrip(mask):
+    assert mask_of(bit_indices(mask)) == mask
+
+
+@given(masks)
+def test_bit_indices_sorted(mask):
+    indices = list(bit_indices(mask))
+    assert indices == sorted(indices)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+def test_iter_subsets_complete(mask):
+    subsets = list(iter_subsets(mask))
+    assert len(subsets) == 1 << popcount(mask)
+    assert len(set(subsets)) == len(subsets)
+    assert all((s & mask) == s for s in subsets)
+    assert 0 in subsets and mask in subsets
+
+
+def test_lowest_bit_index():
+    assert lowest_bit_index(0b1000) == 3
+    assert lowest_bit_index(0b1001) == 0
+
+
+def test_lowest_bit_index_rejects_zero():
+    import pytest
+
+    with pytest.raises(ValueError):
+        lowest_bit_index(0)
