@@ -1,0 +1,66 @@
+"""Flow-pipeline benchmarks: serial vs parallel vs cached synthesis.
+
+Measures the pass-pipeline driver on multi-output circuits in three
+configurations — serial, a 4-worker process pool, and a warm per-output
+result cache — asserting along the way that all three produce networks
+with identical 2-input gate counts (the pipeline is deterministic, so
+parallelism and caching must be invisible in the result).  Per-pass
+timings from the FlowTrace land in ``extra_info`` so regressions can be
+localized to a pass rather than to the flow as a whole.
+"""
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.flow.cache import get_result_cache
+
+CIRCUITS = ["z4ml", "adr4", "rd73"]
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_bench_flow_serial(benchmark, name):
+    spec = get(name)
+    options = SynthesisOptions(verify=False)
+    result = benchmark.pedantic(
+        lambda: synthesize_fprm(spec, options), rounds=2, iterations=1
+    )
+    benchmark.extra_info.update({
+        "gates": result.two_input_gates,
+        "seconds_by_pass": {
+            k: round(v, 4) for k, v in result.trace.seconds_by_pass().items()
+        },
+    })
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_bench_flow_parallel(benchmark, name):
+    spec = get(name)
+    serial = synthesize_fprm(spec, SynthesisOptions(verify=False))
+    options = SynthesisOptions(verify=False, jobs=4)
+    result = benchmark.pedantic(
+        lambda: synthesize_fprm(spec, options), rounds=2, iterations=1
+    )
+    assert result.two_input_gates == serial.two_input_gates
+    benchmark.extra_info.update({
+        "gates": result.two_input_gates,
+        "parallel_fallback": result.trace.parallel_fallback,
+    })
+
+
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_bench_flow_cached(benchmark, name):
+    spec = get(name)
+    options = SynthesisOptions(verify=False, cache=True)
+    cold = synthesize_fprm(spec, options)  # warm the cache
+    result = benchmark.pedantic(
+        lambda: synthesize_fprm(spec, options), rounds=3, iterations=1
+    )
+    assert result.two_input_gates == cold.two_input_gates
+    assert result.trace.cache_hits == spec.num_outputs
+    benchmark.extra_info.update({
+        "gates": result.two_input_gates,
+        "cache_hits": result.trace.cache_hits,
+        "cache_entries": len(get_result_cache()),
+    })

@@ -15,8 +15,11 @@ from repro.harness.experiment import run_circuit
 
 @pytest.mark.parametrize("name", all_names())
 def test_bench_table2_row(benchmark, name):
+    # cache=True: later sweeps over the same circuits in this session
+    # (e.g. bench_table2_totals) reuse the per-output results.
     row = benchmark.pedantic(
-        lambda: run_circuit(name, verify=False), rounds=1, iterations=1
+        lambda: run_circuit(name, verify=False, cache=True),
+        rounds=1, iterations=1,
     )
     benchmark.extra_info.update({
         "io": f"{row.inputs}/{row.outputs}",

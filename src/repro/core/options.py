@@ -52,8 +52,33 @@ class SynthesisOptions:
     bdd_node_budget: int = 200_000
     direct_fallback: bool = True
     verify: bool = True
+    #: Outputs synthesized concurrently (process pool); 0 = all cores.
+    jobs: int = 1
+    #: Collect a per-pass :class:`~repro.flow.trace.FlowTrace` on the result.
+    trace: bool = True
+    #: Consult/populate the process-wide per-output result cache.
+    cache: bool = False
 
     def replace(self, **changes) -> "SynthesisOptions":
         from dataclasses import replace as dc_replace
 
         return dc_replace(self, **changes)
+
+    def semantic_fingerprint(self) -> tuple:
+        """The knobs that change *what* is synthesized (cache key part).
+
+        Excludes ``verify``, ``jobs``, ``trace`` and ``cache`` itself:
+        those change how the flow runs, never the resulting variants.
+        Every new option that affects results must be added here.
+        """
+        return (
+            str(self.polarity_strategy.value),
+            str(self.factor_method.value),
+            self.redundancy_removal,
+            self.literal_cleanup,
+            str(self.controllability.value),
+            self.cube_limit,
+            self.enumeration_cube_limit,
+            self.bdd_node_budget,
+            self.direct_fallback,
+        )

@@ -6,6 +6,15 @@ cube method and/or OFDD method, the better tree wins under ``AUTO``;
 (3) remove XOR redundancies on the output tree; then build one
 structurally-hashed network over all outputs (the ``resub`` merge) and
 verify it against the specification.
+
+Since the pass-pipeline refactor the actual stages live in
+:mod:`repro.flow` as named passes (``derive-fprm``, ``factor-cube``,
+``factor-ofdd``, ``factor-xorfx``, ``redundancy-removal``,
+``inverter-cleanup``, ``resub-merge``); this module is the driver that
+threads outputs through the default pipeline — serially, across a
+process pool (``options.jobs``), or out of the per-output result cache
+(``options.cache``) — and assembles the :class:`SynthesisResult`
+including its per-pass :class:`~repro.flow.trace.FlowTrace`.
 """
 
 from __future__ import annotations
@@ -13,68 +22,40 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core import tree as tr
-from repro.core.factor_cube import factor_cubes
-from repro.core.factor_ofdd import factor_ofdd
-from repro.core.options import FactorMethod, SynthesisOptions
-from repro.core.redundancy import ReductionStats, RedundancyRemover
-from repro.errors import ReproError, VerificationError
-from repro.expr import expression as ex
-from repro.expr.demorgan import minimize_inverters_guarded
-from repro.expr.esop import FprmForm
-from repro.fprm.polarity import choose_polarity
-from repro.network.build import add_expr, network_from_exprs
+from repro.core.options import SynthesisOptions
+from repro.errors import VerificationError
+from repro.flow.cache import cache_key, get_result_cache
+from repro.flow.context import OutputReport, OutputRun
+from repro.flow.parallel import resolve_jobs, run_outputs_in_pool
+from repro.flow.passes import (
+    apply_polarity,
+    exprs_differ,
+    resub_merge,
+    run_output_pipeline,
+)
+from repro.flow.trace import FlowTrace, PassRecord
 from repro.network.netlist import Network
 from repro.network.verify import VerifyResult, equivalent_to_spec
-from repro.ofdd.manager import OfddManager
 from repro.spec import CircuitSpec, OutputSpec
-from repro.truth.spectra import fprm_from_table
-from repro.truth.table import MAX_DENSE_VARS
 
-_TREE_SIZE_CAP = 20_000
-# Dense polarity search + transform is used up to this support width;
-# wider outputs go diagram-only (cheap candidate polarity vectors).
-_DENSE_SYNTH_LIMIT = 16
-# The quadratic pair enumeration of the GF(2) fast-extract is only worth
-# its cost on moderate cube sets.
-_XOR_FX_CUBE_CAP = 256
-
-
-def _literal_balance(expr: ex.Expr, inverted: bool,
-                     counts: dict[int, int]) -> None:
-    """Accumulate +1 per positive / -1 per negative literal occurrence."""
-    if isinstance(expr, ex.Lit):
-        sign = -1 if (expr.negated != inverted) else 1
-        counts[expr.var] = counts.get(expr.var, 0) + sign
-        return
-    if isinstance(expr, ex.Not):
-        _literal_balance(expr.arg, not inverted, counts)
-        return
-    for child in expr.children():
-        _literal_balance(child, inverted, counts)
-
-
-@dataclass
-class OutputReport:
-    """Diagnostics for one synthesized output."""
-
-    name: str
-    polarity: int
-    num_fprm_cubes: int | None
-    method: str
-    gates_before_reduction: int
-    gates_after_reduction: int
-    reduction_stats: ReductionStats | None
+__all__ = [
+    "FprmSynthesizer",
+    "OutputReport",
+    "SynthesisResult",
+    "apply_polarity",
+    "synthesize_fprm",
+]
 
 
 @dataclass
 class SynthesisResult:
-    """Network plus per-output reports and the equivalence verdict."""
+    """Network plus per-output reports, trace and equivalence verdict."""
 
     network: Network
     reports: list[OutputReport] = field(default_factory=list)
     verify: VerifyResult | None = None
     seconds: float = 0.0
+    trace: FlowTrace | None = None
 
     @property
     def two_input_gates(self) -> int:
@@ -90,473 +71,139 @@ class FprmSynthesizer:
 
     def __init__(self, options: SynthesisOptions | None = None):
         self.options = options or SynthesisOptions()
+        self._records: list[PassRecord] = []
 
     def run(self, spec: CircuitSpec) -> SynthesisResult:
         start = time.perf_counter()
-        variants_per_output: list[list[tuple[str, ex.Expr]]] = []
-        var_maps: list[list[int]] = []
-        reports: list[OutputReport] = []
-        for output in spec.outputs:
-            variants, report = self._synthesize_output(output)
-            variants_per_output.append(variants)
-            var_maps.append(list(output.support))
-            reports.append(report)
+        options = self.options
+        jobs = resolve_jobs(options.jobs)
+        cache = get_result_cache() if options.cache else None
+        trace = (
+            FlowTrace(circuit=spec.name, jobs=jobs,
+                      cache_enabled=options.cache)
+            if options.trace else None
+        )
 
-        def build(exprs: list[ex.Expr]) -> Network:
-            return network_from_exprs(
-                spec.num_inputs,
-                exprs,
-                name=spec.name,
-                var_maps=var_maps,
-                input_names=spec.input_names,
-                output_names=spec.output_names,
+        # -- per-output pipelines (cache, then pool or serial) -------------
+        runs: list[OutputRun | None] = [None] * spec.num_outputs
+        keys: list[str | None] = [None] * spec.num_outputs
+        pending: list[int] = []
+        for index, output in enumerate(spec.outputs):
+            if cache is not None:
+                keys[index] = cache_key(output, options)
+                hit = cache.lookup(keys[index], output)
+                if hit is not None:
+                    runs[index] = hit
+                    continue
+            pending.append(index)
+
+        fresh: list[OutputRun] | None = None
+        if jobs > 1 and len(pending) > 1:
+            fresh, fallback = run_outputs_in_pool(
+                [spec.outputs[index] for index in pending], options, jobs
             )
+            if trace is not None and fallback is not None:
+                trace.parallel_fallback = fallback
+        if fresh is None:
+            fresh = [
+                self._run_output_serial(spec.outputs[index])
+                for index in pending
+            ]
+        for index, output_run in zip(pending, fresh):
+            runs[index] = output_run
+            if cache is not None and keys[index] is not None:
+                cache.store(keys[index], output_run)
 
-        # Candidate whole networks: the per-output local best, one network
-        # per candidate tag (a method's choice may share better across
-        # outputs than the per-output winner does), and a greedy
-        # per-output mix against the incrementally built network — the
-        # stand-in for the paper's SIS ``resub`` merge.
-        network = build([variants[0][1] for variants in variants_per_output])
-        candidates = [network]
-        tags = {tag for variants in variants_per_output for tag, _ in variants}
-        if len(tags) > 1:
-            for tag in sorted(tags):
-                exprs = []
-                for variants in variants_per_output:
-                    chosen = dict(variants).get(tag, variants[0][1])
-                    exprs.append(chosen)
-                candidates.append(build(exprs))
-            mixed = self._greedy_mixed_network(spec, variants_per_output,
-                                               var_maps)
-            if mixed is not None:
-                candidates.append(mixed)
-            best = min(candidates, key=Network.two_input_gate_count)
-            if best is not network:
-                network = best
-                for report in reports:
-                    report.method += "(resub-mix)"
+        variants_per_output = []
+        reports: list[OutputReport] = []
+        var_maps: list[list[int]] = []
+        for index, output_run in enumerate(runs):
+            assert output_run is not None
+            variants_per_output.append(output_run.variants)
+            reports.append(output_run.report)
+            var_maps.append(list(spec.outputs[index].support))
+            if trace is not None:
+                trace.records.extend(output_run.records)
+                if output_run.cached:
+                    trace.cache_hits += 1
+        if trace is not None and cache is not None:
+            trace.cache_misses = len(pending)
+
+        # -- resub merge (network-level pass) ------------------------------
+        merge_start = time.perf_counter()
+        network, chosen_exprs, merge_details = resub_merge(
+            spec, variants_per_output, var_maps
+        )
+        merge_seconds = time.perf_counter() - merge_start
+        for index, report in enumerate(reports):
+            # Tag only outputs whose realized expression differs from
+            # their per-output winner — the resub mix changed *them*.
+            if exprs_differ(chosen_exprs[index],
+                            variants_per_output[index][0][1]):
+                report.method += "(resub-mix)"
+        if trace is not None:
+            trace.records.append(PassRecord(
+                pass_name="resub-merge",
+                output=None,
+                seconds=merge_seconds,
+                gates_before=merge_details["candidates"]["local-best"],
+                gates_after=network.two_input_gate_count(),
+                details=merge_details,
+            ))
+
         result = SynthesisResult(
             network=network,
             reports=reports,
             seconds=time.perf_counter() - start,
+            trace=trace,
         )
-        if self.options.verify:
+        if options.verify:
+            verify_start = time.perf_counter()
             result.verify = equivalent_to_spec(network, spec)
+            if trace is not None:
+                gates = network.two_input_gate_count()
+                trace.records.append(PassRecord(
+                    pass_name="verify",
+                    output=None,
+                    seconds=time.perf_counter() - verify_start,
+                    gates_before=gates,
+                    gates_after=gates,
+                    details={
+                        "equivalent": bool(result.verify),
+                        "method": result.verify.method,
+                    },
+                ))
+            result.seconds = time.perf_counter() - start
             if not result.verify:
                 raise VerificationError(
                     f"{spec.name}: synthesized network is not equivalent "
                     f"({result.verify.method}: {result.verify.detail})"
                 )
+        if trace is not None:
+            trace.seconds = time.perf_counter() - start
         return result
-
-    def _greedy_mixed_network(
-        self,
-        spec: CircuitSpec,
-        variants_per_output: list[list[tuple[str, ex.Expr]]],
-        var_maps: list[list[int]],
-    ) -> Network | None:
-        """Pick one variant per output to maximize cross-output sharing.
-
-        Outputs are added one by one; each candidate variant is trial-
-        inserted into a clone of the network so far and the one adding
-        fewest gates wins — a lightweight stand-in for the paper's SIS
-        ``resub`` merge of the per-output networks.
-        """
-        if spec.num_outputs <= 1 or spec.num_outputs > 64:
-            return None
-        net = Network(spec.num_inputs, name=spec.name,
-                      input_names=spec.input_names)
-        outputs: list[int] = []
-        for index in range(spec.num_outputs):
-            seen_ids: set[int] = set()
-            best_node = None
-            best_net = None
-            best_cost = None
-            for _tag, expr in variants_per_output[index]:
-                if id(expr) in seen_ids:
-                    continue
-                seen_ids.add(id(expr))
-                trial = net.clone()
-                node = add_expr(trial, expr, var_maps[index])
-                trial.set_outputs(outputs + [node])
-                cost = trial.two_input_gate_count()
-                if best_cost is None or cost < best_cost:
-                    best_cost = cost
-                    best_net = trial
-                    best_node = node
-            assert best_net is not None and best_node is not None
-            net = best_net
-            outputs.append(best_node)
-        net.set_outputs(outputs, spec.output_names)
-        return net
 
     # -- per-output pipeline ---------------------------------------------------
 
+    def _run_output_serial(self, output: OutputSpec) -> OutputRun:
+        self._records = []
+        variants, report = self._synthesize_output(output)
+        return OutputRun(variants=variants, report=report,
+                         records=self._records)
+
     def _synthesize_output(
         self, output: OutputSpec
-    ) -> tuple[list[tuple[str, ex.Expr]], OutputReport]:
+    ) -> tuple[list[tuple[str, object]], OutputReport]:
         """Returns ([(tag, PI-space expr), …] best-first, report).
 
-        Each factor candidate contributes a reduced and an unreduced
-        variant; the first entry is the per-output winner by strashed
-        gate count.  The caller chooses the final per-output combination
-        with cross-output sharing in view.
+        Kept as the seam the tests (and extensions) override: the driver
+        routes every serially-synthesized output through here.  The
+        actual work happens in the :mod:`repro.flow` pass pipeline.
         """
-        polarity, form, ofdd = self._derive_fprm(output)
-        candidates = self._factor_candidates(output, polarity, form, ofdd)
-        scored: list[tuple[int, str, ex.Expr]] = []
-        method = ""
-        stats: ReductionStats | None = None
-        gates_after = gates_before = -1
-        for cand_method, cand_expr in candidates:
-            before = _strashed_gate_count(cand_expr, output.width)
-            reduced_expr, cand_stats, after, _ = self._reduce_candidate(
-                cand_expr, output, form
-            )
-            pi_reduced = minimize_inverters_guarded(
-                apply_polarity(reduced_expr, polarity), output.width
-            )
-            scored.append((after, cand_method, pi_reduced))
-            if reduced_expr is not cand_expr:
-                pi_unreduced = minimize_inverters_guarded(
-                    apply_polarity(cand_expr, polarity), output.width
-                )
-                scored.append((before, f"{cand_method}-u", pi_unreduced))
-            if gates_after < 0 or after < gates_after:
-                method = cand_method
-                stats = cand_stats
-                gates_after = after
-                gates_before = before
-        if self.options.direct_fallback:
-            direct = self._direct_expr(output)
-            if direct is not None:
-                direct_gates = _expanded_gate_count(direct)
-                scored.append((
-                    direct_gates, "direct",
-                    minimize_inverters_guarded(direct, output.width),
-                ))
-                if direct_gates < gates_after:
-                    # The FPRM route lost to the input specification itself
-                    # (mux/unate-heavy cones); keep the original structure —
-                    # the FPRM form is "only the initial specification"
-                    # (paper Section 1).
-                    method = f"{method}+direct"
-                    gates_after = direct_gates
-        scored.sort(key=lambda item: item[0])
-        variants = [(tag, expr) for _, tag, expr in scored]
-        report = OutputReport(
-            name=output.name,
-            polarity=polarity,
-            num_fprm_cubes=form.num_cubes if form is not None else None,
-            method=method,
-            gates_before_reduction=gates_before,
-            gates_after_reduction=gates_after,
-            reduction_stats=stats,
-        )
-        return variants, report
-
-    def _direct_expr(self, output: OutputSpec) -> ex.Expr | None:
-        """The specification's own structure as an expression (PI space)."""
-        if output.expr is not None:
-            return output.expr
-        if output.cover is not None:
-            terms = []
-            for cube in output.cover:
-                literals: list[ex.Expr] = []
-                for var in range(output.width):
-                    bit = 1 << var
-                    if cube.pos & bit:
-                        literals.append(ex.Lit(var))
-                    elif cube.neg & bit:
-                        literals.append(ex.Lit(var, True))
-                terms.append(ex.and_(literals))
-            return ex.or_(terms)
-        return None
-
-    def _derive_fprm(
-        self, output: OutputSpec
-    ) -> tuple[int, FprmForm | None, tuple[OfddManager, int] | None]:
-        """Polarity vector + FPRM form (when extractable) + OFDD handle."""
-        width = output.width
-        universe = (1 << width) - 1
-        if width <= _DENSE_SYNTH_LIMIT:
-            table = output.local_table()
-            polarity = choose_polarity(table, self.options.polarity_strategy)
-            form = fprm_from_table(table, polarity)
-            if form.num_cubes <= self.options.cube_limit:
-                return polarity, form, None
-            # Too many cubes for the cube machinery: go through the OFDD.
-            manager = OfddManager(width, polarity)
-            node = manager.from_fprm_masks(form.cubes)
-            return polarity, None, (manager, node)
-        # Wide support: diagram-only derivation.  The dense polarity search
-        # is unavailable, so try a few cheap candidate vectors and keep the
-        # diagram with the fewest nodes.
-        best: tuple[OfddManager, int] | None = None
-        polarity = universe
-        for candidate in self._wide_polarity_candidates(output):
-            manager = OfddManager(width, candidate)
-            if output.expr is not None:
-                node = manager.from_expr(output.expr)
-            else:
-                assert output.cover is not None
-                node = manager.from_cover(output.cover)
-            size = manager.node_count(node)
-            if best is None or size < best_size:
-                best = (manager, node)
-                best_size = size
-                polarity = candidate
-        assert best is not None
-        manager, node = best
-        if manager.cube_count(node) <= self.options.cube_limit:
-            masks = manager.cubes(node)
-            form = FprmForm.from_masks(width, polarity, masks)
-            return polarity, form, (manager, node)
-        return polarity, None, (manager, node)
-
-    def _wide_polarity_candidates(self, output: OutputSpec) -> list[int]:
-        """All-positive, all-negative and a literal-frequency vector."""
-        width = output.width
-        universe = (1 << width) - 1
-        hint = universe
-        if output.cover is not None:
-            pos = [0] * width
-            neg = [0] * width
-            for cube in output.cover:
-                for var in range(width):
-                    bit = 1 << var
-                    if cube.pos & bit:
-                        pos[var] += 1
-                    elif cube.neg & bit:
-                        neg[var] += 1
-            hint = sum(1 << v for v in range(width) if pos[v] >= neg[v])
-        elif output.expr is not None:
-            counts: dict[int, int] = {}
-            _literal_balance(output.expr, False, counts)
-            hint = sum(
-                1 << v for v in range(width) if counts.get(v, 0) >= 0
-            )
-        candidates = [universe, 0, hint]
-        seen: set[int] = set()
-        return [c for c in candidates if not (c in seen or seen.add(c))]
-
-    def _factor_candidates(
-        self,
-        output: OutputSpec,
-        polarity: int,
-        form: FprmForm | None,
-        ofdd: tuple[OfddManager, int] | None,
-    ) -> list[tuple[str, ex.Expr]]:
-        """Factored candidates per the configured method(s).
-
-        Under ``AUTO`` both of the paper's methods run and the caller keeps
-        whichever yields the smaller reduced network ("comparable, but the
-        second method has better results on a few more test cases").
-        """
-        method = self.options.factor_method
-        candidates: list[tuple[str, ex.Expr]] = []
-        if form is not None and method in (FactorMethod.CUBE, FactorMethod.AUTO):
-            candidates.append(("cube", factor_cubes(list(form.cubes))))
-        if method in (FactorMethod.OFDD, FactorMethod.AUTO) or not candidates:
-            if ofdd is None:
-                assert form is not None
-                manager = OfddManager(output.width, polarity)
-                node = manager.from_fprm_masks(form.cubes)
-            else:
-                manager, node = ofdd
-            candidates.append(("ofdd", factor_ofdd(manager, node)))
-        if (
-            form is not None
-            and method is FactorMethod.AUTO
-            and form.num_cubes <= _XOR_FX_CUBE_CAP
-        ):
-            candidates.append(
-                ("xor-fx", _factor_with_xor_divisors(form, output.width))
-            )
-        return candidates
-
-    def _reduce_candidate(
-        self,
-        literal_expr: ex.Expr,
-        output: OutputSpec,
-        form: FprmForm | None,
-    ) -> tuple[ex.Expr, ReductionStats | None, int, int]:
-        """Run redundancy removal; returns (expr, stats, after, before)
-        where the gate counts are structurally-hashed network sizes (DAG
-        sharing counted once, matching how the result will be built)."""
-        gates_before = _strashed_gate_count(literal_expr, output.width)
-        if form is None:
-            # No explicit cube set — the paper's pattern machinery (OC/SA1
-            # sets come from the cubes) has nothing to work from; this is
-            # exactly the "large multioutput functions" limitation noted in
-            # its conclusions.
-            return literal_expr, None, gates_before, gates_before
-        tree = self._tree_within_cap(literal_expr)
-        stats: ReductionStats | None = None
-        if tree is not None and self.options.redundancy_removal:
-            remover = RedundancyRemover(tree, output.width, form, self.options)
-            tree = remover.run()
-            stats = remover.stats
-            literal_expr = tr.expr_from_tree(tree)
-        gates_after = _strashed_gate_count(literal_expr, output.width)
-        return literal_expr, stats, gates_after, gates_before
-
-    def _tree_within_cap(self, expr: ex.Expr) -> tr.TNode | None:
-        if _expanded_tree_size(expr) > _TREE_SIZE_CAP:
-            return None
-        return tr.tree_from_expr(expr)
-
-
-def _expanded_tree_size(expr: ex.Expr, memo: dict[int, int] | None = None) -> int:
-    """Node count the expression would have as a tree (shared nodes
-    re-counted per reference), computed in linear time over the DAG."""
-    if memo is None:
-        memo = {}
-    key = id(expr)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
-    size = 1 + sum(_expanded_tree_size(child, memo) for child in expr.children())
-    memo[key] = size
-    return size
-
-
-def _factor_with_xor_divisors(form: FprmForm, width: int) -> ex.Expr:
-    """Third factorization candidate: GF(2) fast-extract, then cube-method
-    factoring of the rewritten function and of each divisor, with the
-    divisor expressions shared by object identity (strash recovers the
-    sharing in the network)."""
-    from repro.core.xor_extract import extract_xor_divisors
-
-    extraction = extract_xor_divisors([list(form.cubes)], width)
-    expr_memo: dict[int, ex.Expr] = {}
-
-    def divisor_expr(var: int) -> ex.Expr:
-        cached = expr_memo.get(var)
-        if cached is None:
-            body = extraction.divisors[var]
-            cached = substitute(factor_cubes([_cube_to_mask(c) for c in body]))
-            expr_memo[var] = cached
-        return cached
-
-    def substitute(expr: ex.Expr) -> ex.Expr:
-        if isinstance(expr, ex.Lit):
-            if expr.var >= width:
-                divisor = divisor_expr(expr.var)
-                return ex.not_(divisor) if expr.negated else divisor
-            return expr
-        if isinstance(expr, ex.Const):
-            return expr
-        if isinstance(expr, ex.Not):
-            return ex.not_(substitute(expr.arg))
-        children = [substitute(child) for child in expr.children()]
-        if isinstance(expr, ex.And):
-            return ex.and_(children)
-        if isinstance(expr, ex.Or):
-            return ex.or_(children)
-        if len(children) == 2:
-            return ex.xor2(children[0], children[1])
-        return ex.xor_join(children)
-
-    top = factor_cubes([_cube_to_mask(c) for c in extraction.functions[0]])
-    return substitute(top)
-
-
-def _cube_to_mask(cube: frozenset) -> int:
-    mask = 0
-    for lit in cube:
-        mask |= 1 << lit
-    return mask
-
-
-def _strashed_gate_count(expr: ex.Expr, width: int) -> int:
-    """Gate count of ``expr`` as a structurally-hashed network."""
-    net = Network(width)
-    net.set_outputs([_add_literal_expr(net, expr)])
-    return net.two_input_gate_count()
-
-
-def _add_literal_expr(net: Network, expr: ex.Expr,
-                      memo: dict[int, int] | None = None) -> int:
-    """Like network.build.add_expr but id-memoized for shared DAG exprs."""
-    if memo is None:
-        memo = {}
-    key = id(expr)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
-    if isinstance(expr, ex.Const):
-        result = net.const1 if expr.value else net.const0
-    elif isinstance(expr, ex.Lit):
-        pi = net.pi(expr.var)
-        result = net.add_not(pi) if expr.negated else pi
-    elif isinstance(expr, ex.Not):
-        result = net.add_not(_add_literal_expr(net, expr.arg, memo))
-    else:
-        kids = [_add_literal_expr(net, child, memo) for child in expr.children()]
-        if isinstance(expr, ex.And):
-            result = net.add_and_tree(kids)
-        elif isinstance(expr, ex.Or):
-            result = net.add_or_tree(kids)
-        else:
-            result = net.add_xor_tree(kids)
-    memo[key] = result
-    return result
-
-
-def _expanded_gate_count(expr: ex.Expr, memo: dict[int, int] | None = None) -> int:
-    """Tree-expanded 2-input gate count, linear time over shared DAGs."""
-    if memo is None:
-        memo = {}
-    key = id(expr)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
-    children = expr.children()
-    own = 0
-    if isinstance(expr, (ex.And, ex.Or)):
-        own = len(children) - 1
-    elif isinstance(expr, ex.Xor):
-        own = 3 * (len(children) - 1)
-    count = own + sum(_expanded_gate_count(child, memo) for child in children)
-    memo[key] = count
-    return count
-
-
-def apply_polarity(expr: ex.Expr, polarity: int) -> ex.Expr:
-    """Rewrite a literal-space expression into PI space.
-
-    Literal ``ℓ_i`` is ``x_i`` when bit ``i`` of ``polarity`` is set and
-    ``x̄_i`` otherwise.  Sharing is preserved via an id-memo so OFDD-derived
-    DAG-shaped expressions stay DAG-shaped.
-    """
-    memo: dict[int, ex.Expr] = {}
-
-    def walk(node: ex.Expr) -> ex.Expr:
-        key = id(node)
-        cached = memo.get(key)
-        if cached is not None:
-            return cached
-        if isinstance(node, ex.Const):
-            result: ex.Expr = node
-        elif isinstance(node, ex.Lit):
-            positive = bool((polarity >> node.var) & 1)
-            result = ex.Lit(node.var, negated=node.negated != (not positive))
-        elif isinstance(node, ex.Not):
-            result = ex.not_(walk(node.arg))
-        else:
-            children = [walk(child) for child in node.children()]
-            if isinstance(node, ex.And):
-                result = ex.and_(children)
-            elif isinstance(node, ex.Or):
-                result = ex.or_(children)
-            else:
-                result = ex.xor_(children)
-        memo[key] = result
-        return result
-
-    return walk(expr)
+        ctx = run_output_pipeline(output, self.options)
+        assert ctx.report is not None
+        self._records = ctx.records
+        return ctx.variants, ctx.report
 
 
 def synthesize_fprm(

@@ -1,0 +1,64 @@
+"""Pass protocol and the manager that times and records each pass."""
+
+from __future__ import annotations
+
+import abc
+import time
+from collections.abc import Sequence
+
+from repro.flow.context import FlowContext
+from repro.flow.trace import PassRecord
+
+
+class OutputPass(abc.ABC):
+    """One named stage of the per-output pipeline.
+
+    A pass mutates the :class:`~repro.flow.context.FlowContext` in place
+    and returns a JSON-serializable ``details`` dict (or ``None``) for
+    its trace record.  A pass that does not apply should record
+    ``{"skipped": <reason>}`` rather than raise.
+    """
+
+    #: Stable name used in traces, docs and tests.
+    name: str = "unnamed"
+
+    @abc.abstractmethod
+    def run(self, ctx: FlowContext) -> dict | None:
+        """Execute the pass on ``ctx``."""
+
+
+class PassManager:
+    """Runs a pass sequence over a context, recording telemetry.
+
+    Per pass it captures wall-time plus the best known strashed gate
+    count at entry and exit (``ctx.best_gates``), so a trace shows where
+    gates were created and where they were removed.
+    """
+
+    def __init__(self, passes: Sequence[OutputPass]):
+        if not passes:
+            raise ValueError("a pipeline needs at least one pass")
+        names = [p.name for p in passes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pass names in pipeline: {names}")
+        self.passes = list(passes)
+
+    @property
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def run(self, ctx: FlowContext) -> FlowContext:
+        for pass_ in self.passes:
+            gates_before = ctx.best_gates
+            start = time.perf_counter()
+            details = pass_.run(ctx) or {}
+            seconds = time.perf_counter() - start
+            ctx.records.append(PassRecord(
+                pass_name=pass_.name,
+                output=ctx.output.name,
+                seconds=seconds,
+                gates_before=gates_before,
+                gates_after=ctx.best_gates,
+                details=details,
+            ))
+        return ctx

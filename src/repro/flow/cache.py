@@ -1,0 +1,176 @@
+"""Content-addressed per-output result cache.
+
+Repeated harness runs (ablation sweeps, the Table 2 benchmarks, a server
+answering the same circuit twice) re-synthesize identical output
+functions over and over.  The per-output pipeline is a pure function of
+(local function representation, semantic options), so its result —
+the best-first variant list plus the report — can be cached under a
+digest of exactly those two things.
+
+Keys deliberately ignore the output *name* and the global support
+mapping: two outputs with the same local behaviour share one entry, and
+the caller re-applies its own ``var_map`` when building the network.
+They also ignore the non-semantic knobs (``verify``, ``jobs``,
+``trace``, ``cache`` itself) via
+:meth:`~repro.core.options.SynthesisOptions.semantic_fingerprint`.
+
+The digest always uses the output's *original* representation (cover,
+then expression, then dense table) so that the lazy
+``OutputSpec.local_table()`` materialization between two runs cannot
+change the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+
+from repro.core.options import SynthesisOptions
+from repro.expr import expression as ex
+from repro.flow.context import OutputReport, OutputRun
+from repro.flow.trace import PassRecord
+from repro.spec import OutputSpec
+
+
+def _hash_expr(expr: ex.Expr, h) -> None:
+    """Feed a canonical DAG-aware serialization of ``expr`` into ``h``."""
+    memo: dict[int, int] = {}
+
+    def walk(node: ex.Expr) -> None:
+        key = id(node)
+        index = memo.get(key)
+        if index is not None:
+            h.update(b"@%d;" % index)
+            return
+        memo[key] = len(memo)
+        if isinstance(node, ex.Const):
+            h.update(b"C%d;" % int(node.value))
+        elif isinstance(node, ex.Lit):
+            h.update(b"L%d.%d;" % (node.var, int(node.negated)))
+        else:
+            h.update(type(node).__name__.encode("ascii"))
+            h.update(b"(")
+            for child in node.children():
+                walk(child)
+            h.update(b");")
+
+    walk(expr)
+
+
+def output_digest(output: OutputSpec) -> str:
+    """Content digest of one output's local function representation."""
+    h = hashlib.sha256()
+    h.update(b"w%d;" % output.width)
+    if output.cover is not None:
+        h.update(b"cover;")
+        for cube in output.cover:
+            h.update(b"%x,%x;" % (cube.pos, cube.neg))
+    elif output.expr is not None:
+        h.update(b"expr;")
+        _hash_expr(output.expr, h)
+    else:
+        assert output.table is not None
+        h.update(b"table;")
+        h.update(output.table.bits.tobytes())
+    return h.hexdigest()
+
+
+def cache_key(output: OutputSpec, options: SynthesisOptions) -> str:
+    """The full cache key: output content digest + options fingerprint."""
+    fingerprint = hashlib.sha256(
+        repr(options.semantic_fingerprint()).encode("utf-8")
+    ).hexdigest()[:16]
+    return f"{output_digest(output)}/{fingerprint}"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class _Entry:
+    variants: list
+    report: OutputReport
+    pipeline_seconds: float
+
+
+class ResultCache:
+    """A bounded, thread-safe, in-process per-output result cache."""
+
+    def __init__(self, max_entries: int = 2048):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str, output: OutputSpec) -> OutputRun | None:
+        """Return a fresh :class:`OutputRun` for a hit, else ``None``.
+
+        The report is copied (the resub-merge pass may append to its
+        ``method`` tag) and renamed after the *requesting* output, since
+        keys are content-addressed rather than name-addressed.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+        record = PassRecord(
+            pass_name="cache-lookup",
+            output=output.name,
+            seconds=0.0,
+            gates_before=entry.report.gates_after_reduction,
+            gates_after=entry.report.gates_after_reduction,
+            details={
+                "hit": True,
+                "key": key[:16],
+                "saved_seconds": entry.pipeline_seconds,
+            },
+        )
+        return OutputRun(
+            variants=entry.variants,
+            report=replace(entry.report, name=output.name),
+            records=[record],
+            cached=True,
+        )
+
+    def store(self, key: str, run: OutputRun) -> None:
+        """Insert one pipeline result (defensive report copy)."""
+        entry = _Entry(
+            variants=run.variants,
+            report=replace(run.report),
+            pipeline_seconds=sum(r.seconds for r in run.records),
+        )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.puts += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+_GLOBAL_CACHE = ResultCache()
+
+
+def get_result_cache() -> ResultCache:
+    """The process-wide cache used when ``SynthesisOptions.cache`` is on."""
+    return _GLOBAL_CACHE

@@ -1,0 +1,83 @@
+"""The state a per-output pipeline threads through its passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.options import SynthesisOptions
+from repro.core.redundancy import ReductionStats
+from repro.expr import expression as ex
+from repro.expr.esop import FprmForm
+from repro.flow.trace import PassRecord
+from repro.ofdd.manager import OfddManager
+from repro.spec import OutputSpec
+
+
+@dataclass
+class OutputReport:
+    """Diagnostics for one synthesized output."""
+
+    name: str
+    polarity: int
+    num_fprm_cubes: int | None
+    method: str
+    gates_before_reduction: int
+    gates_after_reduction: int
+    reduction_stats: ReductionStats | None
+
+
+@dataclass
+class ReducedCandidate:
+    """One factor candidate after the redundancy-removal pass.
+
+    ``expr`` and ``reduced`` are literal-space; the gate counts are
+    strashed network sizes of each.  ``reduced is expr`` means the
+    remover changed nothing (no unreduced variant needs keeping).
+    """
+
+    tag: str
+    expr: ex.Expr
+    reduced: ex.Expr
+    gates_before: int
+    gates_after: int
+    stats: ReductionStats | None
+
+
+@dataclass
+class FlowContext:
+    """Per-output pipeline state (paper steps 2-4 for one output).
+
+    Passes populate the fields in order: ``derive-fprm`` sets
+    ``polarity``/``form``/``ofdd``; the factor passes append literal-space
+    ``candidates``; ``redundancy-removal`` fills ``reduced``;
+    ``inverter-cleanup`` produces the best-first PI-space ``variants``
+    and the ``report``.  ``best_gates`` tracks the smallest known
+    strashed gate count so the manager can record per-pass gate deltas.
+    """
+
+    output: OutputSpec
+    options: SynthesisOptions
+    polarity: int = -1
+    form: FprmForm | None = None
+    ofdd: tuple[OfddManager, int] | None = None
+    candidates: list[tuple[str, ex.Expr]] = field(default_factory=list)
+    reduced: list[ReducedCandidate] = field(default_factory=list)
+    variants: list[tuple[str, ex.Expr]] = field(default_factory=list)
+    report: OutputReport | None = None
+    best_gates: int | None = None
+    records: list[PassRecord] = field(default_factory=list)
+
+    def note_gates(self, gates: int) -> None:
+        """Lower the best known gate count (monotone min)."""
+        if self.best_gates is None or gates < self.best_gates:
+            self.best_gates = gates
+
+
+@dataclass
+class OutputRun:
+    """What one output's pipeline run hands back to the driver."""
+
+    variants: list[tuple[str, ex.Expr]]
+    report: OutputReport
+    records: list[PassRecord] = field(default_factory=list)
+    cached: bool = False

@@ -1,0 +1,60 @@
+"""Parallel multi-output synthesis.
+
+Outputs are independent until the resub merge, so their pipelines can
+run across a :mod:`concurrent.futures` process pool.  The pool maps the
+outputs in order (deterministic merge order preserved) and every worker
+runs the same pure per-output pipeline, so results are bit-identical to
+a serial run.  Any pool-level failure (fork limits, pickling, a broken
+pool) degrades gracefully: the caller falls back to the serial path and
+notes the reason in the trace.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.options import SynthesisOptions
+from repro.flow.context import OutputRun
+from repro.flow.passes import run_output_pipeline
+from repro.spec import OutputSpec
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Effective worker count: ``0`` means all cores, floor 1."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _pool_worker(payload: tuple[OutputSpec, SynthesisOptions]) -> OutputRun:
+    output, options = payload
+    ctx = run_output_pipeline(output, options)
+    assert ctx.report is not None
+    return OutputRun(variants=ctx.variants, report=ctx.report,
+                     records=ctx.records)
+
+
+def run_outputs_in_pool(
+    outputs: list[OutputSpec],
+    options: SynthesisOptions,
+    jobs: int,
+) -> tuple[list[OutputRun] | None, str | None]:
+    """Run the per-output pipelines across a process pool.
+
+    Returns ``(runs, None)`` on success — in input order — or
+    ``(None, reason)`` when the pool itself failed and the caller should
+    fall back to the serial path.  Exceptions raised *by the pipeline*
+    are re-raised unchanged (the serial path would hit them too).
+    """
+    workers = min(resolve_jobs(jobs), len(outputs))
+    payloads = [(output, options) for output in outputs]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_pool_worker, payloads)), None
+    except Exception as err:  # noqa: BLE001 - pool machinery failures vary
+        from repro.errors import ReproError
+
+        if isinstance(err, ReproError):
+            raise
+        return None, f"{type(err).__name__}: {err}"

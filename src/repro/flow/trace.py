@@ -1,0 +1,128 @@
+"""Structured per-pass telemetry for the FPRM flow.
+
+Every pass the :class:`~repro.flow.base.PassManager` runs appends one
+:class:`PassRecord` — wall-time, the best known 2-input gate count before
+and after, and a free-form ``details`` dict (rule-fire statistics,
+candidate tags, cache metadata).  The per-output records plus the
+network-level ``resub-merge``/``verify`` records make up the
+:class:`FlowTrace` that :class:`~repro.core.synthesis.SynthesisResult`
+exposes and ``repro-synth --trace FILE`` dumps as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PassRecord:
+    """One pass execution on one output (or on the whole network).
+
+    ``gates_before``/``gates_after`` are the best known strashed 2-input
+    gate counts at pass entry/exit (``None`` while no candidate exists
+    yet, e.g. during ``derive-fprm``).  ``details`` holds pass-specific
+    diagnostics and must stay JSON-serializable.
+    """
+
+    pass_name: str
+    output: str | None
+    seconds: float
+    gates_before: int | None = None
+    gates_after: int | None = None
+    details: dict = field(default_factory=dict)
+
+    @property
+    def gate_delta(self) -> int | None:
+        """Gate change of this pass (negative = improvement)."""
+        if self.gates_before is None or self.gates_after is None:
+            return None
+        return self.gates_after - self.gates_before
+
+    def as_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "output": self.output,
+            "seconds": self.seconds,
+            "gates_before": self.gates_before,
+            "gates_after": self.gates_after,
+            "gate_delta": self.gate_delta,
+            "details": self.details,
+        }
+
+
+@dataclass
+class FlowTrace:
+    """Everything observable about one synthesis run."""
+
+    circuit: str
+    jobs: int = 1
+    cache_enabled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    parallel_fallback: str | None = None
+    seconds: float = 0.0
+    records: list[PassRecord] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+
+    def pass_names(self) -> list[str]:
+        """Distinct pass names in first-appearance order."""
+        seen: set[str] = set()
+        names: list[str] = []
+        for record in self.records:
+            if record.pass_name not in seen:
+                seen.add(record.pass_name)
+                names.append(record.pass_name)
+        return names
+
+    def records_for(
+        self, pass_name: str | None = None, output: str | None = None
+    ) -> list[PassRecord]:
+        return [
+            record for record in self.records
+            if (pass_name is None or record.pass_name == pass_name)
+            and (output is None or record.output == output)
+        ]
+
+    def seconds_by_pass(self) -> dict[str, float]:
+        """Total wall-time per pass name (insertion-ordered)."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            totals[record.pass_name] = (
+                totals.get(record.pass_name, 0.0) + record.seconds
+            )
+        return totals
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "jobs": self.jobs,
+            "cache": {
+                "enabled": self.cache_enabled,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "parallel_fallback": self.parallel_fallback,
+            "seconds": self.seconds,
+            "seconds_by_pass": self.seconds_by_pass(),
+            "records": [record.as_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def summary(self) -> str:
+        """A compact multi-line text summary (for CLI reports)."""
+        lines = [f"flow trace: {self.circuit}  jobs={self.jobs}  "
+                 f"{len(self.records)} pass records  {self.seconds:.3f}s"]
+        if self.cache_enabled:
+            lines.append(
+                f"  cache: {self.cache_hits} hit(s), "
+                f"{self.cache_misses} miss(es)"
+            )
+        for name, secs in self.seconds_by_pass().items():
+            lines.append(f"  {name:<20} {secs:8.4f}s")
+        return "\n".join(lines)

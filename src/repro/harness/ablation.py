@@ -3,6 +3,11 @@
 Each function runs the FPRM flow with one knob varied on a set of
 circuits and returns per-circuit gate counts, so the benchmarks can print
 the deltas directly.
+
+Every run goes through the per-output result cache: ablation sweeps
+share many (circuit, options) combinations — e.g. the default options
+appear as the ``auto``/``with_rr``/``bdd`` variants of three different
+sweeps — and cached outputs are skipped instead of re-synthesized.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ class AblationRow:
 
 
 def _run(name: str, options: SynthesisOptions) -> int:
-    return synthesize_fprm(get(name), options).two_input_gates
+    return synthesize_fprm(get(name), options.replace(cache=True)).two_input_gates
 
 
 def ablate_redundancy_removal(circuits: list[str] | None = None) -> list[AblationRow]:

@@ -2,11 +2,15 @@
 
     python -m repro.harness.cli INPUT [-o OUT.blif] [--flow fprm|sislite]
                                 [--report] [--library GENLIB]
+                                [--jobs N] [--trace FILE] [--cache]
 
 Reads a two-level PLA or structural BLIF, runs the chosen flow (the
 paper's FPRM flow by default), verifies equivalence, optionally maps onto
 a genlib library, and writes the result as BLIF.  ``--report`` prints the
 gate/literal/depth/power summary instead of (or in addition to) writing.
+``--jobs N`` synthesizes outputs across N worker processes (0 = all
+cores), ``--trace FILE`` dumps the per-pass FlowTrace as JSON, and
+``--cache`` reuses per-output results within the process.
 """
 
 from __future__ import annotations
@@ -50,14 +54,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-verify", action="store_true")
     parser.add_argument("--report", action="store_true",
                         help="print a synthesis report to stdout")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="synthesize outputs across N worker processes "
+                             "(0 = all cores; fprm flow only)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write the per-pass FlowTrace as JSON "
+                             "(fprm flow only)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse per-output results across runs in this "
+                             "process (fprm flow only)")
     args = parser.parse_args(argv)
 
     spec = load_spec(pathlib.Path(args.input))
     verify = not args.no_verify
+    trace = None
     if args.flow == "fprm":
-        result = synthesize_fprm(spec, SynthesisOptions(verify=verify))
+        options = SynthesisOptions(verify=verify, cache=args.cache)
+        if args.jobs is not None:
+            options = options.replace(jobs=args.jobs)
+        result = synthesize_fprm(spec, options)
         network = result.network
         seconds = result.seconds
+        trace = result.trace
         flow_note = "fprm"
     else:
         baseline, script = best_baseline(spec, verify=verify)
@@ -74,6 +92,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"depth:   {network_delay(network).delay:.0f} levels")
         print(f"power:   {estimate_power(network).microwatts:.1f} uW")
         print(f"runtime: {seconds:.2f} s")
+        if trace is not None:
+            passes = len(trace.records)
+            note = f"passes:  {passes} records, jobs={trace.jobs}"
+            if trace.cache_enabled:
+                note += (f", cache {trace.cache_hits} hit(s)/"
+                         f"{trace.cache_misses} miss(es)")
+            print(note)
         if args.map:
             library = (
                 parse_genlib(pathlib.Path(args.library).read_text(),
@@ -83,6 +108,15 @@ def main(argv: list[str] | None = None) -> int:
             mapped = map_network(network, library)
             print(f"mapped:  {mapped.gate_count} cells, "
                   f"{mapped.literal_count} lits, area {mapped.area:.0f}")
+    if args.trace:
+        if trace is None:
+            print("--trace: no trace available for this flow; skipped",
+                  file=sys.stderr)
+        else:
+            pathlib.Path(args.trace).write_text(
+                trace.to_json(), encoding="utf-8"
+            )
+            print(f"wrote {args.trace}", file=sys.stderr)
     if args.output:
         pathlib.Path(args.output).write_text(
             write_blif(network, model=spec.name), encoding="utf-8"

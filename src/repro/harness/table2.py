@@ -66,6 +66,8 @@ def run_table2(
     options: SynthesisOptions | None = None,
     verify: bool = True,
     progress=None,
+    jobs: int | None = None,
+    cache: bool | None = None,
 ) -> list[CircuitComparison]:
     """Run the comparison over ``circuits`` (default: the whole suite)."""
     names = circuits if circuits is not None else all_names()
@@ -73,7 +75,8 @@ def run_table2(
     for name in names:
         if progress is not None:
             progress(name)
-        rows.append(run_circuit(name, options=options, verify=verify))
+        rows.append(run_circuit(name, options=options, verify=verify,
+                                jobs=jobs, cache=cache))
     return rows
 
 

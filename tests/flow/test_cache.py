@@ -1,0 +1,149 @@
+"""The content-addressed per-output result cache."""
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import FactorMethod, SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.expr.cover import Cover
+from repro.flow.cache import (
+    ResultCache,
+    cache_key,
+    get_result_cache,
+    output_digest,
+)
+from repro.network.blif import write_blif
+from repro.network.verify import equivalent_to_spec
+from repro.spec import CircuitSpec, OutputSpec
+from repro.truth.table import TruthTable
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    get_result_cache().clear()
+    yield
+    get_result_cache().clear()
+
+
+def test_cache_hit_returns_equivalent_network():
+    spec = get("z4ml")
+    options = SynthesisOptions(cache=True)
+    first = synthesize_fprm(spec, options)
+    assert first.trace.cache_hits == 0
+    assert first.trace.cache_misses == spec.num_outputs
+
+    second = synthesize_fprm(spec, options)
+    assert second.trace.cache_hits == spec.num_outputs
+    assert second.trace.cache_misses == 0
+    assert second.verify
+    assert second.two_input_gates == first.two_input_gates
+    assert write_blif(second.network) == write_blif(first.network)
+    assert equivalent_to_spec(second.network, spec)
+    # Hits are observable per output via the cache-lookup records.
+    lookups = second.trace.records_for("cache-lookup")
+    assert len(lookups) == spec.num_outputs
+    assert all(record.details["hit"] for record in lookups)
+
+
+def test_acceptance_cached_rerun_is_faster():
+    """Acceptance: identical second run reports hits and lower wall-time."""
+    spec = get("z4ml")
+    options = SynthesisOptions(cache=True)
+    fresh = synthesize_fprm(spec, options)
+    cached = synthesize_fprm(spec, options)
+    assert cached.trace.cache_hits == spec.num_outputs
+    assert cached.trace.seconds < fresh.trace.seconds
+    assert cached.seconds < fresh.seconds
+
+
+def test_cached_reports_stable_across_runs():
+    # The resub-merge pass appends to report.method; the cache must hand
+    # out fresh copies so a second run reproduces the first exactly.
+    spec = get("z4ml")
+    options = SynthesisOptions(cache=True)
+    first = synthesize_fprm(spec, options)
+    second = synthesize_fprm(spec, options)
+    assert [r.method for r in second.reports] == \
+        [r.method for r in first.reports]
+    assert [r.name for r in second.reports] == \
+        [r.name for r in first.reports]
+
+
+def test_key_stable_under_lazy_table_materialization():
+    cover = Cover.from_strings(["1-0", "011"])
+    output = OutputSpec("f", (0, 1, 2), cover=cover)
+    options = SynthesisOptions()
+    before = cache_key(output, options)
+    output.local_table()  # materializes output.table as a side effect
+    assert cache_key(output, options) == before
+
+
+def test_key_ignores_name_and_nonsemantic_options():
+    table = TruthTable.from_function(3, lambda m: int(m.bit_count() == 2))
+    a = OutputSpec("f", (0, 1, 2), table=table)
+    b = OutputSpec("g", (2, 0, 1), table=table)  # name/support differ
+    base = SynthesisOptions()
+    assert output_digest(a) == output_digest(b)
+    assert cache_key(a, base) == cache_key(b, base)
+    for nonsemantic in (
+        base.replace(verify=False),
+        base.replace(jobs=4),
+        base.replace(trace=False),
+        base.replace(cache=True),
+    ):
+        assert cache_key(a, nonsemantic) == cache_key(a, base)
+    semantic = base.replace(factor_method=FactorMethod.OFDD)
+    assert cache_key(a, semantic) != cache_key(a, base)
+    wider = OutputSpec("f", (0, 1), table=TruthTable.from_function(
+        2, lambda m: int(m == 3)))
+    assert output_digest(wider) != output_digest(a)
+
+
+def test_duplicate_outputs_share_one_entry():
+    table = TruthTable.from_function(3, lambda m: int(m.bit_count() >= 2))
+    spec = CircuitSpec(
+        name="twins", num_inputs=3,
+        outputs=[
+            OutputSpec("f", (0, 1, 2), table=table),
+            OutputSpec("g", (0, 1, 2), table=table),
+        ],
+    )
+    options = SynthesisOptions(cache=True)
+    first = synthesize_fprm(spec, options)
+    assert first.verify
+    second = synthesize_fprm(spec, options)
+    assert second.trace.cache_hits == 2
+    # Content-addressed: both outputs map onto the same entry, and the
+    # report names are rewritten per requesting output.
+    assert [r.name for r in second.reports] == ["f", "g"]
+    assert second.two_input_gates == first.two_input_gates
+
+
+def test_cache_eviction_and_stats():
+    cache = ResultCache(max_entries=1)
+    spec = get("rd53")
+    options = SynthesisOptions()
+    from repro.flow.passes import run_output_pipeline
+    from repro.flow.context import OutputRun
+
+    runs = []
+    for output in spec.outputs[:2]:
+        ctx = run_output_pipeline(output, options)
+        runs.append((cache_key(output, options),
+                     OutputRun(ctx.variants, ctx.report, ctx.records)))
+    cache.store(*runs[0])
+    cache.store(*runs[1])
+    assert len(cache) == 1
+    assert cache.stats.puts == 2
+    assert cache.stats.evictions == 1
+    assert cache.lookup(runs[0][0], spec.outputs[0]) is None  # evicted
+    hit = cache.lookup(runs[1][0], spec.outputs[1])
+    assert hit is not None and hit.cached
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_cache_disabled_by_default():
+    result = synthesize_fprm(get("rd53"))
+    assert result.trace.cache_enabled is False
+    assert result.trace.cache_hits == 0
+    assert len(get_result_cache()) == 0

@@ -77,3 +77,45 @@ def test_cli_sislite_flow(blif_file, capsys):
 def test_cli_mapping_report(blif_file, capsys):
     assert main([str(blif_file), "--report", "--map"]) == 0
     assert "mapped:" in capsys.readouterr().out
+
+
+def test_cli_jobs_and_trace(pla_file, tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main([str(pla_file), "--report", "--jobs", "2",
+                 "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "passes:" in out and "jobs=2" in out
+    payload = json.loads(trace_path.read_text())
+    assert payload["jobs"] == 2
+    assert len(payload["seconds_by_pass"]) >= 5
+    assert payload["records"]
+
+
+def test_cli_jobs_zero_means_all_cores(pla_file, capsys):
+    import os
+
+    assert main([str(pla_file), "--report", "--jobs", "0"]) == 0
+    assert f"jobs={os.cpu_count() or 1}" in capsys.readouterr().out
+
+
+def test_cli_cache_flag_reuses_results(pla_file, capsys):
+    from repro.flow.cache import get_result_cache
+
+    get_result_cache().clear()
+    try:
+        assert main([str(pla_file), "--report", "--cache"]) == 0
+        assert "0 hit(s)" in capsys.readouterr().out
+        assert main([str(pla_file), "--report", "--cache"]) == 0
+        assert "2 hit(s)/0 miss(es)" in capsys.readouterr().out
+    finally:
+        get_result_cache().clear()
+
+
+def test_cli_trace_skipped_for_sislite(blif_file, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert main([str(blif_file), "--flow", "sislite", "--report",
+                 "--trace", str(trace_path)]) == 0
+    assert not trace_path.exists()
+    assert "skipped" in capsys.readouterr().err
