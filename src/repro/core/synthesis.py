@@ -13,8 +13,17 @@ Since the pass-pipeline refactor the actual stages live in
 ``inverter-cleanup``, ``resub-merge``); this module is the driver that
 threads outputs through the default pipeline — serially, across a
 process pool (``options.jobs``), or out of the per-output result cache
-(``options.cache``) — and assembles the :class:`SynthesisResult`
-including its per-pass :class:`~repro.flow.trace.FlowTrace`.
+(``options.cache``) — and assembles the :class:`SynthesisResult`.
+
+Observability: when ``options.trace`` is on the driver installs a
+:class:`~repro.obs.spans.SpanTracer` for the duration of the run; every
+pass, every per-output pipeline, the pool map, the resub merge and the
+verification run inside spans, and deep layers (OFDD apply statistics,
+espresso/exorcism iterations, fault simulation, mapping) attach their
+own.  The :class:`~repro.flow.trace.FlowTrace` on the result is a view
+over that span tree, and a :class:`~repro.obs.manifest.RunManifest`
+(input digest, options fingerprint, package/python/platform) is attached
+to every result — traced or not — so runs can be compared safely.
 """
 
 from __future__ import annotations
@@ -33,9 +42,12 @@ from repro.flow.passes import (
     resub_merge,
     run_output_pipeline,
 )
-from repro.flow.trace import FlowTrace, PassRecord
+from repro.flow.trace import FlowTrace
 from repro.network.netlist import Network
 from repro.network.verify import VerifyResult, equivalent_to_spec
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import get_metrics_registry
+from repro.obs.spans import Span, SpanTracer, install, span as obs_span, uninstall
 from repro.spec import CircuitSpec, OutputSpec
 
 __all__ = [
@@ -49,13 +61,14 @@ __all__ = [
 
 @dataclass
 class SynthesisResult:
-    """Network plus per-output reports, trace and equivalence verdict."""
+    """Network plus per-output reports, trace, manifest and verdict."""
 
     network: Network
     reports: list[OutputReport] = field(default_factory=list)
     verify: VerifyResult | None = None
     seconds: float = 0.0
     trace: FlowTrace | None = None
+    manifest: RunManifest | None = None
 
     @property
     def two_input_gates(self) -> int:
@@ -71,17 +84,37 @@ class FprmSynthesizer:
 
     def __init__(self, options: SynthesisOptions | None = None):
         self.options = options or SynthesisOptions()
-        self._records: list[PassRecord] = []
+        self._records: list = []
 
     def run(self, spec: CircuitSpec) -> SynthesisResult:
+        options = self.options
+        tracer = (
+            SpanTracer(root_name=f"synthesize:{spec.name}", category="run")
+            if options.trace else None
+        )
+        previous = install(tracer) if tracer is not None else None
+        try:
+            return self._run(spec, tracer)
+        finally:
+            if tracer is not None:
+                uninstall(previous)
+
+    def _run(self, spec: CircuitSpec,
+             tracer: SpanTracer | None) -> SynthesisResult:
         start = time.perf_counter()
         options = self.options
         jobs = resolve_jobs(options.jobs)
         cache = get_result_cache() if options.cache else None
+        manifest = RunManifest.for_run(spec, options, jobs=jobs)
         trace = (
             FlowTrace(circuit=spec.name, jobs=jobs,
-                      cache_enabled=options.cache)
+                      cache_enabled=options.cache, manifest=manifest)
             if options.trace else None
+        )
+        metrics = get_metrics_registry()
+        metrics.counter("flow.runs", "synthesis runs started").inc()
+        metrics.counter("flow.outputs", "outputs synthesized").inc(
+            spec.num_outputs
         )
 
         # -- per-output pipelines (cache, then pool or serial) -------------
@@ -94,24 +127,55 @@ class FprmSynthesizer:
                 hit = cache.lookup(keys[index], output)
                 if hit is not None:
                     runs[index] = hit
+                    self._record_cache_hit(output, hit)
+                    if trace is not None:
+                        trace.cache_hits += 1
+                    metrics.counter("flow.cache.hits").inc()
                     continue
             pending.append(index)
 
         fresh: list[OutputRun] | None = None
         if jobs > 1 and len(pending) > 1:
-            fresh, fallback = run_outputs_in_pool(
-                [spec.outputs[index] for index in pending], options, jobs
-            )
+            with obs_span("parallel-map", category="flow") as pool_span:
+                fresh, fallback = run_outputs_in_pool(
+                    [spec.outputs[index] for index in pending], options, jobs
+                )
+                if pool_span is not None:
+                    pool_span.set(
+                        workers=min(jobs, len(pending)),
+                        outputs=len(pending),
+                        fallback=fallback,
+                    )
+                if fresh is not None and tracer is not None:
+                    for output_run in fresh:
+                        if output_run.spans:
+                            tracer.adopt(
+                                [Span.from_dict(d) for d in output_run.spans],
+                                at=pool_span.start if pool_span else None,
+                                parent=pool_span,
+                            )
             if trace is not None and fallback is not None:
                 trace.parallel_fallback = fallback
+            if fresh is not None:
+                for output_run in fresh:
+                    self._absorb_worker_stats(output_run, trace, metrics)
         if fresh is None:
-            fresh = [
-                self._run_output_serial(spec.outputs[index])
-                for index in pending
-            ]
+            fresh = []
+            for index in pending:
+                output = spec.outputs[index]
+                with obs_span(f"output:{output.name}", category="output",
+                              output=output.name):
+                    fresh.append(self._run_output_serial(output))
+                if trace is not None and cache is not None:
+                    trace.cache_misses += 1
+                if cache is not None:
+                    metrics.counter("flow.cache.misses").inc()
         for index, output_run in zip(pending, fresh):
             runs[index] = output_run
-            if cache is not None and keys[index] is not None:
+            # Worker-cache hits are already copies of a stored entry;
+            # re-storing them would reset the entry's saved-seconds info.
+            if cache is not None and keys[index] is not None \
+                    and not output_run.cached:
                 cache.store(keys[index], output_run)
 
         variants_per_output = []
@@ -122,66 +186,96 @@ class FprmSynthesizer:
             variants_per_output.append(output_run.variants)
             reports.append(output_run.report)
             var_maps.append(list(spec.outputs[index].support))
-            if trace is not None:
-                trace.records.extend(output_run.records)
-                if output_run.cached:
-                    trace.cache_hits += 1
-        if trace is not None and cache is not None:
-            trace.cache_misses = len(pending)
 
         # -- resub merge (network-level pass) ------------------------------
-        merge_start = time.perf_counter()
-        network, chosen_exprs, merge_details = resub_merge(
-            spec, variants_per_output, var_maps
-        )
-        merge_seconds = time.perf_counter() - merge_start
+        with obs_span("resub-merge", category="pass") as merge_span:
+            network, chosen_exprs, merge_details = resub_merge(
+                spec, variants_per_output, var_maps
+            )
+            if merge_span is not None:
+                merge_span.set(
+                    output=None,
+                    gates_before=merge_details["candidates"]["local-best"],
+                    gates_after=network.two_input_gate_count(),
+                    details=merge_details,
+                )
         for index, report in enumerate(reports):
             # Tag only outputs whose realized expression differs from
             # their per-output winner — the resub mix changed *them*.
             if exprs_differ(chosen_exprs[index],
                             variants_per_output[index][0][1]):
                 report.method += "(resub-mix)"
-        if trace is not None:
-            trace.records.append(PassRecord(
-                pass_name="resub-merge",
-                output=None,
-                seconds=merge_seconds,
-                gates_before=merge_details["candidates"]["local-best"],
-                gates_after=network.two_input_gate_count(),
-                details=merge_details,
-            ))
 
         result = SynthesisResult(
             network=network,
             reports=reports,
             seconds=time.perf_counter() - start,
             trace=trace,
+            manifest=manifest,
         )
         if options.verify:
-            verify_start = time.perf_counter()
-            result.verify = equivalent_to_spec(network, spec)
-            if trace is not None:
-                gates = network.two_input_gate_count()
-                trace.records.append(PassRecord(
-                    pass_name="verify",
-                    output=None,
-                    seconds=time.perf_counter() - verify_start,
-                    gates_before=gates,
-                    gates_after=gates,
-                    details={
-                        "equivalent": bool(result.verify),
-                        "method": result.verify.method,
-                    },
-                ))
+            with obs_span("verify", category="pass") as verify_span:
+                result.verify = equivalent_to_spec(network, spec)
+                if verify_span is not None:
+                    gates = network.two_input_gate_count()
+                    verify_span.set(
+                        output=None,
+                        gates_before=gates,
+                        gates_after=gates,
+                        details={
+                            "equivalent": bool(result.verify),
+                            "method": result.verify.method,
+                        },
+                    )
+            metrics.counter("flow.verified").inc()
             result.seconds = time.perf_counter() - start
             if not result.verify:
                 raise VerificationError(
                     f"{spec.name}: synthesized network is not equivalent "
                     f"({result.verify.method}: {result.verify.detail})"
                 )
+        metrics.histogram("flow.run_seconds",
+                          "wall-time per synthesis run").observe(
+            time.perf_counter() - start
+        )
         if trace is not None:
             trace.seconds = time.perf_counter() - start
+            assert tracer is not None
+            trace.root = tracer.finish()
         return result
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _record_cache_hit(self, output: OutputSpec, hit: OutputRun) -> None:
+        """Mirror the hit's cache-lookup record into the span tree."""
+        lookup = hit.records[0] if hit.records else None
+        with obs_span(f"output:{output.name}", category="output",
+                      output=output.name):
+            with obs_span("cache-lookup", category="pass") as node:
+                if node is not None and lookup is not None:
+                    node.set(
+                        output=output.name,
+                        gates_before=lookup.gates_before,
+                        gates_after=lookup.gates_after,
+                        details=lookup.details,
+                    )
+
+    def _absorb_worker_stats(self, output_run: OutputRun,
+                             trace: FlowTrace | None, metrics) -> None:
+        """Aggregate process-local worker statistics into the trace."""
+        stats = output_run.worker_stats
+        if stats is None:
+            return
+        worker_cache = stats.get("cache", {})
+        hits = worker_cache.get("hits", 0)
+        misses = worker_cache.get("misses", 0)
+        if trace is not None:
+            trace.cache_hits += hits
+            trace.cache_misses += misses
+        if hits:
+            metrics.counter("flow.cache.hits").inc(hits)
+        if misses:
+            metrics.counter("flow.cache.misses").inc(misses)
 
     # -- per-output pipeline ---------------------------------------------------
 

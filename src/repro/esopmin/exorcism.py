@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.expr.cube import Cube
 from repro.expr.esop import EsopCover, FprmForm
+from repro.obs.spans import span as obs_span
 from repro.utils.bitops import bit_indices
 
 _MAX_ROUNDS = 12
@@ -36,11 +37,21 @@ def esop_from_fprm(form: FprmForm) -> EsopCover:
 def minimize_esop(cover: EsopCover, rounds: int = _MAX_ROUNDS) -> EsopCover:
     """Minimize cube count (then literal count) of an ESOP."""
     cubes = list(cover.cubes)
-    for _ in range(rounds):
-        cubes, changed_merge = _reduce_pass(cover.n, cubes)
-        changed_link = _exorlink_pass(cover.n, cubes)
-        if not changed_merge and not changed_link:
-            break
+    trajectory = [len(cubes)]
+    with obs_span("esop-minimize", category="algo") as node:
+        for _ in range(rounds):
+            cubes, changed_merge = _reduce_pass(cover.n, cubes)
+            changed_link = _exorlink_pass(cover.n, cubes)
+            trajectory.append(len(cubes))
+            if not changed_merge and not changed_link:
+                break
+        if node is not None:
+            node.set(
+                cubes_in=trajectory[0],
+                cubes_out=len(cubes),
+                rounds=len(trajectory) - 1,
+                trajectory=trajectory,
+            )
     return EsopCover(cover.n, tuple(cubes))
 
 

@@ -8,6 +8,7 @@ from collections.abc import Sequence
 
 from repro.flow.context import FlowContext
 from repro.flow.trace import PassRecord
+from repro.obs.spans import span as obs_span
 
 
 class OutputPass(abc.ABC):
@@ -51,7 +52,15 @@ class PassManager:
         for pass_ in self.passes:
             gates_before = ctx.best_gates
             start = time.perf_counter()
-            details = pass_.run(ctx) or {}
+            with obs_span(pass_.name, category="pass") as node:
+                details = pass_.run(ctx) or {}
+                if node is not None:
+                    node.set(
+                        output=ctx.output.name,
+                        gates_before=gates_before,
+                        gates_after=ctx.best_gates,
+                        details=details,
+                    )
             seconds = time.perf_counter() - start
             ctx.records.append(PassRecord(
                 pass_name=pass_.name,

@@ -75,9 +75,20 @@ class FlowContext:
 
 @dataclass
 class OutputRun:
-    """What one output's pipeline run hands back to the driver."""
+    """What one output's pipeline run hands back to the driver.
+
+    ``spans`` carries the serialized span tree of a pool worker's
+    pipeline (empty when the run happened in-process — the ambient
+    tracer already captured it).  ``worker_stats`` ships process-local
+    statistics — result-cache hits/misses, OFDD table stats — back
+    across the process boundary so the parent can aggregate them into
+    the :class:`~repro.flow.trace.FlowTrace` instead of silently
+    dropping them.
+    """
 
     variants: list[tuple[str, ex.Expr]]
     report: OutputReport
     records: list[PassRecord] = field(default_factory=list)
     cached: bool = False
+    spans: list[dict] = field(default_factory=list)
+    worker_stats: dict | None = None

@@ -7,6 +7,16 @@ runs the same pure per-output pipeline, so results are bit-identical to
 a serial run.  Any pool-level failure (fork limits, pickling, a broken
 pool) degrades gracefully: the caller falls back to the serial path and
 notes the reason in the trace.
+
+Observability across the process boundary: everything a worker records —
+its span tree, its result-cache hits/misses — is process-local and would
+be silently lost when the worker exits.  Each worker therefore installs
+its own :class:`~repro.obs.spans.SpanTracer` (when tracing is on),
+consults the worker-local result cache (when caching is on), and ships
+both the serialized spans and a ``worker_stats`` dict back inside the
+:class:`~repro.flow.context.OutputRun`; the parent re-parents the spans
+under its own trace and aggregates the stats into the
+:class:`~repro.flow.trace.FlowTrace`.
 """
 
 from __future__ import annotations
@@ -15,8 +25,10 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.options import SynthesisOptions
+from repro.flow.cache import cache_key, get_result_cache
 from repro.flow.context import OutputRun
 from repro.flow.passes import run_output_pipeline
+from repro.obs.spans import SpanTracer, install, uninstall
 from repro.spec import OutputSpec
 
 
@@ -29,10 +41,52 @@ def resolve_jobs(jobs: int) -> int:
 
 def _pool_worker(payload: tuple[OutputSpec, SynthesisOptions]) -> OutputRun:
     output, options = payload
-    ctx = run_output_pipeline(output, options)
-    assert ctx.report is not None
-    return OutputRun(variants=ctx.variants, report=ctx.report,
-                     records=ctx.records)
+    stats = {"pid": os.getpid(), "cache": {"hits": 0, "misses": 0}}
+    tracer = (
+        SpanTracer(root_name=f"output:{output.name}", category="output")
+        if options.trace else None
+    )
+    previous = install(tracer) if tracer is not None else None
+    try:
+        run: OutputRun | None = None
+        cache = get_result_cache() if options.cache else None
+        key: str | None = None
+        if cache is not None:
+            # The parent's cache lives in another process; consulting the
+            # worker-local one still pays off whenever one worker sees the
+            # same output function twice (duplicate outputs, chunked maps).
+            key = cache_key(output, options)
+            hit = cache.lookup(key, output)
+            if hit is not None:
+                stats["cache"]["hits"] += 1
+                if tracer is not None:
+                    lookup = hit.records[0]
+                    with tracer.span("cache-lookup", category="pass") as node:
+                        node.set(
+                            output=output.name,
+                            gates_before=lookup.gates_before,
+                            gates_after=lookup.gates_after,
+                            details=lookup.details,
+                        )
+                run = hit
+            else:
+                stats["cache"]["misses"] += 1
+        if run is None:
+            ctx = run_output_pipeline(output, options)
+            assert ctx.report is not None
+            run = OutputRun(variants=ctx.variants, report=ctx.report,
+                            records=ctx.records)
+            if cache is not None and key is not None:
+                cache.store(key, run)
+    finally:
+        if tracer is not None:
+            uninstall(previous)
+    if tracer is not None:
+        root = tracer.finish()
+        root.set(output=output.name)
+        run.spans = [root.as_dict()]
+    run.worker_stats = stats
+    return run
 
 
 def run_outputs_in_pool(

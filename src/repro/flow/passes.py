@@ -116,7 +116,7 @@ class DeriveFprmPass(OutputPass):
             node = manager.from_fprm_masks(form.cubes)
             ctx.polarity, ctx.form, ctx.ofdd = polarity, None, (manager, node)
             return {"route": "dense-ofdd", "polarity": polarity,
-                    "num_fprm_cubes": None}
+                    "num_fprm_cubes": None, "ofdd": manager.stats()}
         # Wide support: diagram-only derivation.  The dense polarity search
         # is unavailable, so try a few cheap candidate vectors and keep the
         # diagram with the fewest nodes.
@@ -143,10 +143,11 @@ class DeriveFprmPass(OutputPass):
             ctx.form = FprmForm.from_masks(width, polarity, masks)
             return {"route": "wide", "polarity": polarity,
                     "num_fprm_cubes": ctx.form.num_cubes,
-                    "ofdd_nodes": best_size}
+                    "ofdd_nodes": best_size, "ofdd": manager.stats()}
         ctx.form = None
         return {"route": "wide", "polarity": polarity,
-                "num_fprm_cubes": None, "ofdd_nodes": best_size}
+                "num_fprm_cubes": None, "ofdd_nodes": best_size,
+                "ofdd": manager.stats()}
 
 
 # -- factor passes -----------------------------------------------------------
@@ -194,7 +195,8 @@ class FactorOfddPass(OutputPass):
         gates = strashed_gate_count(expr, ctx.output.width)
         ctx.candidates.append(("ofdd", expr))
         ctx.note_gates(gates)
-        return {"gates": gates, "fallback": not applies}
+        return {"gates": gates, "fallback": not applies,
+                "ofdd": manager.stats()}
 
 
 class FactorXorFxPass(OutputPass):

@@ -1,18 +1,30 @@
-"""Structured per-pass telemetry for the FPRM flow.
+"""Structured telemetry for the FPRM flow.
 
-Every pass the :class:`~repro.flow.base.PassManager` runs appends one
-:class:`PassRecord` — wall-time, the best known 2-input gate count before
-and after, and a free-form ``details`` dict (rule-fire statistics,
-candidate tags, cache metadata).  The per-output records plus the
-network-level ``resub-merge``/``verify`` records make up the
-:class:`FlowTrace` that :class:`~repro.core.synthesis.SynthesisResult`
-exposes and ``repro-synth --trace FILE`` dumps as JSON.
+Since the observability layer (:mod:`repro.obs`) landed, the source of
+truth for a traced run is a hierarchical *span tree*: the driver opens a
+root span per run, each per-output pipeline and each pass runs inside a
+child span, and the deep layers (OFDD apply statistics, ESOP iteration
+trajectories, fault simulation, mapping, verification) attach their own
+spans underneath.  :class:`FlowTrace` is a **view** over that tree — the
+flat per-pass :class:`PassRecord` list of the original pass-pipeline PR
+is derived from the spans with ``category == "pass"`` — so the
+``SynthesisResult.trace`` API and the ``repro-synth --trace`` JSON keep
+working unchanged (the JSON additionally carries ``spans``, ``manifest``
+and a ``schema`` version).
+
+Traces loaded from JSON written by older versions (schema 1, records
+only) still parse: :meth:`FlowTrace.from_dict` keeps their flat records
+and simply has no span tree.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+
+from repro.obs.manifest import RunManifest
+from repro.obs.schema import TRACE_SCHEMA_VERSION
+from repro.obs.spans import Span
 
 
 @dataclass
@@ -50,10 +62,38 @@ class PassRecord:
             "details": self.details,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PassRecord":
+        return cls(
+            pass_name=payload["pass"],
+            output=payload.get("output"),
+            seconds=payload.get("seconds", 0.0),
+            gates_before=payload.get("gates_before"),
+            gates_after=payload.get("gates_after"),
+            details=dict(payload.get("details", {})),
+        )
+
+    @classmethod
+    def from_span(cls, span: Span) -> "PassRecord":
+        """The flat-record view of one ``category == "pass"`` span."""
+        return cls(
+            pass_name=span.name,
+            output=span.attrs.get("output"),
+            seconds=span.seconds,
+            gates_before=span.attrs.get("gates_before"),
+            gates_after=span.attrs.get("gates_after"),
+            details=span.attrs.get("details", {}),
+        )
+
 
 @dataclass
 class FlowTrace:
-    """Everything observable about one synthesis run."""
+    """Everything observable about one synthesis run.
+
+    When ``root`` is set (every traced run since the observability
+    layer), ``records`` is derived from the span tree; ``flat_records``
+    only carries data for traces deserialized from records-only JSON.
+    """
 
     circuit: str
     jobs: int = 1
@@ -62,7 +102,22 @@ class FlowTrace:
     cache_misses: int = 0
     parallel_fallback: str | None = None
     seconds: float = 0.0
-    records: list[PassRecord] = field(default_factory=list)
+    root: Span | None = None
+    manifest: RunManifest | None = None
+    flat_records: list[PassRecord] = field(default_factory=list)
+
+    # -- the records view --------------------------------------------------
+
+    @property
+    def records(self) -> list[PassRecord]:
+        """Flat per-pass records — a preorder view over the span tree."""
+        if self.root is None:
+            return self.flat_records
+        return [
+            PassRecord.from_span(node)
+            for node in self.root.walk()
+            if node.category == "pass"
+        ]
 
     # -- queries -----------------------------------------------------------
 
@@ -94,10 +149,27 @@ class FlowTrace:
             )
         return totals
 
+    def hotspots(self, top: int = 5) -> list[tuple[str, float]]:
+        """Top spans by aggregated *self*-time (pass totals as fallback).
+
+        Self-time attributes each wall-clock second to the innermost
+        span that spent it, so a pass that is slow only because of a
+        deep-layer helper it calls does not mask the helper.
+        """
+        totals: dict[str, float] = {}
+        if self.root is not None:
+            for node in self.root.walk():
+                totals[node.name] = totals.get(node.name, 0.0) + node.self_seconds
+        else:
+            totals = self.seconds_by_pass()
+        ranked = sorted(totals.items(), key=lambda item: -item[1])
+        return ranked[:top]
+
     # -- export ------------------------------------------------------------
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
+            "schema": TRACE_SCHEMA_VERSION,
             "circuit": self.circuit,
             "jobs": self.jobs,
             "cache": {
@@ -110,11 +182,39 @@ class FlowTrace:
             "seconds_by_pass": self.seconds_by_pass(),
             "records": [record.as_dict() for record in self.records],
         }
+        if self.root is not None:
+            payload["spans"] = self.root.as_dict()
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest.as_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FlowTrace":
+        """Rebuild a trace from its JSON form (any schema version)."""
+        cache = payload.get("cache", {})
+        trace = cls(
+            circuit=payload.get("circuit", ""),
+            jobs=payload.get("jobs", 1),
+            cache_enabled=cache.get("enabled", False),
+            cache_hits=cache.get("hits", 0),
+            cache_misses=cache.get("misses", 0),
+            parallel_fallback=payload.get("parallel_fallback"),
+            seconds=payload.get("seconds", 0.0),
+        )
+        if "spans" in payload:
+            trace.root = Span.from_dict(payload["spans"])
+        else:
+            trace.flat_records = [
+                PassRecord.from_dict(r) for r in payload.get("records", [])
+            ]
+        if "manifest" in payload:
+            trace.manifest = RunManifest.from_dict(payload["manifest"])
+        return trace
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
-    def summary(self) -> str:
+    def summary(self, top: int = 5) -> str:
         """A compact multi-line text summary (for CLI reports)."""
         lines = [f"flow trace: {self.circuit}  jobs={self.jobs}  "
                  f"{len(self.records)} pass records  {self.seconds:.3f}s"]
@@ -125,4 +225,9 @@ class FlowTrace:
             )
         for name, secs in self.seconds_by_pass().items():
             lines.append(f"  {name:<20} {secs:8.4f}s")
+        hot = self.hotspots(top)
+        if hot:
+            lines.append("  hotspots (self-time):")
+            for name, secs in hot:
+                lines.append(f"    {name:<24} {secs:8.4f}s")
         return "\n".join(lines)

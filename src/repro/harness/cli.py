@@ -9,8 +9,10 @@ paper's FPRM flow by default), verifies equivalence, optionally maps onto
 a genlib library, and writes the result as BLIF.  ``--report`` prints the
 gate/literal/depth/power summary instead of (or in addition to) writing.
 ``--jobs N`` synthesizes outputs across N worker processes (0 = all
-cores), ``--trace FILE`` dumps the per-pass FlowTrace as JSON, and
-``--cache`` reuses per-output results within the process.
+cores), ``--trace FILE`` dumps the per-pass FlowTrace as JSON (``-``
+writes it to stdout), and ``--cache`` reuses per-output results within
+the process.  Inspect, diff or export a dumped trace with the
+``repro-trace`` companion tool (:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -59,7 +61,7 @@ def main(argv: list[str] | None = None) -> int:
                              "(0 = all cores; fprm flow only)")
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write the per-pass FlowTrace as JSON "
-                             "(fprm flow only)")
+                             "('-' = stdout; fprm flow only)")
     parser.add_argument("--cache", action="store_true",
                         help="reuse per-output results across runs in this "
                              "process (fprm flow only)")
@@ -99,6 +101,11 @@ def main(argv: list[str] | None = None) -> int:
                 note += (f", cache {trace.cache_hits} hit(s)/"
                          f"{trace.cache_misses} miss(es)")
             print(note)
+            hot = trace.hotspots()
+            if hot:
+                print("hotspots (self-time):")
+                for name, secs in hot:
+                    print(f"  {name:<24} {secs:8.4f}s")
         if args.map:
             library = (
                 parse_genlib(pathlib.Path(args.library).read_text(),
@@ -112,6 +119,8 @@ def main(argv: list[str] | None = None) -> int:
         if trace is None:
             print("--trace: no trace available for this flow; skipped",
                   file=sys.stderr)
+        elif args.trace == "-":
+            print(trace.to_json())
         else:
             pathlib.Path(args.trace).write_text(
                 trace.to_json(), encoding="utf-8"

@@ -15,6 +15,7 @@ from repro.errors import LibraryError
 from repro.mapping.cell import Cell, CellLibrary, Pattern
 from repro.mapping.subject import C0, C1, INV, NAND, PI, SubjectGraph, subject_graph
 from repro.network.netlist import Network
+from repro.obs.spans import span as obs_span
 
 
 @dataclass
@@ -62,8 +63,14 @@ class MappedNetwork:
 
 def map_network(net: Network, library: CellLibrary) -> MappedNetwork:
     """Map a logic network onto ``library`` for minimum area."""
-    graph = subject_graph(net)
-    return _map_subject(graph, library)
+    with obs_span("tech-map", category="algo") as node:
+        graph = subject_graph(net)
+        mapped = _map_subject(graph, library)
+        if node is not None:
+            node.set(library=library.name,
+                     subject_nodes=len(graph.live_nodes()),
+                     cells=mapped.gate_count, area=mapped.area)
+        return mapped
 
 
 def _map_subject(graph: SubjectGraph, library: CellLibrary) -> MappedNetwork:

@@ -23,6 +23,7 @@ from repro.bdd.manager import BddManager
 from repro.errors import ReproError
 from repro.network.netlist import GateType, Network
 from repro.network.simulate import exhaustive_inputs, random_inputs, simulate
+from repro.obs.spans import span as obs_span
 from repro.spec import CircuitSpec
 
 _EXHAUSTIVE_MAX_INPUTS = 16
@@ -42,6 +43,15 @@ class VerifyResult:
 
 def equivalent_to_spec(net: Network, spec: CircuitSpec) -> VerifyResult:
     """Check a synthesized network against its specification."""
+    with obs_span("equivalence-check", category="algo") as node:
+        result = _equivalent_to_spec(net, spec)
+        if node is not None:
+            node.set(circuit=spec.name, method=result.method,
+                     equivalent=result.equivalent)
+        return result
+
+
+def _equivalent_to_spec(net: Network, spec: CircuitSpec) -> VerifyResult:
     if net.num_inputs != spec.num_inputs or net.num_outputs != spec.num_outputs:
         return VerifyResult(False, "interface", "I/O count mismatch")
     if spec.num_inputs <= _EXHAUSTIVE_MAX_INPUTS:

@@ -1,0 +1,67 @@
+"""Deep observability: spans, metrics, manifests, schemas, exporters.
+
+The pieces and how they fit:
+
+* :mod:`repro.obs.spans` — hierarchical span tracer.  The synthesis
+  driver installs one per run; passes and the deep layers (OFDD apply,
+  ESOP minimization, espresso, fault simulation, mapping, verification)
+  open ambient spans that cost nothing while tracing is off.
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms
+  with JSON and Prometheus-text exporters; the benchmark harness dumps
+  the registry as ``BENCH_*.json``.
+* :mod:`repro.obs.manifest` — run manifests (input digest, options
+  fingerprint, package/python/platform) attached to every
+  ``SynthesisResult`` and embedded in trace JSON.
+* :mod:`repro.obs.schema` — versioned golden schemas plus a dependency-
+  free validator for trace/manifest/metrics documents.
+* :mod:`repro.obs.chrome` — Chrome trace-event (Perfetto) export.
+* :mod:`repro.obs.cli` — the ``repro-trace`` tool (summarize, diff,
+  export); not imported here so the library import stays light.
+
+``FlowTrace`` (:mod:`repro.flow.trace`) is a view over the span tree
+these pieces build; see ``docs/OBSERVABILITY.md`` for the full story.
+"""
+
+from repro.obs.manifest import RunManifest, options_fingerprint, spec_digest
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics_registry,
+)
+from repro.obs.schema import (
+    TRACE_SCHEMA_VERSION,
+    validate_manifest,
+    validate_metrics,
+    validate_trace,
+)
+from repro.obs.spans import (
+    Span,
+    SpanTracer,
+    current_tracer,
+    install,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "SpanTracer",
+    "TRACE_SCHEMA_VERSION",
+    "current_tracer",
+    "get_metrics_registry",
+    "install",
+    "options_fingerprint",
+    "span",
+    "spec_digest",
+    "uninstall",
+    "validate_manifest",
+    "validate_metrics",
+    "validate_trace",
+]

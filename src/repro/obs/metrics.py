@@ -1,0 +1,193 @@
+"""A small process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the always-on complement of the span tracer: spans answer
+"where did this run spend its time", metrics answer "how much work has
+this process done" — apply calls, cache hits, espresso iterations —
+across runs.  Instruments are plain Python objects with integer/float
+fields; recording is an attribute update, cheap enough to leave enabled
+everywhere.
+
+Exporters: :meth:`MetricsRegistry.as_dict` (the ``BENCH_*.json`` format
+the benchmark harness emits, validated by :mod:`repro.obs.schema`) and
+:meth:`MetricsRegistry.to_prometheus_text` (the Prometheus text
+exposition format, so a service wrapping the flow can mount the registry
+on a ``/metrics`` endpoint unchanged).
+
+Metric names are dotted (``flow.cache.hits``); the Prometheus exporter
+rewrites them to underscored form.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics_registry",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, powers of 4).
+DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "help": self.help, "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    name: str
+    help: str = ""
+    value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "help": self.help, "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)  # one per bucket + inf
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def _get(self, name: str, kind, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name=name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, help=help, buckets=buckets)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # -- exporters ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """The JSON shape of ``BENCH_*.json`` (see repro.obs.schema)."""
+        return {
+            "schema": 1,
+            "metrics": {
+                name: metric.as_dict()
+                for name, metric in sorted(self._metrics.items())
+            },
+        }
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            flat = name.replace(".", "_").replace("-", "_")
+            kind = metric.as_dict()["type"]
+            if metric.help:
+                lines.append(f"# HELP {flat} {metric.help}")
+            lines.append(f"# TYPE {flat} {kind}")
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{flat} {metric.value}")
+                continue
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+            cumulative += metric.counts[-1]
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{flat}_sum {metric.total}")
+            lines.append(f"{flat}_count {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def get_metrics_registry() -> MetricsRegistry:
+    """The process-wide registry the flow and harnesses record into."""
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,262 @@
+"""Hierarchical span tracing for the synthesis flow.
+
+A :class:`Span` is one timed region of work — a flow pass, an ESOP
+minimization, a fault-simulation sweep — with a name, a category, a
+free-form JSON-serializable ``attrs`` dict and nested child spans.  A
+:class:`SpanTracer` owns one span tree per run and maintains the stack of
+open spans.
+
+The tracer is *ambient*: deep layers (``ofdd``, ``esopmin``, ``sislite``,
+``testability``, ``mapping``, ``network.verify``) call the module-level
+:func:`span` helper, which is a shared no-op object when no tracer is
+installed — one global read and one attribute call, so instrumented hot
+paths cost nothing measurable with tracing off.  The synthesis driver
+installs a tracer for the duration of a run (:func:`install` /
+:func:`uninstall`, or ``tracer.activate()``).
+
+Process pools cannot share a tracer: workers install their own, serialize
+the finished span tree with :meth:`Span.as_dict`, ship it back in the
+``OutputRun``, and the parent re-parents it with :func:`Span.from_dict`
+plus :meth:`SpanTracer.adopt` — so a trace of a parallel run still shows
+every pass of every worker, tagged with the worker's pid.
+
+Span start times are seconds relative to the tracer's epoch (the root
+span's start), which is what the Chrome trace-event exporter needs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "current_tracer",
+    "install",
+    "span",
+    "uninstall",
+]
+
+
+@dataclass
+class Span:
+    """One timed, attributed, nestable region of work."""
+
+    name: str
+    category: str = ""
+    start: float = 0.0          # seconds since the tracer epoch
+    seconds: float = 0.0
+    pid: int = 0
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes (JSON-serializable values) to this span."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall-time spent in this span minus its direct children."""
+        return max(0.0, self.seconds - sum(c.seconds for c in self.children))
+
+    # -- traversal ---------------------------------------------------------
+
+    def walk(self):
+        """Yield this span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in preorder, or ``None``."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    # -- (de)serialization -------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "seconds": self.seconds,
+            "pid": self.pid,
+            "attrs": self.attrs,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            name=payload["name"],
+            category=payload.get("category", ""),
+            start=payload.get("start", 0.0),
+            seconds=payload.get("seconds", 0.0),
+            pid=payload.get("pid", 0),
+            attrs=dict(payload.get("attrs", {})),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+    # -- context manager (used through SpanTracer/span()) ------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = _ACTIVE
+        if tracer is not None:
+            tracer._close(self)
+        return False
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Builds one span tree; the open-span stack lives here."""
+
+    def __init__(self, root_name: str = "run", category: str = "run"):
+        self._epoch = time.perf_counter()
+        self.root = Span(name=root_name, category=category, pid=os.getpid())
+        self._stack: list[Span] = [self.root]
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, category: str = "", **attrs) -> Span:
+        """Open a child span of the innermost open span.
+
+        Use as a context manager: ``with tracer.span("pass:x"): ...``.
+        """
+        node = Span(
+            name=name,
+            category=category,
+            start=time.perf_counter() - self._epoch,
+            pid=os.getpid(),
+            attrs=attrs,
+        )
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+        return node
+
+    def _close(self, node: Span) -> None:
+        node.seconds = time.perf_counter() - self._epoch - node.start
+        # Pop back to the span being closed; tolerate a child left open by
+        # an exception unwinding through several spans at once.
+        while self._stack and self._stack[-1] is not node:
+            dangling = self._stack.pop()
+            if dangling.seconds == 0.0:
+                dangling.seconds = (
+                    time.perf_counter() - self._epoch - dangling.start
+                )
+        if self._stack and self._stack[-1] is node:
+            self._stack.pop()
+
+    def finish(self) -> Span:
+        """Close the root span and return the finished tree."""
+        self.root.seconds = time.perf_counter() - self._epoch
+        self._stack = [self.root]
+        return self.root
+
+    # -- adoption of foreign (worker) trees --------------------------------
+
+    def adopt(self, spans: list[Span] | Span, at: float | None = None,
+              parent: Span | None = None) -> None:
+        """Attach spans serialized in another process under ``parent``.
+
+        Worker clocks have a different ``perf_counter`` origin, so the
+        adopted subtree is shifted to start at ``at`` (seconds since this
+        tracer's epoch; defaults to now).  Relative timing *within* the
+        subtree is preserved.
+        """
+        nodes = spans if isinstance(spans, list) else [spans]
+        if not nodes:
+            return
+        if at is None:
+            at = time.perf_counter() - self._epoch
+        target = parent if parent is not None else self._stack[-1]
+        base = min(node.start for node in nodes)
+        for node in nodes:
+            _shift(node, at - base)
+            target.children.append(node)
+
+    # -- ambient activation ------------------------------------------------
+
+    def activate(self) -> "_Activation":
+        """``with tracer.activate(): ...`` installs this tracer globally."""
+        return _Activation(self)
+
+
+def _shift(node: Span, delta: float) -> None:
+    node.start += delta
+    for child in node.children:
+        _shift(child, delta)
+
+
+class _Activation:
+    def __init__(self, tracer: SpanTracer):
+        self._tracer = tracer
+        self._previous: SpanTracer | None = None
+
+    def __enter__(self) -> SpanTracer:
+        self._previous = install(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        uninstall(self._previous)
+        return False
+
+
+# -- the ambient tracer ------------------------------------------------------
+
+_ACTIVE: SpanTracer | None = None
+
+
+def install(tracer: SpanTracer) -> SpanTracer | None:
+    """Make ``tracer`` the ambient tracer; returns the one it replaced."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def uninstall(previous: SpanTracer | None = None) -> None:
+    """Remove the ambient tracer (restoring ``previous`` if given)."""
+    global _ACTIVE
+    _ACTIVE = previous
+
+
+def current_tracer() -> SpanTracer | None:
+    return _ACTIVE
+
+
+def span(name: str, category: str = "", **attrs):
+    """Open a span on the ambient tracer, or a shared no-op when off.
+
+    The disabled path does no allocation and no clock read, so
+    instrumentation points in hot library code are effectively free
+    unless a run explicitly turned tracing on.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, category, **attrs)

@@ -48,6 +48,12 @@ class OfddManager:
         self._xor_memo: dict[tuple[int, int], int] = {}
         self._and_memo: dict[tuple[int, int], int] = {}
         self._paths_memo: dict[int, int] = {}
+        # Observability counters (always on; plain int increments).
+        self._apply_calls = {"xor": 0, "and": 0}
+        self._computed_hits = {"xor": 0, "and": 0}
+        self._computed_misses = {"xor": 0, "and": 0}
+        self._unique_hits = 0
+        self._gc_count = 0
 
     # -- node construction -----------------------------------------------------
 
@@ -57,6 +63,7 @@ class OfddManager:
         key = (level, low, high)
         node = self._unique.get(key)
         if node is not None:
+            self._unique_hits += 1
             return node
         node = len(self._level)
         if node > self.node_limit:
@@ -108,10 +115,13 @@ class OfddManager:
             return f
         if f > g:
             f, g = g, f
+        self._apply_calls["xor"] += 1
         key = (f, g)
         cached = self._xor_memo.get(key)
         if cached is not None:
+            self._computed_hits["xor"] += 1
             return cached
+        self._computed_misses["xor"] += 1
         lf, lg = self._level[f], self._level[g]
         level = min(lf, lg)
         f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, FALSE)
@@ -131,10 +141,13 @@ class OfddManager:
             return f
         if f > g:
             f, g = g, f
+        self._apply_calls["and"] += 1
         key = (f, g)
         cached = self._and_memo.get(key)
         if cached is not None:
+            self._computed_hits["and"] += 1
             return cached
+        self._computed_misses["and"] += 1
         lf, lg = self._level[f], self._level[g]
         level = min(lf, lg)
         f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, FALSE)
@@ -297,3 +310,52 @@ class OfddManager:
             stack.append(self._low[current])
             stack.append(self._high[current])
         return mask
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Unique/computed-table statistics (independent of tracing).
+
+        ``size`` counts allocated nodes including the two terminals;
+        ``unique.hits`` counts :meth:`_mk` calls resolved by the unique
+        table; per-operation ``computed`` entries give the apply-cache
+        hit/miss trajectory of :meth:`xor_`/:meth:`and_` (terminal-case
+        fast paths are not counted — only real table consults); ``gc``
+        counts :meth:`gc` invocations.  All values are plain ints, so
+        the dict drops straight into trace/metrics JSON.
+        """
+        hits = sum(self._computed_hits.values())
+        misses = sum(self._computed_misses.values())
+        return {
+            "size": len(self._level),
+            "unique": {"entries": len(self._unique),
+                       "hits": self._unique_hits},
+            "computed": {
+                op: {
+                    "calls": self._apply_calls[op],
+                    "hits": self._computed_hits[op],
+                    "misses": self._computed_misses[op],
+                }
+                for op in ("xor", "and")
+            },
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "gc": self._gc_count,
+        }
+
+    def gc(self) -> int:
+        """Drop the computed tables (apply and path-count memos).
+
+        The unique table and node arrays stay — node ids remain valid —
+        but memoized apply results are released, which is what long-
+        lived managers in a service need between requests.  Returns the
+        number of memo entries dropped.
+        """
+        dropped = (len(self._xor_memo) + len(self._and_memo)
+                   + len(self._paths_memo))
+        self._xor_memo.clear()
+        self._and_memo.clear()
+        self._paths_memo.clear()
+        self._gc_count += 1
+        return dropped

@@ -13,37 +13,52 @@ import numpy as np
 
 from repro.expr.cover import Cover
 from repro.expr.cube import Cube
+from repro.obs.spans import span as obs_span
 from repro.truth.table import TruthTable
 from repro.utils.bitops import bit_indices
 
 
 def minimize_cover(cover: Cover, table: TruthTable | None = None) -> Cover:
     """EXPAND + IRREDUNDANT against ``table`` (exact oracle) if given."""
-    if table is None:
-        return cover.single_cube_containment()
-    onset = table.bits.astype(bool)
-    indices = np.arange(len(onset), dtype=np.uint32)
+    with obs_span("espresso-minimize", category="algo") as node:
+        if table is None:
+            result = cover.single_cube_containment()
+            if node is not None:
+                node.set(oracle=False, cubes_in=len(cover.cubes),
+                         cubes_out=len(result.cubes))
+            return result
+        onset = table.bits.astype(bool)
+        indices = np.arange(len(onset), dtype=np.uint32)
 
-    def inside_onset(pos: int, neg: int) -> bool:
-        sel = (indices & np.uint32(pos)) == np.uint32(pos)
-        if neg:
-            sel &= (indices & np.uint32(neg)) == 0
-        return bool(np.all(onset[sel]))
+        def inside_onset(pos: int, neg: int) -> bool:
+            sel = (indices & np.uint32(pos)) == np.uint32(pos)
+            if neg:
+                sel &= (indices & np.uint32(neg)) == 0
+            return bool(np.all(onset[sel]))
 
-    expanded: list[Cube] = []
-    for cube in cover:
-        pos, neg = cube.pos, cube.neg
-        # Try dropping literals greedily, largest-gain-first order is
-        # approximated by scanning low to high variable index.
-        for var in bit_indices(pos | neg):
-            bit = 1 << var
-            if inside_onset(pos & ~bit, neg & ~bit):
-                pos &= ~bit
-                neg &= ~bit
-        expanded.append(Cube(cover.n, pos, neg))
-    result = Cover(cover.n, tuple(dict.fromkeys(expanded)))
-    result = result.single_cube_containment()
-    return _irredundant(result, onset, indices)
+        dropped = 0
+        expanded: list[Cube] = []
+        for cube in cover:
+            pos, neg = cube.pos, cube.neg
+            # Try dropping literals greedily, largest-gain-first order is
+            # approximated by scanning low to high variable index.
+            for var in bit_indices(pos | neg):
+                bit = 1 << var
+                if inside_onset(pos & ~bit, neg & ~bit):
+                    pos &= ~bit
+                    neg &= ~bit
+                    dropped += 1
+            expanded.append(Cube(cover.n, pos, neg))
+        result = Cover(cover.n, tuple(dict.fromkeys(expanded)))
+        after_expand = len(result.cubes)
+        result = result.single_cube_containment()
+        result = _irredundant(result, onset, indices)
+        if node is not None:
+            node.set(oracle=True, cubes_in=len(cover.cubes),
+                     cubes_after_expand=after_expand,
+                     cubes_out=len(result.cubes),
+                     literals_dropped=dropped)
+        return result
 
 
 def _irredundant(cover: Cover, onset: np.ndarray, indices: np.ndarray) -> Cover:

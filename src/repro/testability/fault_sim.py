@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.network.netlist import GateType, Network
+from repro.obs.spans import span as obs_span
 from repro.testability.faults import Fault, fault_list
 
 
@@ -68,15 +69,20 @@ def fault_coverage(
     net: Network, patterns: np.ndarray, faults: list[Fault] | None = None
 ) -> FaultSimResult:
     """Coverage of ``patterns`` (shape ``(num_inputs, V)``) on the net."""
-    if faults is None:
-        faults = fault_list(net)
-    golden = _simulate_with_fault(net, patterns, None)
-    detected = 0
-    undetected: list[Fault] = []
-    for fault in faults:
-        faulty = _simulate_with_fault(net, patterns, fault)
-        if (faulty != golden).any():
-            detected += 1
-        else:
-            undetected.append(fault)
-    return FaultSimResult(len(faults), detected, undetected)
+    with obs_span("fault-simulation", category="algo") as node:
+        if faults is None:
+            faults = fault_list(net)
+        golden = _simulate_with_fault(net, patterns, None)
+        detected = 0
+        undetected: list[Fault] = []
+        for fault in faults:
+            faulty = _simulate_with_fault(net, patterns, fault)
+            if (faulty != golden).any():
+                detected += 1
+            else:
+                undetected.append(fault)
+        result = FaultSimResult(len(faults), detected, undetected)
+        if node is not None:
+            node.set(faults=result.total, patterns=int(patterns.shape[1]),
+                     detected=result.detected, coverage=result.coverage)
+        return result

@@ -119,3 +119,23 @@ def test_cli_trace_skipped_for_sislite(blif_file, tmp_path, capsys):
                  "--trace", str(trace_path)]) == 0
     assert not trace_path.exists()
     assert "skipped" in capsys.readouterr().err
+
+
+def test_cli_trace_to_stdout(pla_file, capsys):
+    import json
+
+    assert main([str(pla_file), "--trace", "-", "--report"]) == 0
+    out = capsys.readouterr().out
+    # The JSON document follows the report block; parse from its brace.
+    payload = json.loads(out[out.index("{"):])
+    from repro.obs.schema import validate_trace
+
+    assert validate_trace(payload) == []
+    assert payload["circuit"] == "small"
+
+
+def test_cli_report_shows_hotspots(pla_file, capsys):
+    assert main([str(pla_file), "--report"]) == 0
+    out = capsys.readouterr().out
+    assert "hotspots (self-time):" in out
+    assert "inverter-cleanup" in out or "derive-fprm" in out

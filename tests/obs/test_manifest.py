@@ -1,0 +1,61 @@
+"""Run manifests: digests, fingerprints, comparability."""
+
+import json
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.obs.manifest import (
+    RunManifest,
+    options_fingerprint,
+    spec_digest,
+)
+from repro.obs.schema import validate_manifest
+
+
+def test_spec_digest_is_stable_and_content_sensitive():
+    z4ml = get("z4ml")
+    assert spec_digest(z4ml) == spec_digest(get("z4ml"))
+    assert spec_digest(z4ml) != spec_digest(get("rd53"))
+
+
+def test_options_fingerprint_tracks_semantic_knobs_only():
+    base = SynthesisOptions()
+    assert options_fingerprint(base) == options_fingerprint(
+        SynthesisOptions(verify=False, jobs=8, trace=False, cache=True)
+    )
+    assert options_fingerprint(base) != options_fingerprint(
+        SynthesisOptions(redundancy_removal=False)
+    )
+
+
+def test_for_run_fills_environment_fields():
+    manifest = RunManifest.for_run(get("rd53"), SynthesisOptions(), jobs=2)
+    assert manifest.circuit == "rd53"
+    assert manifest.num_inputs == 5 and manifest.num_outputs == 3
+    assert manifest.package_version
+    assert manifest.python and manifest.platform
+    assert manifest.created_unix > 0
+    assert manifest.extra == {"jobs": 2}
+
+
+def test_dict_roundtrip_and_schema():
+    manifest = RunManifest.for_run(get("rd53"), SynthesisOptions())
+    payload = json.loads(json.dumps(manifest.as_dict()))
+    assert validate_manifest(payload) == []
+    clone = RunManifest.from_dict(payload)
+    assert clone == manifest
+
+
+def test_comparable_to_lists_reasons():
+    options = SynthesisOptions()
+    a = RunManifest.for_run(get("z4ml"), options)
+    same = RunManifest.for_run(get("z4ml"), options)
+    assert a.comparable_to(same) == []
+    other_input = RunManifest.for_run(get("rd53"), options)
+    assert "input digests differ" in a.comparable_to(other_input)
+    other_options = RunManifest.for_run(
+        get("z4ml"), SynthesisOptions(redundancy_removal=False)
+    )
+    assert "options fingerprints differ" in a.comparable_to(other_options)
+    stale = RunManifest.from_dict({**a.as_dict(), "package_version": "0.0.1"})
+    assert any("package versions differ" in r for r in a.comparable_to(stale))

@@ -1,0 +1,98 @@
+"""The metrics registry and its JSON / Prometheus exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics_registry,
+)
+from repro.obs.schema import validate_metrics
+
+
+def test_counter_goes_up_only():
+    counter = Counter("hits")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("depth")
+    gauge.set(10)
+    gauge.inc(2)
+    gauge.dec(5)
+    assert gauge.value == 7
+
+
+def test_histogram_buckets_are_cumulative_prometheus_style():
+    hist = Histogram("secs", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    # Per-bucket (non-cumulative) counts: one in each band + one overflow.
+    assert hist.counts == [1, 1, 1, 1]
+    assert hist.count == 4
+    assert hist.total == pytest.approx(5.555)
+    assert hist.mean == pytest.approx(5.555 / 4)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", buckets=(1.0, 0.1))
+
+
+def test_registry_get_or_create_and_type_conflict():
+    registry = MetricsRegistry()
+    counter = registry.counter("flow.cache.hits", "cache hits")
+    assert registry.counter("flow.cache.hits") is counter
+    assert "flow.cache.hits" in registry
+    assert len(registry) == 1
+    with pytest.raises(TypeError):
+        registry.gauge("flow.cache.hits")
+
+
+def test_registry_json_export_validates_against_schema():
+    registry = MetricsRegistry()
+    registry.counter("flow.runs", "runs").inc(3)
+    registry.gauge("pool.workers").set(4)
+    registry.histogram("flow.run_seconds").observe(0.02)
+    payload = json.loads(json.dumps(registry.as_dict()))
+    assert payload["schema"] == 1
+    assert validate_metrics(payload) == []
+    assert payload["metrics"]["flow.runs"]["value"] == 3
+    assert payload["metrics"]["flow.run_seconds"]["buckets"] == list(
+        DEFAULT_BUCKETS
+    )
+
+
+def test_prometheus_text_exposition():
+    registry = MetricsRegistry()
+    registry.counter("flow.cache.hits", "cache hits").inc(2)
+    hist = registry.histogram("run.seconds", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    text = registry.to_prometheus_text()
+    assert "# HELP flow_cache_hits cache hits" in text
+    assert "# TYPE flow_cache_hits counter" in text
+    assert "flow_cache_hits 2" in text
+    # Cumulative buckets: le=0.1 has 1, le=1.0 has both, +Inf has both.
+    assert 'run_seconds_bucket{le="0.1"} 1' in text
+    assert 'run_seconds_bucket{le="1.0"} 2' in text
+    assert 'run_seconds_bucket{le="+Inf"} 2' in text
+    assert "run_seconds_count 2" in text
+
+
+def test_global_registry_is_shared_and_clearable():
+    registry = get_metrics_registry()
+    assert get_metrics_registry() is registry
+    registry.counter("test.obs.temp").inc()
+    assert "test.obs.temp" in registry
+    registry.clear()
+    assert "test.obs.temp" not in registry

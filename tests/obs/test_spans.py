@@ -1,0 +1,144 @@
+"""The hierarchical span tracer: nesting, adoption, the ambient no-op."""
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    Span,
+    SpanTracer,
+    current_tracer,
+    install,
+    span,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tracer():
+    """Tests own the ambient slot; always leave it empty afterwards."""
+    uninstall(None)
+    yield
+    uninstall(None)
+
+
+# -- disabled path -----------------------------------------------------------
+
+
+def test_span_without_tracer_is_shared_noop():
+    assert current_tracer() is None
+    first = span("anything", category="pass")
+    second = span("else")
+    assert first is second  # one shared object, no allocation per call
+    with first as node:
+        assert node is None
+    assert first.set(key="value") is first  # set() is a no-op, chainable
+
+
+def test_instrumented_code_runs_untraced():
+    # The exact pattern library code uses.
+    with span("esop-minimize", category="algo") as node:
+        if node is not None:
+            node.set(cubes=3)
+    # nothing to assert beyond "it did not blow up"
+
+
+# -- tracing on --------------------------------------------------------------
+
+
+def test_nested_spans_build_a_tree():
+    tracer = SpanTracer(root_name="run")
+    with tracer.activate():
+        with span("outer", category="pass") as outer:
+            outer.set(output="f0")
+            with span("inner", category="algo") as inner:
+                inner.set(rounds=2)
+    root = tracer.finish()
+    assert [n.name for n in root.walk()] == ["run", "outer", "inner"]
+    outer = root.find("outer")
+    assert outer.attrs == {"output": "f0"}
+    assert outer.children[0].attrs == {"rounds": 2}
+    assert root.find("missing") is None
+
+
+def test_timing_is_nested_and_self_time_excludes_children():
+    tracer = SpanTracer()
+    with tracer.activate():
+        with span("parent"):
+            with span("child"):
+                pass
+    root = tracer.finish()
+    parent = root.find("parent")
+    child = root.find("child")
+    assert 0.0 <= child.start - parent.start
+    assert child.seconds <= parent.seconds
+    assert parent.self_seconds == pytest.approx(
+        parent.seconds - child.seconds
+    )
+
+
+def test_exception_unwind_closes_dangling_spans():
+    tracer = SpanTracer()
+    with tracer.activate():
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        # The stack recovered: new spans attach at the root again.
+        with span("after"):
+            pass
+    root = tracer.finish()
+    assert [c.name for c in root.children] == ["outer", "after"]
+    assert root.find("inner").seconds >= 0.0
+
+
+def test_install_returns_previous_tracer():
+    a, b = SpanTracer("a"), SpanTracer("b")
+    assert install(a) is None
+    assert install(b) is a
+    assert current_tracer() is b
+    uninstall(a)
+    assert current_tracer() is a
+
+
+# -- (de)serialization -------------------------------------------------------
+
+
+def test_dict_roundtrip_is_json_clean():
+    tracer = SpanTracer("run")
+    with tracer.activate():
+        with span("pass-a", category="pass") as node:
+            node.set(details={"gates": 4})
+    root = tracer.finish()
+    payload = json.loads(json.dumps(root.as_dict()))
+    clone = Span.from_dict(payload)
+    assert [n.name for n in clone.walk()] == [n.name for n in root.walk()]
+    assert clone.find("pass-a").attrs == {"details": {"gates": 4}}
+    assert clone.find("pass-a").seconds == root.find("pass-a").seconds
+
+
+# -- adoption (the process-pool seam) ----------------------------------------
+
+
+def test_adopt_shifts_foreign_subtree_to_local_time():
+    # A "worker" tree whose clock started at an arbitrary origin.
+    worker = Span(name="output:f1", start=1000.0, seconds=0.5, pid=4242,
+                  children=[Span(name="derive-fprm", category="pass",
+                                 start=1000.1, seconds=0.2, pid=4242)])
+    tracer = SpanTracer("parent")
+    with tracer.activate():
+        with span("parallel-map", category="flow") as pool_span:
+            tracer.adopt([worker], at=pool_span.start, parent=pool_span)
+    root = tracer.finish()
+    adopted = root.find("output:f1")
+    assert adopted is not None
+    assert adopted.start == pytest.approx(root.find("parallel-map").start)
+    # Relative offset within the subtree is preserved (0.1s after parent).
+    assert adopted.children[0].start - adopted.start == pytest.approx(0.1)
+    assert adopted.pid == 4242  # worker identity survives adoption
+
+
+def test_adopt_empty_list_is_a_noop():
+    tracer = SpanTracer()
+    tracer.adopt([])
+    assert tracer.finish().children == []

@@ -1,0 +1,160 @@
+"""The repro-trace CLI: summary, diff (with exit codes), export, validate."""
+
+import json
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.obs.cli import diff_traces, main
+
+
+@pytest.fixture(scope="module")
+def trace_dict():
+    result = synthesize_fprm(get("rd53"), SynthesisOptions())
+    return json.loads(result.trace.to_json())
+
+
+@pytest.fixture
+def trace_file(tmp_path, trace_dict):
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(trace_dict))
+    return path
+
+
+def _slowed(trace_dict, pass_name, factor):
+    """A deep copy of the trace with one pass's records slowed down."""
+    clone = json.loads(json.dumps(trace_dict))
+    for record in clone["records"]:
+        if record["pass"] == pass_name:
+            record["seconds"] *= factor
+    clone["seconds_by_pass"] = {}  # force recompute from records
+    return clone
+
+
+# -- summary -----------------------------------------------------------------
+
+
+def test_summary_prints_hotspots_and_manifest(trace_file, capsys):
+    assert main(["summary", str(trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "flow trace: rd53" in out
+    assert "hotspots (self-time):" in out
+    assert "manifest:" in out
+
+
+# -- diff --------------------------------------------------------------------
+
+
+def test_diff_identical_traces_exits_zero(trace_file, capsys):
+    assert main(["diff", str(trace_file), str(trace_file),
+                 "--threshold", "0.2"]) == 0
+    assert "no regression" in capsys.readouterr().out
+
+
+def test_diff_exits_nonzero_on_injected_regression(
+    tmp_path, trace_dict, trace_file, capsys
+):
+    # Acceptance: a >= 20% per-pass slowdown fails a 0.2-threshold diff.
+    slowed = tmp_path / "slowed.json"
+    slowed.write_text(json.dumps(_slowed(trace_dict, "derive-fprm", 1.25)))
+    assert main(["diff", str(trace_file), str(slowed),
+                 "--threshold", "0.2"]) == 1
+    out = capsys.readouterr().out
+    assert "derive-fprm" in out and "regressed" in out
+
+
+def test_diff_threshold_is_respected(tmp_path, trace_dict, trace_file, capsys):
+    slowed = tmp_path / "slowed.json"
+    slowed.write_text(json.dumps(_slowed(trace_dict, "derive-fprm", 1.25)))
+    # A 25% slowdown passes a 50% threshold.
+    assert main(["diff", str(trace_file), str(slowed),
+                 "--threshold", "0.5"]) == 0
+    capsys.readouterr()
+
+
+def test_diff_min_seconds_floor_suppresses_noise(trace_dict):
+    slowed = _slowed(trace_dict, "derive-fprm", 1.25)
+    regressions, _ = diff_traces(trace_dict, slowed, threshold=0.2,
+                                 min_seconds=1e9)
+    assert regressions == []
+
+
+def test_diff_warns_on_incomparable_manifests(trace_dict):
+    other = json.loads(json.dumps(trace_dict))
+    other["manifest"]["input_digest"] = "0" * 64
+    _, notes = diff_traces(trace_dict, other)
+    assert any("may not be comparable" in n for n in notes)
+
+
+def test_diff_notes_added_and_removed_passes(trace_dict):
+    other = json.loads(json.dumps(trace_dict))
+    other["records"] = [
+        dict(r, **{"pass": "new-pass"}) if r["pass"] == "verify" else r
+        for r in other["records"]
+    ]
+    other["seconds_by_pass"] = {}
+    regressions, notes = diff_traces(trace_dict, other, threshold=1e9)
+    assert regressions == []
+    assert any("only in new trace: new-pass" in n for n in notes)
+    assert any("only in old trace: verify" in n for n in notes)
+
+
+def test_diff_improvement_is_a_note_not_a_regression(trace_dict):
+    faster = _slowed(trace_dict, "derive-fprm", 0.5)
+    regressions, notes = diff_traces(trace_dict, faster, threshold=0.2)
+    assert regressions == []
+    assert any("improved: derive-fprm" in n for n in notes)
+
+
+# -- export ------------------------------------------------------------------
+
+
+def test_export_chrome_emits_valid_trace_events(trace_file, tmp_path, capsys):
+    out_path = tmp_path / "chrome.json"
+    assert main(["export", str(trace_file), "--chrome",
+                 "-o", str(out_path)]) == 0
+    document = json.loads(out_path.read_text())
+    events = document["traceEvents"]
+    assert events, "expected at least one trace event"
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+    names = {event["name"] for event in events}
+    assert "derive-fprm" in names and "verify" in names
+    capsys.readouterr()
+
+
+def test_export_chrome_to_stdout(trace_file, capsys):
+    assert main(["export", str(trace_file), "--chrome"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["displayTimeUnit"] == "ms"
+
+
+def test_export_schema1_records_only_trace(tmp_path, trace_dict, capsys):
+    old = {k: v for k, v in trace_dict.items()
+           if k not in ("spans", "manifest")}
+    old["schema"] = 1
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps(old))
+    assert main(["export", str(path), "--chrome"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["traceEvents"], "records-only fallback produced no events"
+
+
+# -- validate ----------------------------------------------------------------
+
+
+def test_validate_subcommand(trace_file, tmp_path, capsys):
+    assert main(["validate", str(trace_file), "--kind", "trace"]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 2}))
+    assert main(["validate", str(bad), "--kind", "trace"]) == 1
+    capsys.readouterr()
+
+
+def test_unreadable_file_exits_with_usage_error(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["summary", str(tmp_path / "missing.json")])

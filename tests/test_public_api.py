@@ -11,11 +11,13 @@ MODULES = [
     "repro.core",
     "repro.esopmin",
     "repro.expr",
+    "repro.flow",
     "repro.fprm",
     "repro.harness",
     "repro.kfdd",
     "repro.mapping",
     "repro.network",
+    "repro.obs",
     "repro.ofdd",
     "repro.power",
     "repro.sislite",
