@@ -10,10 +10,14 @@ Only the common subset is supported: ``.i``, ``.o``, ``.p``, ``.ilb``,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.errors import ParseError
+from repro.errors import ParseError, TooManyVariablesError
 from repro.expr.cover import Cover
 from repro.expr.cube import Cube
+
+if TYPE_CHECKING:
+    from repro.spec import CircuitSpec
 
 
 @dataclass
@@ -73,6 +77,56 @@ def parse_pla(text: str) -> Pla:
                 raise ParseError(f"bad PLA output character {ch!r}")
     covers = [Cover(num_inputs, tuple(cubes)) for cubes in per_output]
     return Pla(num_inputs, num_outputs, covers, input_names, output_names)
+
+
+_SPEC_TO_PLA_MAX_WIDTH = 12
+
+
+def pla_from_spec(spec: "CircuitSpec") -> Pla:
+    """Flatten a specification into per-output covers over the global inputs.
+
+    Cover-backed outputs lift their cubes from local to global variable
+    indices; table- and expression-backed outputs are enumerated as
+    minterm cubes over their local support (refused beyond
+    ``_SPEC_TO_PLA_MAX_WIDTH`` inputs — this is the fuzzing/export path,
+    not a general-purpose collapse).  The resulting PLA computes exactly
+    the same multi-output function as ``spec``.
+    """
+    covers: list[Cover] = []
+    for output in spec.outputs:
+        if output.cover is not None:
+            local = output.cover
+        else:
+            if output.width > _SPEC_TO_PLA_MAX_WIDTH:
+                raise TooManyVariablesError(
+                    f"{spec.name}/{output.name}: {output.width}-input "
+                    f"output is too wide to enumerate as PLA cubes"
+                )
+            table = output.local_table()
+            local = Cover(
+                output.width,
+                tuple(
+                    Cube.from_minterm(output.width, m) for m in table.minterms()
+                ),
+            )
+        lifted = []
+        for cube in local:
+            pos = neg = 0
+            for j, var in enumerate(output.support):
+                bit = 1 << j
+                if cube.pos & bit:
+                    pos |= 1 << var
+                elif cube.neg & bit:
+                    neg |= 1 << var
+            lifted.append(Cube(spec.num_inputs, pos, neg))
+        covers.append(Cover(spec.num_inputs, tuple(lifted)))
+    return Pla(
+        spec.num_inputs,
+        spec.num_outputs,
+        covers,
+        list(spec.input_names),
+        list(spec.output_names),
+    )
 
 
 def write_pla(pla: Pla) -> str:

@@ -1,0 +1,63 @@
+"""Differential fuzzing and metamorphic testing for the synthesis flows.
+
+The flow's correctness story rests on invariants — FPRM forms,
+factorization rules, XOR redundancy removal all preserve function, and
+caching/parallelism never change results.  This package turns those
+invariants into continuously checked properties over *randomized*
+workloads:
+
+* :mod:`repro.fuzz.generators` — seeded generators for random PLA specs
+  and structured arithmetic families (adders, parity, multipliers,
+  comparators: the paper's target class).  Every case is carried as PLA
+  text, so it is serializable, shrinkable and committable.
+* :mod:`repro.fuzz.oracles` — differential oracles: the same spec runs
+  through independent paths (cube- vs. OFDD-method factorization,
+  polarity-search variants, cached vs. uncached, serial vs. parallel)
+  and every result is checked against the spec with
+  :func:`~repro.network.verify.equivalent_to_spec`.
+* :mod:`repro.fuzz.metamorphic` — metamorphic properties: input
+  permutation, output negation and polarity flips must leave function
+  (and bounded metrics such as the minimal FPRM cube count) predictably
+  transformed.
+* :mod:`repro.fuzz.shrinker` — a delta-debugging minimizer that drops
+  cubes, inputs, outputs and literals from a failing PLA while the
+  failure reproduces.
+* :mod:`repro.fuzz.corpus` — the committed regression corpus of shrunk
+  reproducers, replayed by the tier-1 tests.
+* :mod:`repro.fuzz.faults` — intentional fault injection (e.g. a
+  disabled reduction-rule guard) used to prove the harness catches and
+  shrinks real bugs.
+* :mod:`repro.fuzz.runner` / :mod:`repro.fuzz.cli` — the campaign driver
+  and the ``repro-fuzz`` console script; runs emit observability spans
+  and metrics through :mod:`repro.obs`.
+
+See ``docs/FUZZING.md`` for the full workflow.
+"""
+
+from repro.fuzz.corpus import CorpusEntry, load_corpus, save_entry
+from repro.fuzz.faults import FAULTS, inject_fault
+from repro.fuzz.generators import FAMILIES, FuzzCase, generate_case
+from repro.fuzz.metamorphic import PROPERTIES
+from repro.fuzz.oracles import ORACLES, Finding
+from repro.fuzz.runner import FailureRecord, FuzzConfig, FuzzReport, FuzzRunner
+from repro.fuzz.shrinker import ShrinkResult, shrink_pla
+
+__all__ = [
+    "FAMILIES",
+    "FAULTS",
+    "FailureRecord",
+    "Finding",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzRunner",
+    "CorpusEntry",
+    "ORACLES",
+    "PROPERTIES",
+    "ShrinkResult",
+    "generate_case",
+    "inject_fault",
+    "load_corpus",
+    "save_entry",
+    "shrink_pla",
+]

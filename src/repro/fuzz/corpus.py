@@ -1,0 +1,83 @@
+"""The regression corpus: shrunk reproducers committed next to the tests.
+
+Every failure the fuzzer finds is shrunk and written as a pair of files,
+``<name>.pla`` (the minimized case) and ``<name>.json`` (provenance: the
+campaign seed and case index, the check that fired, the detail string,
+and — for fault-injection self-tests — the injected fault).  The corpus
+under ``tests/fuzz/corpus/`` is committed; the tier-1 suite replays every
+entry through both factorization methods so a once-found bug can never
+silently return.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["CorpusEntry", "load_corpus", "save_entry"]
+
+#: The committed corpus replayed by ``tests/fuzz/test_corpus_replay.py``.
+COMMITTED_CORPUS = pathlib.Path(__file__).resolve().parents[3] / "tests/fuzz/corpus"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One committed reproducer: PLA text plus provenance metadata."""
+
+    name: str
+    pla_text: str
+    meta: dict = field(default_factory=dict)
+
+
+def _safe_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-") or "case"
+
+
+def save_entry(
+    directory: pathlib.Path | str,
+    name: str,
+    pla_text: str,
+    meta: dict,
+) -> pathlib.Path:
+    """Write one corpus entry; returns the ``.pla`` path.
+
+    An existing entry with the same name is suffixed rather than
+    overwritten, so repeated campaigns never clobber earlier finds.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    base = _safe_name(name)
+    candidate = base
+    serial = 1
+    while (directory / f"{candidate}.pla").exists():
+        candidate = f"{base}-{serial}"
+        serial += 1
+    pla_path = directory / f"{candidate}.pla"
+    pla_path.write_text(pla_text, encoding="utf-8")
+    (directory / f"{candidate}.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return pla_path
+
+
+def load_corpus(directory: pathlib.Path | str) -> list[CorpusEntry]:
+    """All entries in ``directory``, sorted by name (missing dir = [])."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for pla_path in sorted(directory.glob("*.pla")):
+        meta_path = pla_path.with_suffix(".json")
+        meta = {}
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        entries.append(
+            CorpusEntry(
+                name=pla_path.stem,
+                pla_text=pla_path.read_text(encoding="utf-8"),
+                meta=meta,
+            )
+        )
+    return entries

@@ -1,0 +1,114 @@
+"""Intentional fault injection — proof the harness catches real bugs.
+
+A fuzzing subsystem that has never caught anything is unfalsifiable; the
+faults here re-introduce realistic bug classes behind a context manager
+so the test suite (and the nightly CI lane) can assert the differential
+oracles detect them and the shrinker reduces them to minimal
+reproducers:
+
+``drop-fprm-cube``
+    The FPRM derivation silently loses its last cube — the classic
+    off-by-one in a spectrum-to-cube-list walk.
+``unguarded-xor-to-or``
+    Redundancy removal rewrites an XOR gate to OR without checking the
+    relevance of the (1,1) input pattern — i.e. the paper's Table 1
+    reduction applied with its guard disabled.
+``cache-key-collision``
+    The result-cache key stops hashing the output's function and keys on
+    width alone, so distinct outputs of one run can alias.
+
+Injection patches the *importing* module's bindings (``repro.flow.passes``
+and ``repro.core.synthesis`` import these names directly), so only the
+in-process serial flow is affected — which is exactly what the fault
+self-tests exercise.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+from repro.core import tree as tr
+from repro.core.redundancy import RedundancyRemover
+from repro.expr.esop import FprmForm
+
+__all__ = ["FAULTS", "inject_fault"]
+
+
+@contextlib.contextmanager
+def _fault_drop_fprm_cube() -> Iterator[None]:
+    from repro.flow import passes
+
+    original = passes.fprm_from_table
+
+    def faulty(table, polarity):
+        form = original(table, polarity)
+        if form.num_cubes >= 2:
+            return FprmForm(form.n, form.polarity, form.cubes[:-1])
+        return form
+
+    passes.fprm_from_table = faulty
+    try:
+        yield
+    finally:
+        passes.fprm_from_table = original
+
+
+@contextlib.contextmanager
+def _fault_unguarded_xor_to_or() -> Iterator[None]:
+    from repro.flow import passes
+
+    class _UnguardedRemover(RedundancyRemover):
+        def run(self) -> tr.TNode:
+            root = super().run()
+            for node in root.iter_nodes():
+                if node.op == tr.XOR:
+                    node.op = tr.OR
+                    break
+            return root
+
+    original = passes.RedundancyRemover
+    passes.RedundancyRemover = _UnguardedRemover
+    try:
+        yield
+    finally:
+        passes.RedundancyRemover = original
+
+
+@contextlib.contextmanager
+def _fault_cache_key_collision() -> Iterator[None]:
+    from repro.core import synthesis
+
+    original = synthesis.cache_key
+
+    def faulty(output, options):
+        return f"width:{output.width}"
+
+    synthesis.cache_key = faulty
+    try:
+        yield
+    finally:
+        synthesis.cache_key = original
+
+
+FAULTS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
+    "drop-fprm-cube": _fault_drop_fprm_cube,
+    "unguarded-xor-to-or": _fault_unguarded_xor_to_or,
+    "cache-key-collision": _fault_cache_key_collision,
+}
+
+
+@contextlib.contextmanager
+def inject_fault(name: str | None) -> Iterator[None]:
+    """Activate one named fault for the duration of the block.
+
+    ``None`` is a no-op, so callers can thread an optional fault name
+    straight through: ``with inject_fault(args.inject_fault): ...``.
+    """
+    if name is None:
+        yield
+        return
+    if name not in FAULTS:
+        raise ValueError(f"unknown fault {name!r}; known: {', '.join(sorted(FAULTS))}")
+    with FAULTS[name]():
+        yield

@@ -1,0 +1,123 @@
+"""Seeded fuzz-case generators.
+
+Every case is represented as Berkeley PLA text — the one format that is
+trivially serializable (for the regression corpus), trivially editable
+(for the delta-debugging shrinker) and accepted by every entry point of
+the repo.  Structured arithmetic families are built with the public
+:mod:`repro.circuits.generators` factories and flattened through
+:func:`repro.expr.pla.pla_from_spec`, so the fuzzer exercises exactly the
+circuit class the paper targets.
+
+Generation is fully deterministic: ``generate_case(seed, index)`` derives
+a per-case :class:`random.Random` from the pair, so any case — and any
+failure — can be regenerated from its ``(seed, index)`` coordinates
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.circuits.generators import (
+    make_adder,
+    make_comparator,
+    make_multiplier,
+    make_parity,
+)
+from repro.expr.pla import pla_from_spec, write_pla
+from repro.network.to_expr import spec_from_pla_text
+from repro.spec import CircuitSpec
+
+FAMILIES: tuple[str, ...] = (
+    "pla",
+    "adder",
+    "parity",
+    "multiplier",
+    "comparator",
+)
+
+#: Global input ceiling for generated cases — keeps every output dense,
+#: every verification exhaustive, and every case cheap to synthesize.
+MAX_FUZZ_INPUTS = 8
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated workload: a named, seeded, PLA-carried spec."""
+
+    family: str
+    seed: int
+    index: int
+    name: str
+    pla_text: str
+
+    def spec(self) -> CircuitSpec:
+        return spec_from_pla_text(self.pla_text, name=self.name)
+
+    def coordinates(self) -> str:
+        """The replay handle: ``family@seed/index``."""
+        return f"{self.family}@{self.seed}/{self.index}"
+
+
+def case_rng(seed: int, index: int, salt: str = "") -> random.Random:
+    """The deterministic per-case RNG shared by generation and checks."""
+    return random.Random(f"repro-fuzz:{seed}:{index}:{salt}")
+
+
+def random_pla_text(rng: random.Random) -> str:
+    """A random multi-output PLA: the unstructured half of the search
+    space — duplicate cubes, constant outputs, unused inputs and empty
+    covers are all deliberately reachable."""
+    num_inputs = rng.randint(2, MAX_FUZZ_INPUTS)
+    num_outputs = rng.randint(1, 3)
+    num_rows = rng.randint(1, 6)
+    lines = [f".i {num_inputs}", f".o {num_outputs}"]
+    for _ in range(num_rows):
+        in_part = "".join(
+            rng.choices("01-", weights=(30, 30, 40))[0] for _ in range(num_inputs)
+        )
+        out_part = "".join(
+            rng.choices("10", weights=(60, 40))[0] for _ in range(num_outputs)
+        )
+        lines.append(f"{in_part} {out_part}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def _arithmetic_spec(family: str, rng: random.Random) -> CircuitSpec:
+    if family == "adder":
+        return make_adder(rng.randint(1, 3), carry_in=rng.random() < 0.5)
+    if family == "parity":
+        return make_parity(rng.randint(2, MAX_FUZZ_INPUTS))
+    if family == "multiplier":
+        return make_multiplier(rng.randint(1, 3))
+    if family == "comparator":
+        return make_comparator(rng.randint(1, 3))
+    raise ValueError(f"unknown arithmetic family {family!r}")
+
+
+def generate_case(
+    seed: int, index: int, families: tuple[str, ...] = FAMILIES
+) -> FuzzCase:
+    """Case ``index`` of the campaign keyed by ``seed``.
+
+    Half the probability mass goes to random PLAs, the rest is split
+    across the structured arithmetic families.
+    """
+    for family in families:
+        if family not in FAMILIES:
+            raise ValueError(f"unknown fuzz family {family!r}")
+    if not families:
+        raise ValueError("at least one family is required")
+    rng = case_rng(seed, index, "generate")
+    weights = [len(families) if family == "pla" else 1 for family in families]
+    family = rng.choices(list(families), weights=weights)[0]
+    if family == "pla":
+        text = random_pla_text(rng)
+        name = f"fuzz-pla-{seed}-{index}"
+    else:
+        spec = _arithmetic_spec(family, rng)
+        text = write_pla(pla_from_spec(spec))
+        name = f"fuzz-{spec.name}-{seed}-{index}"
+    return FuzzCase(family=family, seed=seed, index=index, name=name, pla_text=text)

@@ -1,0 +1,203 @@
+"""Metamorphic properties of the FPRM machinery.
+
+Where a differential oracle compares two *implementations*, a metamorphic
+property compares one implementation with itself across a *transformed
+input*, using a relation the mathematics guarantees:
+
+* **input permutation** — permuting the variables of a function permutes
+  the polarity vectors and the FPRM monomials bijectively, so the best
+  achievable (cube count, literal count) over all polarities is
+  invariant; and synthesizing the permuted spec must still realize the
+  permuted function.
+* **output negation** — since ``f̄ = f ⊕ 1`` and the FPRM transform is
+  linear over GF(2), the spectrum of the complement differs from the
+  spectrum of ``f`` in exactly the constant coefficient: the cube count
+  moves by exactly one, every other coefficient is untouched.
+* **polarity flip round-trip** — the FPRM transform at *any* polarity
+  vector is invertible; inverse-transforming the spectrum must rebuild
+  the original truth table bit-for-bit.
+
+Every property takes the :class:`~repro.fuzz.generators.FuzzCase` plus
+its deterministic per-case RNG and returns findings (empty = holds).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.fprm.polarity import best_polarity_exhaustive
+from repro.fuzz.generators import FuzzCase
+from repro.fuzz.oracles import Finding, _synthesize
+from repro.network.to_expr import spec_from_pla_text
+from repro.network.verify import counterexample, equivalent_to_spec
+from repro.truth.spectra import fprm_spectrum, inverse_pprm_spectrum
+from repro.truth.table import TruthTable
+
+__all__ = ["PROPERTIES", "run_property"]
+
+#: Outputs wider than this are skipped by the dense-spectrum properties.
+_MAX_PROPERTY_WIDTH = 10
+
+
+def permute_table(table: TruthTable, perm: list[int]) -> TruthTable:
+    """The table of ``g`` with ``g(y) = f(x)`` where ``y[perm[j]] = x[j]``."""
+    indices = np.arange(1 << table.n, dtype=np.uint32)
+    new_indices = np.zeros_like(indices)
+    for j, target in enumerate(perm):
+        new_indices |= ((indices >> j) & 1).astype(np.uint32) << target
+    bits = np.zeros_like(table.bits)
+    bits[new_indices] = table.bits
+    return TruthTable(table.n, bits)
+
+
+def _best_fprm_cost(table: TruthTable) -> tuple[int, int]:
+    """Minimal (cube count, literal count) over all polarity vectors."""
+    polarity = best_polarity_exhaustive(table)
+    spectrum = fprm_spectrum(table, polarity)
+    masks = np.nonzero(spectrum)[0]
+    return int(masks.size), int(sum(int(m).bit_count() for m in masks))
+
+
+def _dense_outputs(case: FuzzCase):
+    for output in case.spec().outputs:
+        if 2 <= output.width <= _MAX_PROPERTY_WIDTH:
+            yield output
+
+
+def prop_permutation_invariance(case: FuzzCase, rng: random.Random) -> list[Finding]:
+    """Best-polarity FPRM cost is invariant under input permutation."""
+    findings: list[Finding] = []
+    for output in _dense_outputs(case):
+        table = output.local_table()
+        perm = list(range(output.width))
+        rng.shuffle(perm)
+        base = _best_fprm_cost(table)
+        permuted = _best_fprm_cost(permute_table(table, perm))
+        if base != permuted:
+            findings.append(
+                Finding(
+                    check="permutation-invariance",
+                    detail=(
+                        f"output {output.name}: best FPRM cost "
+                        f"{base} became {permuted} under permutation {perm}"
+                    ),
+                )
+            )
+    return findings
+
+
+def prop_output_negation(case: FuzzCase, rng: random.Random) -> list[Finding]:
+    """Complementing the output flips exactly the constant coefficient."""
+    findings: list[Finding] = []
+    for output in _dense_outputs(case):
+        table = output.local_table()
+        polarity = rng.randrange(1 << output.width)
+        spectrum = fprm_spectrum(table, polarity)
+        negated = fprm_spectrum(~table, polarity)
+        constant_flipped = int(negated[0]) == int(spectrum[0]) ^ 1
+        rest_equal = bool(np.array_equal(negated[1:], spectrum[1:]))
+        if not (constant_flipped and rest_equal):
+            findings.append(
+                Finding(
+                    check="output-negation",
+                    detail=(
+                        f"output {output.name}: complement spectrum at "
+                        f"polarity {polarity:#x} is not a constant-term flip"
+                    ),
+                )
+            )
+            continue
+        delta = int(np.count_nonzero(negated)) - int(np.count_nonzero(spectrum))
+        if abs(delta) != 1:
+            findings.append(
+                Finding(
+                    check="output-negation",
+                    detail=(
+                        f"output {output.name}: cube count moved by "
+                        f"{delta}, expected exactly ±1"
+                    ),
+                )
+            )
+    return findings
+
+
+def prop_polarity_roundtrip(case: FuzzCase, rng: random.Random) -> list[Finding]:
+    """FPRM transform at a random polarity inverts back to the table."""
+    findings: list[Finding] = []
+    for output in _dense_outputs(case):
+        table = output.local_table()
+        width = output.width
+        polarity = rng.randrange(1 << width)
+        neg_mask = ~polarity & ((1 << width) - 1)
+        spectrum = fprm_spectrum(table, polarity)
+        adjusted = inverse_pprm_spectrum(spectrum, width)
+        rebuilt = adjusted.permute_inputs(neg_mask) if neg_mask else adjusted
+        if rebuilt != table:
+            findings.append(
+                Finding(
+                    check="polarity-roundtrip",
+                    detail=(
+                        f"output {output.name}: inverse FPRM at polarity "
+                        f"{polarity:#x} does not rebuild the function"
+                    ),
+                )
+            )
+    return findings
+
+
+def _permute_pla_text(pla_text: str, perm: list[int]) -> str:
+    """Shuffle the input columns of a PLA (column ``j`` → ``perm[j]``)."""
+    lines = []
+    for raw in pla_text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("."):
+            lines.append(raw)
+            continue
+        in_part, out_part = line.split()
+        shuffled = [""] * len(in_part)
+        for j, ch in enumerate(in_part):
+            shuffled[perm[j]] = ch
+        lines.append(f"{''.join(shuffled)} {out_part}")
+    return "\n".join(lines) + "\n"
+
+
+def prop_permuted_synthesis(case: FuzzCase, rng: random.Random) -> list[Finding]:
+    """Synthesizing a column-permuted spec still realizes its function."""
+    spec = case.spec()
+    perm = list(range(spec.num_inputs))
+    rng.shuffle(perm)
+    permuted_spec = spec_from_pla_text(
+        _permute_pla_text(case.pla_text, perm), name=f"{case.name}-perm"
+    )
+    result = _synthesize(permuted_spec)
+    verdict = equivalent_to_spec(result.network, permuted_spec)
+    if verdict:
+        return []
+    return [
+        Finding(
+            check="permuted-synthesis",
+            detail=(
+                f"permutation {perm} broke synthesis "
+                f"({verdict.method}: {verdict.detail})"
+            ),
+            witness=counterexample(result.network, permuted_spec),
+        )
+    ]
+
+
+PROPERTIES = {
+    "permutation-invariance": prop_permutation_invariance,
+    "output-negation": prop_output_negation,
+    "polarity-roundtrip": prop_polarity_roundtrip,
+    "permuted-synthesis": prop_permuted_synthesis,
+}
+
+
+def run_property(name: str, case: FuzzCase, rng: random.Random) -> list[Finding]:
+    """Run one property, converting crashes into findings."""
+    try:
+        return PROPERTIES[name](case, rng)
+    except Exception as exc:  # noqa: BLE001 — crashes are findings
+        return [Finding(check=name, detail=f"crash: {type(exc).__name__}: {exc}")]

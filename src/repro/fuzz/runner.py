@@ -1,0 +1,286 @@
+"""The fuzz-campaign driver behind ``repro-fuzz``.
+
+A campaign is keyed by one master seed.  Case ``i`` is regenerated from
+``(seed, i)`` alone, every check is deterministic given those
+coordinates, and a failing case is shrunk with the *same* check as the
+predicate — so any failure in a report (or in CI artifacts) replays from
+two integers.
+
+Observability: the runner opens one ambient span per case (visible when
+a tracer is installed, e.g. via ``repro-fuzz --trace``) and feeds the
+process-wide metrics registry — ``fuzz.cases``, ``fuzz.failures``,
+``fuzz.checks`` and the ``fuzz.case_seconds`` histogram — so fuzz lanes
+export the same run-shaped telemetry as the synthesis harness.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.corpus import save_entry
+from repro.fuzz.generators import FAMILIES, FuzzCase, case_rng, generate_case
+from repro.fuzz.metamorphic import PROPERTIES, run_property
+from repro.fuzz.oracles import HEAVY_ORACLES, ORACLES, Finding, run_oracle
+from repro.fuzz.shrinker import ShrinkResult, shrink_pla
+from repro.obs.metrics import get_metrics_registry
+from repro.obs.spans import span as obs_span
+
+__all__ = ["FailureRecord", "FuzzConfig", "FuzzReport", "FuzzRunner"]
+
+DEFAULT_ITERATIONS = 100
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """What to run: campaign key, stop condition, check selection."""
+
+    seed: int = 0
+    iterations: int | None = None
+    budget_seconds: float | None = None
+    families: tuple[str, ...] = FAMILIES
+    oracles: tuple[str, ...] = tuple(ORACLES)
+    properties: tuple[str, ...] = tuple(PROPERTIES)
+    #: Heavy oracles (process-pool comparison) run every N-th case.
+    heavy_every: int = 8
+    shrink: bool = True
+    corpus_dir: pathlib.Path | None = None
+    max_failures: int = 25
+
+    def __post_init__(self) -> None:
+        for name in self.oracles:
+            if name not in ORACLES:
+                raise ValueError(f"unknown oracle {name!r}")
+        for name in self.properties:
+            if name not in PROPERTIES:
+                raise ValueError(f"unknown property {name!r}")
+
+
+@dataclass
+class FailureRecord:
+    """One caught mismatch, with the shrunk reproducer when available."""
+
+    coordinates: str
+    family: str
+    check: str
+    detail: str
+    pla_text: str
+    shrunk: ShrinkResult | None = None
+    corpus_path: str | None = None
+
+    def as_dict(self) -> dict:
+        payload = {
+            "coordinates": self.coordinates,
+            "family": self.family,
+            "check": self.check,
+            "detail": self.detail,
+            "pla_text": self.pla_text,
+            "corpus_path": self.corpus_path,
+        }
+        if self.shrunk is not None:
+            payload["shrunk"] = {
+                "pla_text": self.shrunk.pla_text,
+                "rows": [self.shrunk.rows_before, self.shrunk.rows_after],
+                "inputs": [
+                    self.shrunk.inputs_before,
+                    self.shrunk.inputs_after,
+                ],
+                "outputs": [
+                    self.shrunk.outputs_before,
+                    self.shrunk.outputs_after,
+                ],
+                "predicate_calls": self.shrunk.predicate_calls,
+            }
+        return payload
+
+
+@dataclass
+class FuzzReport:
+    """Campaign summary: counts per check plus every failure record."""
+
+    seed: int
+    cases: int = 0
+    seconds: float = 0.0
+    checks_run: dict[str, int] = field(default_factory=dict)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "cases": self.cases,
+            "seconds": round(self.seconds, 3),
+            "checks_run": dict(sorted(self.checks_run.items())),
+            "failures": [f.as_dict() for f in self.failures],
+            "ok": self.ok,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"fuzz: {self.cases} case(s), seed {self.seed}, "
+            f"{self.seconds:.1f}s, {len(self.failures)} failure(s)"
+        ]
+        for name, count in sorted(self.checks_run.items()):
+            lines.append(f"  {name:<24} {count:>6} run(s)")
+        for failure in self.failures:
+            lines.append(
+                f"  FAIL {failure.coordinates} {failure.check}: "
+                f"{failure.detail}"
+            )
+            if failure.shrunk is not None:
+                lines.append(
+                    f"       shrunk {failure.shrunk.rows_before}->"
+                    f"{failure.shrunk.rows_after} rows, "
+                    f"{failure.shrunk.inputs_before}->"
+                    f"{failure.shrunk.inputs_after} inputs"
+                )
+            if failure.corpus_path:
+                lines.append(f"       saved {failure.corpus_path}")
+        return lines
+
+
+class FuzzRunner:
+    """Runs a campaign described by a :class:`FuzzConfig`."""
+
+    def __init__(self, config: FuzzConfig | None = None):
+        self.config = config or FuzzConfig()
+
+    # -- campaign loop -----------------------------------------------------
+
+    def run(self) -> FuzzReport:
+        config = self.config
+        iterations = config.iterations
+        if iterations is None and config.budget_seconds is None:
+            iterations = DEFAULT_ITERATIONS
+        metrics = get_metrics_registry()
+        report = FuzzReport(seed=config.seed)
+        start = time.perf_counter()
+        index = 0
+        while True:
+            elapsed = time.perf_counter() - start
+            if iterations is not None and index >= iterations:
+                break
+            if config.budget_seconds is not None and elapsed >= config.budget_seconds:
+                break
+            if len(report.failures) >= config.max_failures:
+                break
+            case = generate_case(config.seed, index, config.families)
+            case_start = time.perf_counter()
+            with obs_span(
+                f"fuzz-case:{case.name}",
+                category="fuzz",
+                family=case.family,
+                coordinates=case.coordinates(),
+            ):
+                findings = self._run_checks(case, index, report)
+            metrics.counter("fuzz.cases", "fuzz cases executed").inc()
+            metrics.histogram("fuzz.case_seconds", "wall-time per fuzz case").observe(
+                time.perf_counter() - case_start
+            )
+            for finding in findings:
+                metrics.counter("fuzz.failures", "fuzz mismatches").inc()
+                report.failures.append(self._record_failure(case, index, finding))
+            index += 1
+        report.cases = index
+        report.seconds = time.perf_counter() - start
+        return report
+
+    # -- per-case checks ---------------------------------------------------
+
+    def _run_checks(
+        self, case: FuzzCase, index: int, report: FuzzReport
+    ) -> list[Finding]:
+        config = self.config
+        metrics = get_metrics_registry()
+        findings: list[Finding] = []
+        spec = case.spec()
+        for name in config.oracles:
+            if (
+                name in HEAVY_ORACLES
+                and config.heavy_every > 1
+                and index % config.heavy_every != 0
+            ):
+                continue
+            report.checks_run[name] = report.checks_run.get(name, 0) + 1
+            metrics.counter("fuzz.checks", "oracle/property runs").inc()
+            findings.extend(run_oracle(name, spec))
+        for name in config.properties:
+            report.checks_run[name] = report.checks_run.get(name, 0) + 1
+            metrics.counter("fuzz.checks", "oracle/property runs").inc()
+            rng = case_rng(case.seed, index, f"prop:{name}")
+            findings.extend(run_property(name, case, rng))
+        return findings
+
+    # -- failure handling --------------------------------------------------
+
+    def _failure_predicate(self, case: FuzzCase, index: int, check: str):
+        """Does ``check`` still fail on a candidate PLA text?
+
+        Properties re-derive the *same* per-case RNG on every call, so
+        the shrink target is the exact transformed instance that failed.
+        """
+
+        def predicate(pla_text: str) -> bool:
+            candidate = FuzzCase(
+                family=case.family,
+                seed=case.seed,
+                index=index,
+                name=f"{case.name}-shrink",
+                pla_text=pla_text,
+            )
+            if check in ORACLES:
+                return bool(run_oracle(check, candidate.spec()))
+            rng = case_rng(case.seed, index, f"prop:{check}")
+            return bool(run_property(check, candidate, rng))
+
+        return predicate
+
+    def _record_failure(
+        self, case: FuzzCase, index: int, finding: Finding
+    ) -> FailureRecord:
+        config = self.config
+        record = FailureRecord(
+            coordinates=case.coordinates(),
+            family=case.family,
+            check=finding.check,
+            detail=finding.format(),
+            pla_text=case.pla_text,
+        )
+        if config.shrink:
+            with obs_span(
+                f"fuzz-shrink:{case.name}",
+                category="fuzz",
+                check=finding.check,
+            ):
+                record.shrunk = shrink_pla(
+                    case.pla_text,
+                    self._failure_predicate(case, index, finding.check),
+                )
+            get_metrics_registry().counter(
+                "fuzz.shrinks", "delta-debugging shrinks"
+            ).inc()
+        if config.corpus_dir is not None:
+            reduced = record.shrunk.pla_text if record.shrunk else case.pla_text
+            path = save_entry(
+                config.corpus_dir,
+                f"{case.family}-{case.seed}-{index}-{finding.check}",
+                reduced,
+                meta={
+                    "coordinates": case.coordinates(),
+                    "check": finding.check,
+                    "detail": finding.detail,
+                    "family": case.family,
+                    "seed": case.seed,
+                    "index": index,
+                    "replay": (
+                        f"repro-fuzz --seed {case.seed} "
+                        f"--iterations {index + 1}"
+                    ),
+                },
+            )
+            record.corpus_path = str(path)
+        return record

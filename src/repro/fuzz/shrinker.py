@@ -1,0 +1,199 @@
+"""Delta-debugging minimizer for failing PLA cases.
+
+Given PLA text and a predicate ("does the failure still reproduce?"),
+:func:`shrink_pla` greedily removes structure while the predicate stays
+true:
+
+1. **cube rows** — ddmin-style chunk removal, halving the chunk size
+   down to single rows;
+2. **whole outputs** — drop an output column;
+3. **input columns** — delete an input variable entirely (every cube
+   loses that literal);
+4. **literals** — widen a single ``0``/``1`` position to ``-``.
+
+Each accepted step restarts the loop, so the result is 1-minimal with
+respect to these operations: no single remaining row, column or literal
+can be removed without losing the failure.  The predicate is treated as
+expensive (it typically reruns a differential oracle), so the budget is
+capped by ``max_predicate_calls``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ShrinkResult", "shrink_pla"]
+
+Predicate = Callable[[str], bool]
+
+
+@dataclass(frozen=True)
+class _PlaRows:
+    num_inputs: int
+    num_outputs: int
+    rows: tuple[tuple[str, str], ...]
+
+    def text(self) -> str:
+        lines = [f".i {self.num_inputs}", f".o {self.num_outputs}"]
+        lines += [f"{i} {o}" for i, o in self.rows]
+        lines.append(".e")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized PLA plus how much work it took to get there."""
+
+    pla_text: str
+    rows_before: int
+    rows_after: int
+    inputs_before: int
+    inputs_after: int
+    outputs_before: int
+    outputs_after: int
+    predicate_calls: int
+
+
+def _parse_rows(pla_text: str) -> _PlaRows:
+    num_inputs = num_outputs = 0
+    rows: list[tuple[str, str]] = []
+    for raw in pla_text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            parts = line.split()
+            if parts[0] == ".i":
+                num_inputs = int(parts[1])
+            elif parts[0] == ".o":
+                num_outputs = int(parts[1])
+            continue
+        parts = line.split()
+        if len(parts) == 1 and num_inputs:
+            parts = [line[:num_inputs], line[num_inputs:]]
+        if len(parts) == 2:
+            rows.append((parts[0], parts[1]))
+    return _PlaRows(num_inputs, num_outputs, tuple(rows))
+
+
+class _Budget:
+    def __init__(self, predicate: Predicate, limit: int):
+        self.predicate = predicate
+        self.limit = limit
+        self.calls = 0
+
+    def holds(self, candidate: _PlaRows) -> bool:
+        if self.calls >= self.limit:
+            return False
+        self.calls += 1
+        try:
+            return bool(self.predicate(candidate.text()))
+        except Exception:  # noqa: BLE001 — a broken candidate ≠ a repro
+            return False
+
+
+def _try_row_chunks(pla: _PlaRows, budget: _Budget) -> _PlaRows | None:
+    count = len(pla.rows)
+    chunk = max(1, count // 2)
+    while chunk >= 1:
+        for start in range(0, count, chunk):
+            kept = pla.rows[:start] + pla.rows[start + chunk :]
+            if not kept and count > 0:
+                continue
+            candidate = _PlaRows(pla.num_inputs, pla.num_outputs, kept)
+            if budget.holds(candidate):
+                return candidate
+        if chunk == 1:
+            break
+        chunk //= 2
+    return None
+
+
+def _try_drop_output(pla: _PlaRows, budget: _Budget) -> _PlaRows | None:
+    if pla.num_outputs <= 1:
+        return None
+    for col in range(pla.num_outputs):
+        rows = tuple((i, o[:col] + o[col + 1 :]) for i, o in pla.rows)
+        candidate = _PlaRows(pla.num_inputs, pla.num_outputs - 1, rows)
+        if budget.holds(candidate):
+            return candidate
+    return None
+
+
+def _try_drop_input(pla: _PlaRows, budget: _Budget) -> _PlaRows | None:
+    if pla.num_inputs <= 1:
+        return None
+    for col in range(pla.num_inputs):
+        rows = tuple((i[:col] + i[col + 1 :], o) for i, o in pla.rows)
+        candidate = _PlaRows(pla.num_inputs - 1, pla.num_outputs, rows)
+        if budget.holds(candidate):
+            return candidate
+    return None
+
+
+def _try_widen_literal(pla: _PlaRows, budget: _Budget) -> _PlaRows | None:
+    for index, (in_part, out_part) in enumerate(pla.rows):
+        for col, ch in enumerate(in_part):
+            if ch == "-":
+                continue
+            widened = in_part[:col] + "-" + in_part[col + 1 :]
+            rows = pla.rows[:index] + ((widened, out_part),) + pla.rows[index + 1 :]
+            candidate = _PlaRows(pla.num_inputs, pla.num_outputs, rows)
+            if budget.holds(candidate):
+                return candidate
+    return None
+
+
+_STAGES = (
+    _try_row_chunks,
+    _try_drop_output,
+    _try_drop_input,
+    _try_widen_literal,
+)
+
+
+def shrink_pla(
+    pla_text: str,
+    predicate: Predicate,
+    max_predicate_calls: int = 500,
+) -> ShrinkResult:
+    """Minimize ``pla_text`` while ``predicate`` keeps returning True.
+
+    The input itself must satisfy the predicate; if it does not, the
+    text is returned unchanged (zero-cost no-op, so callers can shrink
+    speculatively).
+    """
+    original = _parse_rows(pla_text)
+    budget = _Budget(predicate, max_predicate_calls)
+    if not budget.holds(original):
+        return ShrinkResult(
+            pla_text=pla_text,
+            rows_before=len(original.rows),
+            rows_after=len(original.rows),
+            inputs_before=original.num_inputs,
+            inputs_after=original.num_inputs,
+            outputs_before=original.num_outputs,
+            outputs_after=original.num_outputs,
+            predicate_calls=budget.calls,
+        )
+    current = original
+    progressed = True
+    while progressed and budget.calls < budget.limit:
+        progressed = False
+        for stage in _STAGES:
+            smaller = stage(current, budget)
+            if smaller is not None:
+                current = smaller
+                progressed = True
+                break
+    return ShrinkResult(
+        pla_text=current.text(),
+        rows_before=len(original.rows),
+        rows_after=len(current.rows),
+        inputs_before=original.num_inputs,
+        inputs_after=current.num_inputs,
+        outputs_before=original.num_outputs,
+        outputs_after=current.num_outputs,
+        predicate_calls=budget.calls,
+    )

@@ -184,6 +184,35 @@ def _spec_output_bdd(output, manager: BddManager) -> int:
     return build(table.bits, 0)
 
 
+def counterexample(net: Network, spec: CircuitSpec) -> int | None:
+    """A global input minterm on which ``net`` and ``spec`` disagree.
+
+    Exhaustive up to :data:`_EXHAUSTIVE_MAX_INPUTS` primary inputs,
+    random sampling beyond; returns ``None`` when no disagreement is
+    found (which, past the exhaustive range, is not a proof).  The fuzz
+    harness attaches the witness to every mismatch report so a failure
+    can be replayed without rerunning the differential pair.
+    """
+    if net.num_inputs != spec.num_inputs or net.num_outputs != spec.num_outputs:
+        return None
+    if spec.num_inputs <= _EXHAUSTIVE_MAX_INPUTS:
+        inputs = exhaustive_inputs(spec.num_inputs)
+    else:
+        inputs = random_inputs(spec.num_inputs, _RANDOM_VECTORS,
+                               f"counterexample:{spec.name}")
+    got = simulate(net, inputs)
+    want = spec.simulate(inputs)
+    columns = np.nonzero((got != want).any(axis=0))[0]
+    if not columns.size:
+        return None
+    column = int(columns[0])
+    minterm = 0
+    for i in range(spec.num_inputs):
+        if int(inputs[i, column]):
+            minterm |= 1 << i
+    return minterm
+
+
 def networks_equivalent(a: Network, b: Network) -> VerifyResult:
     """Structural-interface plus functional comparison of two networks."""
     if a.num_inputs != b.num_inputs or a.num_outputs != b.num_outputs:

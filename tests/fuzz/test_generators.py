@@ -1,0 +1,67 @@
+"""Generator determinism, family coverage, and PLA flattening fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.generators import make_adder, make_multiplier, make_parity
+from repro.expr.pla import parse_pla, pla_from_spec, write_pla
+from repro.fuzz.generators import (
+    FAMILIES,
+    MAX_FUZZ_INPUTS,
+    case_rng,
+    generate_case,
+    random_pla_text,
+)
+from repro.network.simulate import exhaustive_inputs
+from repro.network.to_expr import spec_from_pla_text
+
+
+def test_same_coordinates_same_case():
+    a = generate_case(7, 13)
+    b = generate_case(7, 13)
+    assert a == b
+
+
+def test_different_indices_differ_somewhere():
+    texts = {generate_case(0, i).pla_text for i in range(20)}
+    assert len(texts) > 1
+
+
+def test_every_case_parses_and_stays_small():
+    for index in range(30):
+        case = generate_case(5, index)
+        assert case.family in FAMILIES
+        spec = case.spec()
+        assert 1 <= spec.num_inputs <= MAX_FUZZ_INPUTS
+        assert spec.num_outputs >= 1
+
+
+def test_family_restriction_is_respected():
+    for index in range(10):
+        case = generate_case(0, index, families=("parity",))
+        assert case.family == "parity"
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError):
+        generate_case(0, 0, families=("nonsense",))
+
+
+def test_random_pla_text_parses():
+    rng = case_rng(3, 4)
+    pla = parse_pla(random_pla_text(rng))
+    assert pla.num_inputs >= 2
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [make_adder(2), make_adder(1, carry_in=True), make_multiplier(2), make_parity(5)],
+    ids=lambda s: s.name,
+)
+def test_pla_from_spec_preserves_function(spec):
+    """The flattened PLA computes exactly the original function."""
+    round_tripped = spec_from_pla_text(write_pla(pla_from_spec(spec)), name=spec.name)
+    inputs = exhaustive_inputs(spec.num_inputs)
+    assert np.array_equal(spec.simulate(inputs), round_tripped.simulate(inputs))

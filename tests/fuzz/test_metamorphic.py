@@ -1,0 +1,59 @@
+"""Metamorphic properties: hold on real cases, fire on doctored inputs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fuzz.generators import case_rng, generate_case
+from repro.fuzz.metamorphic import (
+    PROPERTIES,
+    _best_fprm_cost,
+    permute_table,
+    run_property,
+)
+from repro.truth.table import TruthTable
+
+
+@pytest.mark.parametrize("prop", sorted(PROPERTIES))
+def test_property_holds_on_generated_cases(prop):
+    for index in range(6):
+        case = generate_case(21, index)
+        rng = case_rng(case.seed, index, f"prop:{prop}")
+        assert run_property(prop, case, rng) == [], (prop, case.coordinates())
+
+
+def test_permute_table_is_a_permutation_of_the_function():
+    table = TruthTable.from_function(3, lambda m: int(m.bit_count() >= 2))
+    perm = [2, 0, 1]
+    permuted = permute_table(table, perm)
+    for minterm in range(8):
+        image = 0
+        for j in range(3):
+            if (minterm >> j) & 1:
+                image |= 1 << perm[j]
+        assert permuted[image] == table[minterm]
+
+
+def test_best_fprm_cost_invariant_under_permutation():
+    rng = random.Random(99)
+    for _ in range(5):
+        bits = [rng.randint(0, 1) for _ in range(16)]
+        table = TruthTable.from_function(4, lambda m: bits[m])
+        perm = list(range(4))
+        rng.shuffle(perm)
+        assert _best_fprm_cost(table) == _best_fprm_cost(permute_table(table, perm))
+
+
+def test_property_crash_becomes_finding(monkeypatch):
+    def boom(case, rng):
+        raise RuntimeError("metamorphic crash")
+
+    monkeypatch.setitem(PROPERTIES, "output-negation", boom)
+    case = generate_case(0, 0)
+    findings = run_property(
+        "output-negation", case, case_rng(0, 0, "prop:output-negation")
+    )
+    assert len(findings) == 1
+    assert "metamorphic crash" in findings[0].detail

@@ -1,0 +1,78 @@
+"""Delta-debugging shrinker: minimality, budget, and robustness."""
+
+from __future__ import annotations
+
+from repro.fuzz.shrinker import shrink_pla
+
+WIDE = """\
+.i 4
+.o 2
+1--- 10
+-1-- 01
+--1- 10
+0000 11
+11-- 10
+.e
+"""
+
+
+def test_shrinks_to_single_triggering_row():
+    """Failure: any row asserting output 0 with a '1' in column 0."""
+
+    def predicate(text):
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("."):
+                continue
+            in_part, out_part = line.split()
+            if in_part[0] == "1" and out_part[0] == "1":
+                return True
+        return False
+
+    result = shrink_pla(WIDE, predicate)
+    assert predicate(result.pla_text)
+    assert result.rows_after == 1
+    assert result.inputs_after == 1
+    assert result.outputs_after == 1
+    assert result.rows_before == 5
+
+
+def test_non_reproducing_input_is_returned_unchanged():
+    result = shrink_pla(WIDE, lambda text: False)
+    assert result.pla_text == WIDE
+    assert result.predicate_calls == 1
+
+
+def test_predicate_exceptions_count_as_non_repro():
+    calls = []
+
+    def predicate(text):
+        calls.append(text)
+        if len(calls) == 1:
+            return True  # the original reproduces
+        raise RuntimeError("flaky predicate")
+
+    result = shrink_pla(WIDE, predicate)
+    # Nothing could be removed (every candidate "failed to reproduce"),
+    # so the minimized text is the original, canonicalized.
+    assert result.rows_after == result.rows_before
+
+
+def test_budget_is_respected():
+    result = shrink_pla(WIDE, lambda text: True, max_predicate_calls=5)
+    assert result.predicate_calls <= 5
+
+
+def test_shrink_is_one_minimal_for_row_count():
+    """With predicate 'at least 2 rows', exactly 2 rows must remain."""
+
+    def predicate(text):
+        rows = [
+            line
+            for line in text.splitlines()
+            if line.strip() and not line.startswith(".")
+        ]
+        return len(rows) >= 2
+
+    result = shrink_pla(WIDE, predicate)
+    assert result.rows_after == 2

@@ -13,6 +13,7 @@ MODULES = [
     "repro.expr",
     "repro.flow",
     "repro.fprm",
+    "repro.fuzz",
     "repro.harness",
     "repro.kfdd",
     "repro.mapping",
