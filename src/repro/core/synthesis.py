@@ -48,6 +48,11 @@ from repro.network.verify import VerifyResult, equivalent_to_spec
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import get_metrics_registry
 from repro.obs.spans import Span, SpanTracer, install, span as obs_span, uninstall
+from repro.resilience.budget import (
+    Budget,
+    effective_budget_seconds,
+    install_budget,
+)
 from repro.spec import CircuitSpec, OutputSpec
 
 __all__ = [
@@ -93,9 +98,16 @@ class FprmSynthesizer:
             if options.trace else None
         )
         previous = install(tracer) if tracer is not None else None
+        # The run budget is ambient for the whole flow (like the tracer);
+        # pool workers get the same deadline shipped with their payload.
+        seconds = effective_budget_seconds(options.budget_seconds)
+        budget = Budget.start(seconds) if seconds is not None else None
+        previous_budget = install_budget(budget) if budget is not None else None
         try:
             return self._run(spec, tracer)
         finally:
+            if budget is not None:
+                install_budget(previous_budget)
             if tracer is not None:
                 uninstall(previous)
 
@@ -135,6 +147,10 @@ class FprmSynthesizer:
             pending.append(index)
 
         fresh: list[OutputRun] | None = None
+        retries_counter = metrics.counter(
+            "resilience.retries", "per-output pool retries after crash/hang"
+        )
+        retries_before = retries_counter.value
         if jobs > 1 and len(pending) > 1:
             with obs_span("parallel-map", category="flow") as pool_span:
                 fresh, fallback = run_outputs_in_pool(
@@ -174,8 +190,11 @@ class FprmSynthesizer:
             runs[index] = output_run
             # Worker-cache hits are already copies of a stored entry;
             # re-storing them would reset the entry's saved-seconds info.
+            # Degraded runs are partial-effort and must never seed future
+            # runs (a budget knob would silently change cached answers).
             if cache is not None and keys[index] is not None \
-                    and not output_run.cached:
+                    and not output_run.cached \
+                    and not output_run.report.degraded:
                 cache.store(keys[index], output_run)
 
         variants_per_output = []
@@ -186,6 +205,20 @@ class FprmSynthesizer:
             variants_per_output.append(output_run.variants)
             reports.append(output_run.report)
             var_maps.append(list(spec.outputs[index].support))
+
+        # -- resilience accounting ----------------------------------------
+        degradations = [
+            f"{report.name}:{label}"
+            for report in reports for label in report.degraded
+        ]
+        if degradations:
+            metrics.counter(
+                "resilience.degradations",
+                "effort-degradation rungs taken under budget pressure",
+            ).inc(len(degradations))
+        if trace is not None:
+            trace.degradations = degradations
+            trace.retries = retries_counter.value - retries_before
 
         # -- resub merge (network-level pass) ------------------------------
         with obs_span("resub-merge", category="pass") as merge_span:

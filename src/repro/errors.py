@@ -1,5 +1,18 @@
 """Exception hierarchy for the repro library."""
 
+__all__ = [
+    "BudgetExceededError",
+    "CacheIntegrityError",
+    "DimensionError",
+    "LibraryError",
+    "ParseError",
+    "ReproError",
+    "TooManyVariablesError",
+    "UnknownCircuitError",
+    "VerificationError",
+    "WorkerCrashError",
+]
+
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
@@ -27,3 +40,42 @@ class LibraryError(ReproError):
 
 class UnknownCircuitError(ReproError, KeyError):
     """A benchmark circuit name is not in the registry."""
+
+
+class BudgetExceededError(ReproError):
+    """A cooperative deadline check fired inside an expensive loop.
+
+    Raised by :meth:`repro.resilience.budget.Budget.check` (and the
+    strided :meth:`~repro.resilience.budget.Budget.tick`) when the run's
+    wall-clock budget is exhausted.  Stages of the flow catch this and
+    degrade to a cheaper-but-correct result (see docs/RESILIENCE.md);
+    it only propagates out of :func:`repro.core.synthesis.synthesize_fprm`
+    when no fallback rung exists.
+    """
+
+    def __init__(self, where: str, remaining: float = 0.0):
+        self.where = where
+        self.remaining = remaining
+        super().__init__(f"budget exhausted in {where}")
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (crash or hang) and retries were exhausted."""
+
+    def __init__(self, output: str, attempts: int, reason: str):
+        self.output = output
+        self.attempts = attempts
+        self.reason = reason
+        super().__init__(
+            f"worker for output {output!r} failed after {attempts} "
+            f"attempt(s): {reason}"
+        )
+
+
+class CacheIntegrityError(ReproError):
+    """A result-cache entry failed its checksum verification.
+
+    The cache quarantines and recomputes corrupt entries instead of
+    raising during normal operation; this error is reserved for callers
+    that ask for strict verification (``ResultCache.verify_all``).
+    """

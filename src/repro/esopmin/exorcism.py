@@ -21,9 +21,11 @@ bounded number of rounds.
 
 from __future__ import annotations
 
+from repro.errors import BudgetExceededError
 from repro.expr.cube import Cube
 from repro.expr.esop import EsopCover, FprmForm
 from repro.obs.spans import span as obs_span
+from repro.resilience.budget import budget_tick, current_budget, note_degradation
 from repro.utils.bitops import bit_indices
 
 _MAX_ROUNDS = 12
@@ -35,22 +37,43 @@ def esop_from_fprm(form: FprmForm) -> EsopCover:
 
 
 def minimize_esop(cover: EsopCover, rounds: int = _MAX_ROUNDS) -> EsopCover:
-    """Minimize cube count (then literal count) of an ESOP."""
+    """Minimize cube count (then literal count) of an ESOP.
+
+    The quadratic pair scans check the ambient run budget cooperatively;
+    on exhaustion the cover minimized *so far* is returned (every
+    intermediate state of the reduce/exorlink rewrites represents the
+    same function, so a truncated run is correct — just larger).  Exact
+    AND-XOR minimization is known to blow up on adversarial instances,
+    which is precisely why this loop must be interruptible.
+    """
     cubes = list(cover.cubes)
     trajectory = [len(cubes)]
+    degraded = False
     with obs_span("esop-minimize", category="algo") as node:
-        for _ in range(rounds):
-            cubes, changed_merge = _reduce_pass(cover.n, cubes)
-            changed_link = _exorlink_pass(cover.n, cubes)
+        try:
+            budget = current_budget()
+            if budget is not None:
+                # Entry check: small covers finish under the tick stride,
+                # so an exhausted budget must degrade here, not in-loop.
+                budget.check("esop-minimize")
+            for _ in range(rounds):
+                cubes, changed_merge = _reduce_pass(cover.n, cubes)
+                changed_link = _exorlink_pass(cover.n, cubes)
+                trajectory.append(len(cubes))
+                if not changed_merge and not changed_link:
+                    break
+        except BudgetExceededError as err:
+            degraded = True
+            note_degradation("esop-minimize", "partial-minimization",
+                             err.where)
             trajectory.append(len(cubes))
-            if not changed_merge and not changed_link:
-                break
         if node is not None:
             node.set(
                 cubes_in=trajectory[0],
                 cubes_out=len(cubes),
                 rounds=len(trajectory) - 1,
                 trajectory=trajectory,
+                degraded=degraded,
             )
     return EsopCover(cover.n, tuple(cubes))
 
@@ -94,6 +117,9 @@ def _reduce_pass(n: int, cubes: list[Cube]) -> tuple[list[Cube], bool]:
         progress = False
         for i in range(len(cubes)):
             for j in range(i + 1, len(cubes)):
+                # Checked before any rewrite, so an interrupt always
+                # leaves a function-preserving intermediate cover.
+                budget_tick("esop-reduce")
                 diff = _difference_vars(cubes[i], cubes[j])
                 if len(diff) == 0:
                     del cubes[j], cubes[i]
@@ -119,6 +145,7 @@ def _exorlink_pass(n: int, cubes: list[Cube]) -> bool:
     """Greedy exorlink-2: accept a rewrite if it enables a d≤1 reduction."""
     for i in range(len(cubes)):
         for j in range(i + 1, len(cubes)):
+            budget_tick("esop-exorlink")
             diff = _difference_vars(cubes[i], cubes[j])
             if len(diff) != 2:
                 continue

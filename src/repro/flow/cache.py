@@ -18,6 +18,17 @@ The digest always uses the output's *original* representation (cover,
 then expression, then dense table) so that the lazy
 ``OutputSpec.local_table()`` materialization between two runs cannot
 change the key.
+
+Self-healing: every entry is checksummed over a canonical serialization
+of its payload at store time and re-verified on lookup.  An entry whose
+bytes no longer match — an aliasing bug mutating a shared variant list,
+a fault-injection test tampering on purpose — is *quarantined*: dropped
+from the cache, counted in ``CacheStats.corruptions`` and the
+``cache.corruptions`` metric, and reported as a miss so the caller
+simply recomputes.  A corrupt cache can therefore cost time but never
+correctness.  :meth:`ResultCache.verify_all` offers the strict flavour
+for tests and debugging, raising
+:class:`~repro.errors.CacheIntegrityError` instead of healing silently.
 """
 
 from __future__ import annotations
@@ -25,9 +36,10 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.core.options import SynthesisOptions
+from repro.errors import CacheIntegrityError
 from repro.expr import expression as ex
 from repro.flow.context import OutputReport, OutputRun
 from repro.flow.trace import PassRecord
@@ -91,6 +103,8 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    #: Entries that failed checksum verification and were quarantined.
+    corruptions: int = 0
 
 
 @dataclass
@@ -98,6 +112,28 @@ class _Entry:
     variants: list
     report: OutputReport
     pipeline_seconds: float
+    checksum: str = ""
+
+
+def _entry_checksum(entry: _Entry) -> str:
+    """Canonical content digest of one entry's payload.
+
+    Deliberately *not* ``pickle``-based: expression objects cache their
+    hash lazily in ``__dict__``, so raw pickles of the same entry differ
+    depending on whether ``hash()`` ran in between — the canonical
+    DAG serialization of :func:`_hash_expr` is stable.  Any structural
+    change to a variant expression, the variant list itself, or a report
+    field changes the digest.
+    """
+    h = hashlib.sha256()
+    for tag, expr in entry.variants:
+        h.update(tag.encode("utf-8"))
+        h.update(b"=")
+        _hash_expr(expr, h)
+        h.update(b"|")
+    h.update(repr(asdict(entry.report)).encode("utf-8"))
+    h.update(b"|%r" % (entry.pipeline_seconds,))
+    return h.hexdigest()
 
 
 class ResultCache:
@@ -120,11 +156,21 @@ class ResultCache:
         The report is copied (the resub-merge pass may append to its
         ``method`` tag) and renamed after the *requesting* output, since
         keys are content-addressed rather than name-addressed.
+
+        Every hit is checksum-verified first; a corrupt entry is
+        quarantined (dropped, counted) and reported as a miss, so the
+        caller transparently recomputes it — the self-healing path.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                return None
+            if _entry_checksum(entry) != entry.checksum:
+                del self._entries[key]
+                self.stats.corruptions += 1
+                self.stats.misses += 1
+                self._record_corruption(key)
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
@@ -141,19 +187,26 @@ class ResultCache:
             },
         )
         return OutputRun(
-            variants=entry.variants,
+            variants=list(entry.variants),
             report=replace(entry.report, name=output.name),
             records=[record],
             cached=True,
         )
 
     def store(self, key: str, run: OutputRun) -> None:
-        """Insert one pipeline result (defensive report copy)."""
+        """Insert one pipeline result (defensive copies, checksummed).
+
+        Both the variant list and the report are copied: the caller (or
+        the resub-merge pass after it) keeps mutating its own ``run``,
+        and a stored entry aliasing that list would silently change
+        under every future lookup of the same key.
+        """
         entry = _Entry(
-            variants=run.variants,
+            variants=list(run.variants),
             report=replace(run.report),
             pipeline_seconds=sum(r.seconds for r in run.records),
         )
+        entry.checksum = _entry_checksum(entry)
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
@@ -161,6 +214,42 @@ class ResultCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def verify_all(self) -> int:
+        """Strict integrity pass over every entry.
+
+        Quarantines corrupt entries like :meth:`lookup` would, then
+        raises :class:`~repro.errors.CacheIntegrityError` naming them —
+        for tests and debugging sessions that want corruption loud
+        rather than healed.  Returns the number of entries checked when
+        all of them are sound.
+        """
+        corrupt: list[str] = []
+        with self._lock:
+            checked = len(self._entries)
+            for key, entry in list(self._entries.items()):
+                if _entry_checksum(entry) != entry.checksum:
+                    del self._entries[key]
+                    self.stats.corruptions += 1
+                    self._record_corruption(key)
+                    corrupt.append(key)
+        if corrupt:
+            raise CacheIntegrityError(
+                f"{len(corrupt)} corrupt cache entr"
+                f"{'y' if len(corrupt) == 1 else 'ies'}: "
+                + ", ".join(key[:16] for key in corrupt)
+            )
+        return checked
+
+    @staticmethod
+    def _record_corruption(key: str) -> None:
+        """Count a quarantined entry in the global metrics registry."""
+        from repro.obs.metrics import get_metrics_registry
+
+        get_metrics_registry().counter(
+            "cache.corruptions",
+            "result-cache entries quarantined by checksum verification",
+        ).inc()
 
     def clear(self) -> None:
         with self._lock:

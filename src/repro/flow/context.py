@@ -15,7 +15,13 @@ from repro.spec import OutputSpec
 
 @dataclass
 class OutputReport:
-    """Diagnostics for one synthesized output."""
+    """Diagnostics for one synthesized output.
+
+    ``degraded`` lists the effort-degradation rungs this output took
+    under budget pressure, as compact ``stage->fallback`` labels (empty
+    for a full-effort run); degraded results are kept out of the result
+    cache and surfaced in the trace and ``resilience.*`` metrics.
+    """
 
     name: str
     polarity: int
@@ -24,6 +30,7 @@ class OutputReport:
     gates_before_reduction: int
     gates_after_reduction: int
     reduction_stats: ReductionStats | None
+    degraded: tuple[str, ...] = ()
 
 
 @dataclass

@@ -24,20 +24,26 @@ cross-output sharing in view.
 
 from __future__ import annotations
 
+import time
+
 from repro.core import tree as tr
 from repro.core.factor_cube import factor_cubes
 from repro.core.factor_ofdd import factor_ofdd
 from repro.core.options import FactorMethod, SynthesisOptions
 from repro.core.redundancy import ReductionStats, RedundancyRemover
+from repro.errors import BudgetExceededError
 from repro.expr import expression as ex
 from repro.expr.demorgan import minimize_inverters_guarded
 from repro.expr.esop import FprmForm
 from repro.flow.base import OutputPass, PassManager
 from repro.flow.context import FlowContext, OutputReport, ReducedCandidate
+from repro.flow.trace import PassRecord
 from repro.fprm.polarity import choose_polarity
 from repro.network.build import add_expr, network_from_exprs
 from repro.network.netlist import Network
+from repro.obs.spans import span as obs_span
 from repro.ofdd.manager import OfddManager
+from repro.resilience.budget import current_budget, note_degradation
 from repro.spec import CircuitSpec, OutputSpec
 from repro.truth.spectra import fprm_from_table
 
@@ -123,19 +129,32 @@ class DeriveFprmPass(OutputPass):
         best: tuple[OfddManager, int] | None = None
         best_size = -1
         polarity = universe
+        skipped = 0
         for candidate in wide_polarity_candidates(output):
-            manager = OfddManager(width, candidate)
-            if output.expr is not None:
-                node = manager.from_expr(output.expr)
-            else:
-                assert output.cover is not None
-                node = manager.from_cover(output.cover)
+            try:
+                manager = OfddManager(width, candidate)
+                if output.expr is not None:
+                    node = manager.from_expr(output.expr)
+                else:
+                    assert output.cover is not None
+                    node = manager.from_cover(output.cover)
+            except BudgetExceededError:
+                # Keep whatever candidate diagrams finished in time; only
+                # when *none* did does the error climb to the pipeline's
+                # direct-specification fallback.
+                if best is None:
+                    raise
+                skipped += 1
+                continue
             size = manager.node_count(node)
             if best is None or size < best_size:
                 best = (manager, node)
                 best_size = size
                 polarity = candidate
         assert best is not None
+        if skipped:
+            note_degradation("wide-polarity", "partial-candidates",
+                             f"{skipped} candidate vector(s) skipped")
         manager, node = best
         ctx.polarity, ctx.ofdd = polarity, (manager, node)
         if manager.cube_count(node) <= options.cube_limit:
@@ -185,13 +204,29 @@ class FactorOfddPass(OutputPass):
                                                 FactorMethod.AUTO)
         if not applies and ctx.candidates:
             return {"skipped": f"method={ctx.options.factor_method.value}"}
-        if ctx.ofdd is None:
-            assert ctx.form is not None
-            manager = OfddManager(ctx.output.width, ctx.polarity)
-            node = manager.from_fprm_masks(ctx.form.cubes)
-        else:
-            manager, node = ctx.ofdd
-        expr = factor_ofdd(manager, node)
+        try:
+            if ctx.ofdd is None:
+                assert ctx.form is not None
+                manager = OfddManager(ctx.output.width, ctx.polarity)
+                node = manager.from_fprm_masks(ctx.form.cubes)
+            else:
+                manager, node = ctx.ofdd
+            expr = factor_ofdd(manager, node)
+        except BudgetExceededError:
+            # Ladder: OFDD method -> cube method.  With another candidate
+            # already on the list the pass just skips; otherwise the raw
+            # FPRM cubes are weak-division factored — cheaper, correct.
+            if ctx.candidates:
+                note_degradation("factor-ofdd", "skipped", "ofdd factoring")
+                return {"skipped": "budget"}
+            if ctx.form is None:
+                raise  # nothing cheaper exists: direct fallback handles it
+            note_degradation("factor-ofdd", "cube-method", "ofdd factoring")
+            expr = factor_cubes(list(ctx.form.cubes))
+            gates = strashed_gate_count(expr, ctx.output.width)
+            ctx.candidates.append(("cube", expr))
+            ctx.note_gates(gates)
+            return {"gates": gates, "fallback": True, "degraded": True}
         gates = strashed_gate_count(expr, ctx.output.width)
         ctx.candidates.append(("ofdd", expr))
         ctx.note_gates(gates)
@@ -211,7 +246,13 @@ class FactorXorFxPass(OutputPass):
             return {"skipped": f"method={ctx.options.factor_method.value}"}
         if ctx.form.num_cubes > XOR_FX_CUBE_CAP:
             return {"skipped": f"{ctx.form.num_cubes} cubes > cap"}
-        expr = factor_with_xor_divisors(ctx.form, ctx.output.width)
+        try:
+            expr = factor_with_xor_divisors(ctx.form, ctx.output.width)
+        except BudgetExceededError:
+            if not ctx.candidates:
+                raise
+            note_degradation("factor-xorfx", "skipped", "xor fast-extract")
+            return {"skipped": "budget"}
         gates = strashed_gate_count(expr, ctx.output.width)
         ctx.candidates.append(("xor-fx", expr))
         ctx.note_gates(gates)
@@ -229,7 +270,16 @@ class RedundancyRemovalPass(OutputPass):
     def run(self, ctx: FlowContext) -> dict:
         fired = 0
         for tag, expr in ctx.candidates:
-            reduced = self._reduce(ctx, expr)
+            try:
+                reduced = self._reduce(ctx, expr)
+            except BudgetExceededError:
+                # Redundancy removal only shrinks an already-correct
+                # candidate; under budget pressure the unreduced tree is
+                # kept as-is (ladder: reduced -> unreduced).
+                note_degradation("redundancy-removal", "unreduced",
+                                 f"candidate {tag}")
+                gates = strashed_gate_count(expr, ctx.output.width)
+                reduced = (expr, None, gates, gates)
             ctx.reduced.append(ReducedCandidate(
                 tag=tag, expr=expr, reduced=reduced[0],
                 gates_before=reduced[3], gates_after=reduced[2],
@@ -266,6 +316,12 @@ class RedundancyRemovalPass(OutputPass):
             tree = tr.tree_from_expr(literal_expr)
         stats: ReductionStats | None = None
         if tree is not None and ctx.options.redundancy_removal:
+            budget = current_budget()
+            if budget is not None:
+                # Entry check, raising into run()'s ladder catch: the
+                # remover's own inner loop swallows ReproError as a
+                # no-engine skip and would hide the exhausted budget.
+                budget.check("redundancy-removal")
             remover = RedundancyRemover(tree, output.width, form, ctx.options)
             tree = remover.run()
             stats = remover.stats
@@ -363,6 +419,31 @@ def direct_expr(output: OutputSpec) -> ex.Expr | None:
     return None
 
 
+def _last_resort_expr(output: OutputSpec) -> ex.Expr:
+    """A correct PI-space expression for *any* output, whatever it costs.
+
+    The bottom rung of the degradation ladder: the specification's own
+    structure when it has one, else a minterm SOP off the dense table
+    (table-only outputs are dense by construction).  Size is sacrificed
+    for guaranteed correctness — exactly the paper's observation that
+    the input specification is always an acceptable implementation.
+    """
+    direct = direct_expr(output)
+    if direct is not None:
+        return direct
+    table = output.local_table()
+    terms: list[ex.Expr] = []
+    for minterm in range(1 << output.width):
+        if not table[minterm]:
+            continue
+        literals = [
+            ex.Lit(var, negated=not ((minterm >> var) & 1))
+            for var in range(output.width)
+        ]
+        terms.append(ex.and_(literals))
+    return ex.or_(terms)
+
+
 # -- default pipeline --------------------------------------------------------
 
 #: The per-output pass names of the default pipeline, in order.
@@ -393,10 +474,60 @@ def run_output_pipeline(
     options: SynthesisOptions,
     passes: list[OutputPass] | None = None,
 ) -> FlowContext:
-    """Run one output through the (default) per-output pipeline."""
+    """Run one output through the (default) per-output pipeline.
+
+    The bottom rung of the effort-degradation ladder lives here: a
+    :class:`~repro.errors.BudgetExceededError` no pass could absorb
+    collapses the run to the direct specification (always correct, size
+    unbounded).  Degradations noted on the ambient budget — by any rung,
+    in this process — are drained into the output report so they travel
+    with the result across process boundaries.
+    """
     ctx = FlowContext(output=output, options=options)
-    PassManager(passes or default_output_passes()).run(ctx)
+    try:
+        PassManager(passes or default_output_passes()).run(ctx)
+    except BudgetExceededError as err:
+        _direct_budget_fallback(ctx, err)
+    budget = current_budget()
+    if budget is not None and ctx.report is not None:
+        drained = budget.drain_degradations()
+        if drained:
+            labels = list(ctx.report.degraded)
+            labels.extend(record.label() for record in drained)
+            ctx.report.degraded = tuple(dict.fromkeys(labels))
     return ctx
+
+
+def _direct_budget_fallback(ctx: FlowContext,
+                            err: BudgetExceededError) -> None:
+    """Replace an interrupted pipeline with the specification itself."""
+    note_degradation("pipeline", "direct-specification", err.where)
+    started = time.perf_counter()
+    with obs_span("budget-fallback", category="pass") as node:
+        expr = minimize_inverters_guarded(
+            _last_resort_expr(ctx.output), ctx.output.width
+        )
+        gates = expanded_gate_count(expr)
+        if node is not None:
+            node.set(where=err.where, gates=gates)
+    ctx.variants = [("direct", expr)]
+    ctx.report = OutputReport(
+        name=ctx.output.name,
+        polarity=ctx.polarity,
+        num_fprm_cubes=None,
+        method="direct(budget)",
+        gates_before_reduction=gates,
+        gates_after_reduction=gates,
+        reduction_stats=None,
+    )
+    ctx.best_gates = gates
+    ctx.records.append(PassRecord(
+        pass_name="budget-fallback",
+        output=ctx.output.name,
+        seconds=time.perf_counter() - started,
+        gates_after=gates,
+        details={"where": err.where},
+    ))
 
 
 # -- resub-merge (network-level) ---------------------------------------------

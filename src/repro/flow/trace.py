@@ -105,6 +105,11 @@ class FlowTrace:
     root: Span | None = None
     manifest: RunManifest | None = None
     flat_records: list[PassRecord] = field(default_factory=list)
+    # Resilience: ``output:stage->fallback`` labels for every effort-
+    # degradation rung taken this run, and how many pool retries the
+    # crash-isolated map needed (0 for a clean run).
+    degradations: list[str] = field(default_factory=list)
+    retries: int = 0
 
     # -- the records view --------------------------------------------------
 
@@ -179,6 +184,10 @@ class FlowTrace:
             },
             "parallel_fallback": self.parallel_fallback,
             "seconds": self.seconds,
+            "resilience": {
+                "degradations": list(self.degradations),
+                "retries": self.retries,
+            },
             "seconds_by_pass": self.seconds_by_pass(),
             "records": [record.as_dict() for record in self.records],
         }
@@ -192,6 +201,7 @@ class FlowTrace:
     def from_dict(cls, payload: dict) -> "FlowTrace":
         """Rebuild a trace from its JSON form (any schema version)."""
         cache = payload.get("cache", {})
+        resilience = payload.get("resilience", {})
         trace = cls(
             circuit=payload.get("circuit", ""),
             jobs=payload.get("jobs", 1),
@@ -200,6 +210,8 @@ class FlowTrace:
             cache_misses=cache.get("misses", 0),
             parallel_fallback=payload.get("parallel_fallback"),
             seconds=payload.get("seconds", 0.0),
+            degradations=list(resilience.get("degradations", [])),
+            retries=resilience.get("retries", 0),
         )
         if "spans" in payload:
             trace.root = Span.from_dict(payload["spans"])
@@ -222,6 +234,11 @@ class FlowTrace:
             lines.append(
                 f"  cache: {self.cache_hits} hit(s), "
                 f"{self.cache_misses} miss(es)"
+            )
+        if self.degradations or self.retries:
+            lines.append(
+                f"  resilience: {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
+                f"degraded: {', '.join(self.degradations) or 'none'}"
             )
         for name, secs in self.seconds_by_pass().items():
             lines.append(f"  {name:<20} {secs:8.4f}s")

@@ -19,6 +19,8 @@ import enum
 
 import numpy as np
 
+from repro.errors import BudgetExceededError
+from repro.resilience.budget import current_budget, note_degradation
 from repro.truth.spectra import fprm_spectrum, spectrum_flip_polarity
 from repro.truth.table import TruthTable
 
@@ -42,8 +44,15 @@ def _cost(spectrum: np.ndarray, n: int) -> tuple[int, int]:
 
 
 def best_polarity_greedy(table: TruthTable, start: int | None = None) -> int:
-    """Hill-climb single-variable polarity flips until no improvement."""
+    """Hill-climb single-variable polarity flips until no improvement.
+
+    The ladder's safety rung: when the run budget expires mid-climb the
+    best vector found *so far* is returned (any polarity vector yields a
+    correct FPRM form, only its size suffers), so this function degrades
+    instead of raising.
+    """
     n = table.n
+    budget = current_budget()
     universe = (1 << n) - 1
     polarity = universe if start is None else (start & universe)
     spectrum = fprm_spectrum(table, polarity)
@@ -52,6 +61,10 @@ def best_polarity_greedy(table: TruthTable, start: int | None = None) -> int:
     while improved:
         improved = False
         for var in range(n):
+            if budget is not None and budget.expired():
+                note_degradation("polarity-greedy", "partial-climb",
+                                 "greedy flip loop")
+                return polarity
             candidate = spectrum_flip_polarity(spectrum, n, var)
             candidate_cost = _cost(candidate, n)
             if candidate_cost < cost:
@@ -70,12 +83,20 @@ def best_polarity_exhaustive(table: TruthTable) -> int:
             f"exhaustive polarity search refused for {n} variables "
             f"(max {_EXHAUSTIVE_MAX_VARS}); use greedy"
         )
+    budget = current_budget()
+    if budget is not None:
+        # Entry check: an already-starved run (budget 0, or exhausted by
+        # earlier outputs) must fall to greedy even when the scan is too
+        # short for the strided in-loop check to ever fire.
+        budget.check("polarity-exhaustive")
     universe = (1 << n) - 1
     polarity = universe
     spectrum = fprm_spectrum(table, polarity)
     best_polarity = polarity
     best_cost = _cost(spectrum, n)
     for step in range(1, 1 << n):
+        if budget is not None and not (step & 63):
+            budget.check("polarity-exhaustive")
         var = (step & -step).bit_length() - 1  # Gray-code transition bit
         spectrum = spectrum_flip_polarity(spectrum, n, var)
         polarity ^= 1 << var
@@ -93,14 +114,24 @@ def choose_polarity(
 
     ``AUTO`` runs the exhaustive scan up to 12 variables (cheap at these
     sizes) and greedy hill climbing above that.
+
+    Degradation ladder (budget exhaustion, see docs/RESILIENCE.md):
+    exhaustive → greedy → best-so-far/all-positive.  Every rung yields a
+    *correct* polarity vector — a worse vector only costs FPRM cubes —
+    so a budget-starved search still feeds a sound flow.
     """
     universe = (1 << table.n) - 1
     if strategy == PolarityStrategy.POSITIVE:
         return universe
-    if strategy == PolarityStrategy.EXHAUSTIVE:
-        return best_polarity_exhaustive(table)
-    if strategy == PolarityStrategy.GREEDY:
-        return best_polarity_greedy(table)
-    if table.n <= _EXHAUSTIVE_MAX_VARS:
-        return best_polarity_exhaustive(table)
+    exhaustive = (
+        strategy == PolarityStrategy.EXHAUSTIVE
+        or (strategy != PolarityStrategy.GREEDY
+            and table.n <= _EXHAUSTIVE_MAX_VARS)
+    )
+    if exhaustive:
+        try:
+            return best_polarity_exhaustive(table)
+        except BudgetExceededError:
+            note_degradation("polarity", "greedy", "exhaustive scan")
+            return best_polarity_greedy(table)
     return best_polarity_greedy(table)

@@ -21,18 +21,40 @@ Injection patches the *importing* module's bindings (``repro.flow.passes``
 and ``repro.core.synthesis`` import these names directly), so only the
 in-process serial flow is affected — which is exactly what the fault
 self-tests exercise.
+
+The faults above are *detected* faults: the campaign must fail under
+them (``--expect-failure``).  The resilience faults below are
+*recovered* faults — they attack the infrastructure, not the
+mathematics, and the campaign must **pass** under them, proving the
+recovery paths end in spec-equivalent networks:
+
+``worker-crash``
+    Every process-pool worker dies via ``os._exit(1)``; the crash-
+    isolated pool retries, then recovers each output on the in-process
+    serial path (the origin-pid guard keeps that path clean).
+``worker-hang``
+    Every pool worker sleeps past the per-output watchdog window (also
+    armed by this fault); the pool is killed, rebuilt, and the outputs
+    recovered serially.
+``cache-corrupt-entry``
+    Every ``ResultCache.store`` tampers with the entry after its
+    checksum is taken; lookups must quarantine and recompute.
+``budget-starvation``
+    ``REPRO_BUDGET_SECONDS=0`` starves every run, forcing the whole
+    effort-degradation ladder; results must stay spec-equivalent.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 from typing import Callable, Iterator
 
 from repro.core import tree as tr
 from repro.core.redundancy import RedundancyRemover
 from repro.expr.esop import FprmForm
 
-__all__ = ["FAULTS", "inject_fault"]
+__all__ = ["FAULTS", "RECOVERED_FAULTS", "inject_fault"]
 
 
 @contextlib.contextmanager
@@ -91,11 +113,95 @@ def _fault_cache_key_collision() -> Iterator[None]:
         synthesis.cache_key = original
 
 
+@contextlib.contextmanager
+def _set_env(**values: str | None) -> Iterator[None]:
+    """Temporarily set (or with ``None``, unset) environment variables."""
+    saved = {key: os.environ.get(key) for key in values}
+    try:
+        for key, value in values.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+@contextlib.contextmanager
+def _fault_worker_crash() -> Iterator[None]:
+    from repro.flow.parallel import CRASH_FAULT_ENV
+
+    # The origin pid is this process: the fault fires only in forked
+    # pool workers, so the in-process recovery path stays clean.
+    with _set_env(**{CRASH_FAULT_ENV: f"{os.getpid()}:*"}):
+        yield
+
+
+@contextlib.contextmanager
+def _fault_worker_hang() -> Iterator[None]:
+    from repro.flow.parallel import HANG_FAULT_ENV, TIMEOUT_ENV
+
+    # Sleep far past the watchdog window this fault also arms; the pool
+    # must kill the hung workers and recover the outputs serially.
+    with _set_env(**{HANG_FAULT_ENV: f"{os.getpid()}:*:30",
+                     TIMEOUT_ENV: "0.5"}):
+        yield
+
+
+@contextlib.contextmanager
+def _fault_cache_corrupt_entry() -> Iterator[None]:
+    from repro.flow.cache import ResultCache
+
+    original = ResultCache.store
+
+    def faulty(self, key, run):
+        original(self, key, run)
+        entry = self._entries.get(key)
+        if entry is not None and entry.variants:
+            # Tamper *after* the checksum is taken: a stale duplicate
+            # variant the next lookup must quarantine.
+            entry.variants.append(entry.variants[0])
+
+    ResultCache.store = faulty
+    try:
+        yield
+    finally:
+        ResultCache.store = original
+
+
+@contextlib.contextmanager
+def _fault_budget_starvation() -> Iterator[None]:
+    from repro.resilience.budget import BUDGET_ENV
+
+    with _set_env(**{BUDGET_ENV: "0"}):
+        yield
+
+
 FAULTS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
     "drop-fprm-cube": _fault_drop_fprm_cube,
     "unguarded-xor-to-or": _fault_unguarded_xor_to_or,
     "cache-key-collision": _fault_cache_key_collision,
+    "worker-crash": _fault_worker_crash,
+    "worker-hang": _fault_worker_hang,
+    "cache-corrupt-entry": _fault_cache_corrupt_entry,
+    "budget-starvation": _fault_budget_starvation,
 }
+
+#: Faults the campaign must *survive* (exit 0, no findings): they attack
+#: the infrastructure — workers, cache bytes, wall-clock — and the
+#: resilience layer is expected to recover spec-equivalent results.
+#: The remaining (detected) faults pair with ``--expect-failure``.
+RECOVERED_FAULTS = frozenset({
+    "worker-crash",
+    "worker-hang",
+    "cache-corrupt-entry",
+    "budget-starvation",
+})
 
 
 @contextlib.contextmanager

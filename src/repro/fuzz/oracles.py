@@ -172,11 +172,32 @@ def oracle_serial_vs_parallel(spec: CircuitSpec) -> list[Finding]:
     return findings
 
 
+def oracle_degradation_ladder(spec: CircuitSpec) -> list[Finding]:
+    """A budget-starved run must still produce a spec-equivalent network.
+
+    ``budget_seconds=0`` starves every stage, forcing the whole effort-
+    degradation ladder (greedy polarity, partial ESOP minimization, cube
+    or direct-specification fallbacks).  Whatever rungs were taken, the
+    degraded network must compute the same function as the full-effort
+    one — degradation may only ever cost gates, never correctness.
+    """
+    findings: list[Finding] = []
+    full = _synthesize(spec)
+    starved = _synthesize(spec, budget_seconds=0.0)
+    _check_spec(spec, full, "degradation-ladder", "full-effort", findings)
+    _check_spec(spec, starved, "degradation-ladder", "budget-starved",
+                findings)
+    _check_cross(starved, full, "degradation-ladder",
+                 "starved vs full-effort", findings)
+    return findings
+
+
 ORACLES = {
     "cube-vs-ofdd": oracle_cube_vs_ofdd,
     "polarity-variants": oracle_polarity_variants,
     "cache-vs-uncached": oracle_cache_vs_uncached,
     "serial-vs-parallel": oracle_serial_vs_parallel,
+    "degradation-ladder": oracle_degradation_ladder,
 }
 
 #: Oracles with a large fixed cost per run (pool spin-up); the runner

@@ -8,6 +8,12 @@ Every run goes through the per-output result cache: ablation sweeps
 share many (circuit, options) combinations — e.g. the default options
 appear as the ``auto``/``with_rr``/``bdd`` variants of three different
 sweeps — and cached outputs are skipped instead of re-synthesized.
+
+All sweeps accept ``checkpoint``/``resume`` like the table2 driver:
+each finished (sweep, circuit) unit is written atomically to the
+checkpoint directory, and a resumed sweep loads completed units instead
+of re-running them (a unit is only reused when its stored variant set
+matches the sweep's — changing the ablation invalidates old entries).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from repro.core.options import (
 )
 from repro.core.synthesis import synthesize_fprm
 from repro.fprm.polarity import PolarityStrategy
+from repro.resilience.checkpoint import CheckpointStore
 
 DEFAULT_CIRCUITS = ["z4ml", "rd53", "rd73", "t481", "majority", "cm82a"]
 
@@ -39,54 +46,96 @@ def _run(name: str, options: SynthesisOptions) -> int:
     return synthesize_fprm(get(name), options.replace(cache=True)).two_input_gates
 
 
-def ablate_redundancy_removal(circuits: list[str] | None = None) -> list[AblationRow]:
+def _sweep(
+    sweep: str,
+    variant_options: dict[str, SynthesisOptions],
+    circuits: list[str] | None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> list[AblationRow]:
+    """Run one ablation sweep, checkpointing per circuit when asked."""
+    store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    reused: list[str] = []
+    computed: list[str] = []
+    rows: list[AblationRow] = []
+    for name in circuits or DEFAULT_CIRCUITS:
+        unit = f"{sweep}-{name}"
+        if store is not None and resume:
+            payload = store.load(unit)
+            saved = payload.get("variants") if payload is not None else None
+            if isinstance(saved, dict) and set(saved) == set(variant_options):
+                rows.append(AblationRow(
+                    name, {variant: int(gates)
+                           for variant, gates in saved.items()}
+                ))
+                reused.append(unit)
+                continue
+        row = AblationRow(name, {
+            variant: _run(name, options)
+            for variant, options in variant_options.items()
+        })
+        rows.append(row)
+        computed.append(unit)
+        if store is not None:
+            store.save(unit, {"circuit": name, "variants": row.variants})
+    if store is not None:
+        store.record_run(resumed=resume, reused=reused, computed=computed,
+                         extra={"sweep": sweep})
+    return rows
+
+
+def ablate_redundancy_removal(
+    circuits: list[str] | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> list[AblationRow]:
     """Factorization alone vs factorization + XOR redundancy removal."""
-    rows = []
-    for name in circuits or DEFAULT_CIRCUITS:
-        rows.append(AblationRow(name, {
-            "with_rr": _run(name, SynthesisOptions()),
-            "without_rr": _run(name, SynthesisOptions(redundancy_removal=False)),
-        }))
-    return rows
+    return _sweep("redundancy-removal", {
+        "with_rr": SynthesisOptions(),
+        "without_rr": SynthesisOptions(redundancy_removal=False),
+    }, circuits, checkpoint, resume)
 
 
-def ablate_factor_method(circuits: list[str] | None = None) -> list[AblationRow]:
+def ablate_factor_method(
+    circuits: list[str] | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> list[AblationRow]:
     """Paper's method 1 (cubes) vs method 2 (OFDD) vs auto."""
-    rows = []
-    for name in circuits or DEFAULT_CIRCUITS:
-        rows.append(AblationRow(name, {
-            "cube": _run(name, SynthesisOptions(factor_method=FactorMethod.CUBE)),
-            "ofdd": _run(name, SynthesisOptions(factor_method=FactorMethod.OFDD)),
-            "auto": _run(name, SynthesisOptions(factor_method=FactorMethod.AUTO)),
-        }))
-    return rows
+    return _sweep("factor-method", {
+        "cube": SynthesisOptions(factor_method=FactorMethod.CUBE),
+        "ofdd": SynthesisOptions(factor_method=FactorMethod.OFDD),
+        "auto": SynthesisOptions(factor_method=FactorMethod.AUTO),
+    }, circuits, checkpoint, resume)
 
 
-def ablate_polarity(circuits: list[str] | None = None) -> list[AblationRow]:
+def ablate_polarity(
+    circuits: list[str] | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> list[AblationRow]:
     """All-positive vs greedy vs exhaustive polarity search."""
-    rows = []
-    for name in circuits or DEFAULT_CIRCUITS:
-        rows.append(AblationRow(name, {
-            "positive": _run(name, SynthesisOptions(
-                polarity_strategy=PolarityStrategy.POSITIVE)),
-            "greedy": _run(name, SynthesisOptions(
-                polarity_strategy=PolarityStrategy.GREEDY)),
-            "auto": _run(name, SynthesisOptions(
-                polarity_strategy=PolarityStrategy.AUTO)),
-        }))
-    return rows
+    return _sweep("polarity", {
+        "positive": SynthesisOptions(
+            polarity_strategy=PolarityStrategy.POSITIVE),
+        "greedy": SynthesisOptions(
+            polarity_strategy=PolarityStrategy.GREEDY),
+        "auto": SynthesisOptions(
+            polarity_strategy=PolarityStrategy.AUTO),
+    }, circuits, checkpoint, resume)
 
 
-def ablate_controllability(circuits: list[str] | None = None) -> list[AblationRow]:
+def ablate_controllability(
+    circuits: list[str] | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
+) -> list[AblationRow]:
     """Exact BDD decision vs cube-union enumeration vs simulation only."""
-    rows = []
-    for name in circuits or DEFAULT_CIRCUITS:
-        rows.append(AblationRow(name, {
-            "bdd": _run(name, SynthesisOptions(
-                controllability=ControllabilityEngine.BDD)),
-            "enumeration": _run(name, SynthesisOptions(
-                controllability=ControllabilityEngine.ENUMERATION)),
-            "simulation": _run(name, SynthesisOptions(
-                controllability=ControllabilityEngine.SIMULATION_ONLY)),
-        }))
-    return rows
+    return _sweep("controllability", {
+        "bdd": SynthesisOptions(
+            controllability=ControllabilityEngine.BDD),
+        "enumeration": SynthesisOptions(
+            controllability=ControllabilityEngine.ENUMERATION),
+        "simulation": SynthesisOptions(
+            controllability=ControllabilityEngine.SIMULATION_ONLY),
+    }, circuits, checkpoint, resume)

@@ -65,6 +65,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache", action="store_true",
                         help="reuse per-output results across runs in this "
                              "process (fprm flow only)")
+    parser.add_argument("--budget-seconds", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget for the run; on exhaustion "
+                             "the flow degrades effort instead of failing "
+                             "(fprm flow only)")
+    parser.add_argument("--timeout-per-output", type=float, default=None,
+                        metavar="S",
+                        help="watchdog window for pool workers: kill and "
+                             "retry an output with no progress for S "
+                             "seconds (fprm flow only)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="pool retries per output after a worker "
+                             "crash/hang before the in-process fallback "
+                             "(default 2; fprm flow only)")
     args = parser.parse_args(argv)
 
     spec = load_spec(pathlib.Path(args.input))
@@ -74,6 +88,14 @@ def main(argv: list[str] | None = None) -> int:
         options = SynthesisOptions(verify=verify, cache=args.cache)
         if args.jobs is not None:
             options = options.replace(jobs=args.jobs)
+        if args.budget_seconds is not None:
+            options = options.replace(budget_seconds=args.budget_seconds)
+        if args.timeout_per_output is not None:
+            options = options.replace(
+                timeout_per_output=args.timeout_per_output
+            )
+        if args.retries is not None:
+            options = options.replace(retries=args.retries)
         result = synthesize_fprm(spec, options)
         network = result.network
         seconds = result.seconds
@@ -101,6 +123,11 @@ def main(argv: list[str] | None = None) -> int:
                 note += (f", cache {trace.cache_hits} hit(s)/"
                          f"{trace.cache_misses} miss(es)")
             print(note)
+            if trace.degradations or trace.retries:
+                print(f"resilience: {trace.retries} pool retr"
+                      f"{'y' if trace.retries == 1 else 'ies'}; "
+                      f"degraded: "
+                      f"{', '.join(trace.degradations) or 'none'}")
             hot = trace.hotspots()
             if hot:
                 print("hotspots (self-time):")

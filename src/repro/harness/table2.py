@@ -7,9 +7,17 @@ literals, %lits and %power improvement) with the two summary rows
 (*Total arith.* and *Total all*, sums for counts and averages for the
 improvement columns — exactly the paper's convention).
 
+Long sweeps can be checkpointed: with ``checkpoint=<dir>`` every
+finished circuit is written atomically to the directory, and
+``resume=True`` loads completed circuits instead of re-running them — a
+sweep killed after circuit 17 of 25 restarts at 18.  Each invocation
+appends its resume provenance (which circuits were reused vs computed)
+to the store's ``manifest.json``.
+
 Command line::
 
     python -m repro.harness.table2 [--quick] [--circuits a,b,c] [--out F]
+                                   [--checkpoint DIR] [--resume]
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from dataclasses import dataclass
 from repro.circuits import all_names
 from repro.core.options import SynthesisOptions
 from repro.harness.experiment import CircuitComparison, run_circuit
+from repro.resilience.checkpoint import CheckpointStore
 from repro.utils.tabulate import format_table
 
 # A fast subset exercising every circuit family, for smoke runs.
@@ -68,15 +77,41 @@ def run_table2(
     progress=None,
     jobs: int | None = None,
     cache: bool | None = None,
+    checkpoint: str | None = None,
+    resume: bool = False,
 ) -> list[CircuitComparison]:
-    """Run the comparison over ``circuits`` (default: the whole suite)."""
+    """Run the comparison over ``circuits`` (default: the whole suite).
+
+    With ``checkpoint`` set, every finished circuit is saved atomically
+    to that directory; ``resume=True`` additionally loads circuits that
+    already have a checkpoint instead of re-running them, and the
+    store's manifest records which was which.
+    """
     names = circuits if circuits is not None else all_names()
+    store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    reused: list[str] = []
+    computed: list[str] = []
     rows = []
     for name in names:
+        if store is not None and resume:
+            payload = store.load(name)
+            if payload is not None:
+                rows.append(CircuitComparison.from_dict(payload))
+                reused.append(name)
+                if progress is not None:
+                    progress(f"{name} (resumed)")
+                continue
         if progress is not None:
             progress(name)
-        rows.append(run_circuit(name, options=options, verify=verify,
-                                jobs=jobs, cache=cache))
+        row = run_circuit(name, options=options, verify=verify,
+                          jobs=jobs, cache=cache)
+        rows.append(row)
+        computed.append(name)
+        if store is not None:
+            store.save(name, row.as_dict())
+    if store is not None:
+        store.record_run(resumed=resume, reused=reused, computed=computed,
+                         extra={"sweep": "table2", "circuits": list(names)})
     return rows
 
 
@@ -124,7 +159,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip equivalence checking (faster)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the table to this file")
+    parser.add_argument("--checkpoint", type=str, default=None,
+                        help="checkpoint finished circuits to this directory")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse completed checkpoints (requires "
+                             "--checkpoint)")
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
     if args.circuits:
         names = args.circuits.split(",")
     elif args.quick:
@@ -135,6 +177,8 @@ def main(argv: list[str] | None = None) -> int:
         names,
         verify=not args.no_verify,
         progress=lambda name: print(f"running {name} ...", file=sys.stderr),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     text = format_table2(rows)
     print(text)

@@ -25,6 +25,7 @@ from repro.errors import ReproError
 from repro.expr import expression as ex
 from repro.expr.cover import Cover
 from repro.expr.cube import Cube
+from repro.resilience.budget import budget_tick, current_budget
 from repro.utils.bitops import bit_indices
 
 FALSE = 0
@@ -37,6 +38,12 @@ class OfddManager:
 
     def __init__(self, num_vars: int, polarity: int | None = None,
                  node_limit: int = 2_000_000):
+        budget = current_budget()
+        if budget is not None:
+            # Entry check: small diagrams never reach the strided tick in
+            # _mk, yet a starved run must still degrade (OFDD -> cube
+            # method, or the pipeline's direct fallback) immediately.
+            budget.check("ofdd-build")
         universe = (1 << num_vars) - 1
         self.num_vars = num_vars
         self.polarity = universe if polarity is None else (polarity & universe)
@@ -68,6 +75,10 @@ class OfddManager:
         node = len(self._level)
         if node > self.node_limit:
             raise ReproError(f"OFDD node limit exceeded ({self.node_limit})")
+        # Diagram construction is the flow's unbounded hot loop; the
+        # strided ambient check lets a budget-starved run escape here
+        # and degrade (OFDD method -> cube method / direct fallback).
+        budget_tick("ofdd-mk")
         self._level.append(level)
         self._low.append(low)
         self._high.append(high)

@@ -1,0 +1,163 @@
+"""Atomic per-circuit checkpoints so killed harness sweeps can resume.
+
+A :class:`CheckpointStore` owns a directory with one JSON file per
+checkpointed unit (a circuit for ``table2``, a ``sweep-circuit`` pair
+for the ablations) plus a ``manifest.json`` recording every run over the
+store — when it started, whether it resumed, and which units it reused
+versus recomputed.  Writes go through a temp file in the same directory
+followed by ``os.replace``, so a checkpoint is either fully present or
+absent; a sweep killed mid-write never leaves a half-written entry for
+``--resume`` to trip over (unparsable files are treated as missing and
+recomputed).
+
+Checkpoint file format (schema 1)::
+
+    {"schema": 1, "name": "<unit>", "created_unix": <float>,
+     "payload": {...}}            # caller-defined, JSON-serializable
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import tempfile
+import time
+
+__all__ = ["CheckpointStore"]
+
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _filename(name: str) -> str:
+    return _SAFE.sub("_", name) + ".json"
+
+
+class CheckpointStore:
+    """Directory-backed atomic JSON checkpoints with a run manifest."""
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- atomic JSON -------------------------------------------------------
+
+    def _write_atomic(self, path: pathlib.Path, document: dict) -> None:
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=self.directory,
+            prefix=path.name + ".",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(handle.name, path)
+        except BaseException:
+            # Never leave temp litter (or a half-written target) behind.
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # -- per-unit checkpoints ----------------------------------------------
+
+    def path_for(self, name: str) -> pathlib.Path:
+        return self.directory / _filename(name)
+
+    def save(self, name: str, payload: dict) -> pathlib.Path:
+        """Atomically checkpoint one finished unit."""
+        path = self.path_for(name)
+        self._write_atomic(path, {
+            "schema": CHECKPOINT_SCHEMA_VERSION,
+            "name": name,
+            "created_unix": time.time(),
+            "payload": payload,
+        })
+        return path
+
+    def load(self, name: str) -> dict | None:
+        """The unit's payload, or ``None`` when absent/unreadable.
+
+        Corrupt or wrong-schema files count as missing — resume
+        recomputes them rather than failing the whole sweep.
+        """
+        path = self.path_for(name)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if document.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+            return None
+        if document.get("name") != name:
+            return None
+        payload = document.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def completed(self) -> list[str]:
+        """Names of every loadable checkpoint in the store (sorted)."""
+        names = []
+        for path in sorted(self.directory.glob("*.json")):
+            if path.name == "manifest.json":
+                continue
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if document.get("schema") == CHECKPOINT_SCHEMA_VERSION:
+                names.append(document.get("name", path.stem))
+        return sorted(names)
+
+    # -- run manifest (resume provenance) ----------------------------------
+
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.directory / "manifest.json"
+
+    def read_manifest(self) -> dict:
+        try:
+            document = json.loads(
+                self.manifest_path.read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return {"schema": CHECKPOINT_SCHEMA_VERSION, "runs": []}
+        if not isinstance(document.get("runs"), list):
+            document["runs"] = []
+        return document
+
+    def record_run(
+        self,
+        *,
+        resumed: bool,
+        reused: list[str],
+        computed: list[str],
+        extra: dict | None = None,
+    ) -> dict:
+        """Append one run's resume provenance to ``manifest.json``.
+
+        Each entry pins down what this invocation actually did — which
+        units it loaded from checkpoints and which it recomputed — so a
+        resumed sweep's numbers can be audited after the fact.
+        """
+        manifest = self.read_manifest()
+        entry = {
+            "started_unix": time.time(),
+            "resumed": resumed,
+            "reused": sorted(reused),
+            "computed": sorted(computed),
+        }
+        if extra:
+            entry["extra"] = dict(extra)
+        manifest["schema"] = CHECKPOINT_SCHEMA_VERSION
+        manifest["runs"].append(entry)
+        self._write_atomic(self.manifest_path, manifest)
+        return entry

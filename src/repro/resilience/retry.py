@@ -1,0 +1,44 @@
+"""Retry policy: capped exponential backoff with deterministic jitter.
+
+The crash-isolated pool in :mod:`repro.flow.parallel` retries failed
+outputs a bounded number of times.  Backoff delays grow exponentially
+(so a repeatedly crashing worker cannot busy-spin the pool) and are
+jittered to avoid thundering-herd rebuilds — but the jitter is drawn
+from a :class:`random.Random` seeded by the policy seed and the attempt
+coordinates, so a retry schedule is exactly reproducible from the run's
+inputs, matching the determinism contract of the rest of the flow.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, and how long to wait between tries."""
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: int = 0
+
+    def delay(self, attempt: int, salt: int = 0) -> float:
+        """Backoff before retry ``attempt`` (1-based), in seconds.
+
+        ``min(max_delay, base * 2^(attempt-1))`` scaled by a jitter
+        factor in [0.5, 1.0) drawn deterministically from
+        ``(seed, attempt, salt)``.
+        """
+        if attempt <= 0:
+            return 0.0
+        capped = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        rng = random.Random(f"{self.seed}:{attempt}:{salt}")
+        return capped * (0.5 + 0.5 * rng.random())
+
+    def delays(self, salt: int = 0) -> list[float]:
+        """The whole schedule, for logging/tests."""
+        return [self.delay(i, salt) for i in range(1, self.max_retries + 1)]

@@ -147,3 +147,110 @@ def test_cache_disabled_by_default():
     assert result.trace.cache_enabled is False
     assert result.trace.cache_hits == 0
     assert len(get_result_cache()) == 0
+
+
+# -- self-healing ------------------------------------------------------------
+
+
+def _one_run(cache, spec, index=0, options=None):
+    from repro.flow.context import OutputRun
+    from repro.flow.passes import run_output_pipeline
+
+    options = options or SynthesisOptions()
+    output = spec.outputs[index]
+    ctx = run_output_pipeline(output, options)
+    key = cache_key(output, options)
+    cache.store(key, OutputRun(ctx.variants, ctx.report, ctx.records))
+    return key, output
+
+
+def test_corrupt_entry_is_quarantined_and_recomputed():
+    from repro.obs.metrics import get_metrics_registry
+
+    cache = ResultCache()
+    spec = get("rd53")
+    key, output = _one_run(cache, spec)
+    counter = get_metrics_registry().counter(
+        "cache.corruptions",
+        "result-cache entries quarantined by checksum verification",
+    )
+    before = counter.value
+
+    # Simulate bit-rot / an aliasing bug: mutate the stored payload
+    # behind the checksum's back.
+    cache._entries[key].variants.append(cache._entries[key].variants[0])
+    assert cache.lookup(key, output) is None  # quarantined, not served
+    assert cache.stats.corruptions == 1
+    assert key not in cache._entries
+    assert counter.value == before + 1
+
+    # Self-healing: a recompute-and-store round trip serves hits again.
+    key2, _ = _one_run(cache, spec)
+    assert key2 == key
+    hit = cache.lookup(key, output)
+    assert hit is not None and hit.cached
+    assert cache.stats.corruptions == 1  # no new corruption
+
+
+def test_verify_all_is_strict_about_corruption():
+    from repro.errors import CacheIntegrityError
+
+    cache = ResultCache()
+    spec = get("rd53")
+    key, _ = _one_run(cache, spec)
+    _one_run(cache, spec, index=1)
+    assert cache.verify_all() == 2  # sound cache: count checked
+
+    cache._entries[key].report.gates_after_reduction = 0
+    with pytest.raises(CacheIntegrityError, match=key[:16]):
+        cache.verify_all()
+    assert key not in cache._entries  # still quarantined
+    assert cache.stats.corruptions == 1
+    assert cache.verify_all() == 1  # the survivor is sound
+
+
+def test_store_copies_variants_against_caller_mutation():
+    from repro.flow.context import OutputRun
+    from repro.flow.passes import run_output_pipeline
+
+    cache = ResultCache()
+    spec = get("rd53")
+    options = SynthesisOptions()
+    output = spec.outputs[0]
+    ctx = run_output_pipeline(output, options)
+    run = OutputRun(ctx.variants, ctx.report, ctx.records)
+    key = cache_key(output, options)
+    cache.store(key, run)
+    stored_len = len(ctx.variants)
+
+    # The caller keeps mutating its own run after the store; an aliased
+    # entry would flunk its own checksum on the next lookup.
+    run.variants.append(run.variants[0])
+    hit = cache.lookup(key, output)
+    assert hit is not None and hit.cached
+    assert len(hit.variants) == stored_len
+    assert cache.stats.corruptions == 0
+
+    # And lookups hand out fresh lists too: mutating a hit cannot
+    # corrupt the entry for the next caller.
+    hit.variants.clear()
+    again = cache.lookup(key, output)
+    assert again is not None and len(again.variants) == stored_len
+    assert cache.stats.corruptions == 0
+
+
+def test_end_to_end_corruption_recomputes_equivalent_network():
+    spec = get("z4ml")
+    options = SynthesisOptions(cache=True)
+    fresh = synthesize_fprm(spec, options)
+
+    cache = get_result_cache()
+    for entry in cache._entries.values():
+        entry.variants.append(entry.variants[0])
+
+    healed = synthesize_fprm(spec, options)
+    assert healed.trace.cache_hits == 0
+    assert healed.trace.cache_misses == spec.num_outputs
+    assert cache.stats.corruptions == spec.num_outputs
+    assert healed.verify
+    assert write_blif(healed.network) == write_blif(fresh.network)

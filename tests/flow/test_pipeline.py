@@ -39,13 +39,20 @@ def test_parallel_matches_serial_bit_identical(name):
     assert equivalent_to_spec(parallel.network, spec)
 
 
-def test_jobs_zero_means_all_cores():
-    assert resolve_jobs(0) == (os.cpu_count() or 1)
+def test_jobs_zero_means_all_usable_cores():
+    # jobs=0 resolves to the cores this process may actually run on
+    # (the CPU affinity mask), not the machine-wide count — the two
+    # differ in containers and under taskset/cgroup pinning.
+    try:
+        usable = len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        usable = os.cpu_count() or 1
+    assert resolve_jobs(0) == usable
     assert resolve_jobs(1) == 1
     assert resolve_jobs(-3) == 1
     result = synthesize_fprm(get("rd53"), SynthesisOptions(jobs=0))
     assert result.verify
-    assert result.trace.jobs == (os.cpu_count() or 1)
+    assert result.trace.jobs == usable
 
 
 def test_acceptance_jobs4_vs_serial():

@@ -13,7 +13,7 @@ import pytest
 
 from repro.circuits.generators import make_parity
 from repro.expr.pla import pla_from_spec, write_pla
-from repro.fuzz.faults import FAULTS, inject_fault
+from repro.fuzz.faults import FAULTS, RECOVERED_FAULTS, inject_fault
 from repro.fuzz.oracles import run_oracle
 from repro.fuzz.runner import FuzzConfig, FuzzRunner
 from repro.network.to_expr import spec_from_pla_text
@@ -95,6 +95,18 @@ def test_none_fault_is_noop():
 
 def test_fault_registry_names_are_stable():
     assert set(FAULTS) == {
+        "drop-fprm-cube",
+        "unguarded-xor-to-or",
+        "cache-key-collision",
+        "worker-crash",
+        "worker-hang",
+        "cache-corrupt-entry",
+        "budget-starvation",
+    }
+    assert RECOVERED_FAULTS < set(FAULTS)
+    # The detected/recovered split is a partition: a fault is either
+    # expected to fail the campaign or expected to be survived.
+    assert set(FAULTS) - RECOVERED_FAULTS == {
         "drop-fprm-cube",
         "unguarded-xor-to-or",
         "cache-key-collision",

@@ -1,0 +1,135 @@
+"""Atomic checkpoints, resume provenance, and the table2 kill-and-resume
+acceptance path."""
+
+import json
+
+import pytest
+
+from repro.harness.table2 import run_table2
+from repro.resilience.checkpoint import CheckpointStore
+
+
+def test_save_load_round_trip(tmp_path):
+    store = CheckpointStore(tmp_path / "ckpt")
+    payload = {"circuit": "rd53", "gates": 34, "nested": {"lits": [1, 2]}}
+    path = store.save("rd53", payload)
+    assert path.exists()
+    assert store.load("rd53") == payload
+    assert store.completed() == ["rd53"]
+    # No temp-file litter: the write is rename-into-place.
+    assert list(path.parent.glob("*.tmp")) == []
+
+
+def test_names_are_sanitized_to_safe_filenames(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save("table2/c17 v2", {"ok": 1})
+    assert store.path_for("table2/c17 v2").name == "table2_c17_v2.json"
+    assert store.load("table2/c17 v2") == {"ok": 1}
+
+
+def test_corrupt_or_foreign_files_count_as_missing(tmp_path):
+    store = CheckpointStore(tmp_path)
+    assert store.load("absent") is None
+
+    store.path_for("truncated").write_text('{"schema": 1, "name": "tr')
+    assert store.load("truncated") is None
+
+    store.save("wrong-schema", {"x": 1})
+    document = json.loads(store.path_for("wrong-schema").read_text())
+    document["schema"] = 999
+    store.path_for("wrong-schema").write_text(json.dumps(document))
+    assert store.load("wrong-schema") is None
+
+    # A checkpoint renamed on disk no longer answers for the new name
+    # (the embedded name must match), and a foreign-schema file is
+    # invisible to completed() as well.
+    store.save("original", {"x": 2})
+    store.path_for("original").rename(store.path_for("imposter"))
+    assert store.load("imposter") is None
+    assert store.load("original") is None  # lives at the wrong path now
+    assert store.completed() == ["original"]
+
+
+def test_manifest_records_each_run(tmp_path):
+    store = CheckpointStore(tmp_path)
+    assert store.read_manifest()["runs"] == []
+    store.record_run(resumed=False, reused=[], computed=["b", "a"])
+    store.record_run(resumed=True, reused=["a"], computed=["c"],
+                     extra={"sweep": "table2"})
+    runs = store.read_manifest()["runs"]
+    assert len(runs) == 2
+    assert runs[0]["resumed"] is False
+    assert runs[0]["computed"] == ["a", "b"]  # sorted for stable audits
+    assert runs[1]["resumed"] is True
+    assert runs[1]["reused"] == ["a"]
+    assert runs[1]["extra"] == {"sweep": "table2"}
+    assert "manifest" not in store.completed()
+
+
+def _strip_seconds(row_dict):
+    for side in ("baseline", "ours"):
+        row_dict[side] = {k: v for k, v in row_dict[side].items()
+                          if k != "seconds"}
+    return row_dict
+
+
+def test_table2_kill_and_resume(tmp_path):
+    """Acceptance: kill a checkpointed table2 sweep partway, resume it,
+    and audit via the manifest that only the missing circuit was rerun."""
+    circuits = ["majority", "rd53"]
+    ckpt = tmp_path / "table2"
+    full = run_table2(circuits, checkpoint=str(ckpt))
+    store = CheckpointStore(ckpt)
+    assert store.completed() == sorted(circuits)
+
+    # Simulate a kill after the first circuit: its checkpoint survives,
+    # the second one never landed.
+    store.path_for("rd53").unlink()
+    resumed = run_table2(circuits, checkpoint=str(ckpt), resume=True)
+
+    # Same rows (modulo wall-clock timings on the recomputed circuit).
+    assert [_strip_seconds(r.as_dict()) for r in resumed] == \
+        [_strip_seconds(r.as_dict()) for r in full]
+    # The reused row is *identical*, timings included: it was loaded.
+    assert resumed[0].as_dict() == full[0].as_dict()
+
+    runs = store.read_manifest()["runs"]
+    assert len(runs) == 2
+    assert runs[0] | {"started_unix": None} == {
+        "started_unix": None, "resumed": False, "reused": [],
+        "computed": ["majority", "rd53"],
+        "extra": {"sweep": "table2", "circuits": circuits},
+    }
+    assert runs[1]["resumed"] is True
+    assert runs[1]["reused"] == ["majority"]
+    assert runs[1]["computed"] == ["rd53"]
+
+
+def test_ablation_resume_rejects_stale_variant_sets(tmp_path):
+    """A checkpoint from a different variant set must be recomputed, not
+    silently reused with missing columns."""
+    from repro.harness.ablation import ablate_redundancy_removal
+
+    ckpt = tmp_path / "ablation"
+    first = ablate_redundancy_removal(["majority"], checkpoint=str(ckpt))
+    store = CheckpointStore(ckpt)
+    [unit] = store.completed()
+
+    # Tamper: drop one variant column, as if saved by an older build.
+    payload = store.load(unit)
+    victim = next(iter(payload["variants"]))
+    del payload["variants"][victim]
+    store.save(unit, payload)
+
+    again = ablate_redundancy_removal(["majority"], checkpoint=str(ckpt),
+                                      resume=True)
+    assert set(again[0].variants) == set(first[0].variants)
+    assert store.read_manifest()["runs"][-1]["computed"] == [unit]
+
+
+def test_cli_resume_requires_checkpoint(capsys):
+    from repro.harness import table2
+
+    with pytest.raises(SystemExit):
+        table2.main(["--circuits", "majority", "--resume"])
+    assert "--resume requires --checkpoint" in capsys.readouterr().err

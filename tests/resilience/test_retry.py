@@ -1,0 +1,38 @@
+"""Retry backoff: capped exponential growth, deterministic jitter."""
+
+from repro.resilience.retry import RetryPolicy
+
+
+def test_schedule_is_deterministic():
+    policy = RetryPolicy(max_retries=5, seed=42)
+    assert policy.delays() == policy.delays()
+    assert policy.delays(salt=3) == policy.delays(salt=3)
+    assert RetryPolicy(max_retries=5, seed=42).delays() == policy.delays()
+
+
+def test_jitter_varies_by_seed_attempt_and_salt():
+    policy = RetryPolicy(max_retries=4, seed=0)
+    assert policy.delays() != RetryPolicy(max_retries=4, seed=1).delays()
+    assert policy.delays(salt=0) != policy.delays(salt=1)
+    assert policy.delay(1) != policy.delay(1, salt=1)
+
+
+def test_backoff_grows_and_caps():
+    policy = RetryPolicy(max_retries=10, base_delay=0.05, max_delay=2.0)
+    schedule = policy.delays()
+    assert len(schedule) == 10
+    # Jitter scales each step by [0.5, 1.0), so the uncapped region is
+    # still non-decreasing: step n's floor equals step n-1's ceiling.
+    # Once capped, every delay just lands in [max/2, max).
+    uncapped = [d for a, d in enumerate(schedule, start=1)
+                if 0.05 * 2 ** (a - 1) < 2.0]
+    assert uncapped == sorted(uncapped)
+    for attempt, delay in enumerate(schedule, start=1):
+        capped = min(2.0, 0.05 * 2 ** (attempt - 1))
+        assert 0.5 * capped <= delay < capped
+
+
+def test_attempt_zero_is_free():
+    assert RetryPolicy().delay(0) == 0.0
+    assert RetryPolicy().delay(-1) == 0.0
+    assert RetryPolicy(max_retries=0).delays() == []

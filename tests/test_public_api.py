@@ -9,6 +9,7 @@ MODULES = [
     "repro.bdd",
     "repro.circuits",
     "repro.core",
+    "repro.errors",
     "repro.esopmin",
     "repro.expr",
     "repro.flow",
@@ -21,6 +22,7 @@ MODULES = [
     "repro.obs",
     "repro.ofdd",
     "repro.power",
+    "repro.resilience",
     "repro.sislite",
     "repro.testability",
     "repro.timing",
@@ -51,6 +53,29 @@ def test_top_level_quickstart_surface():
     assert result.verify
     options = repro.SynthesisOptions(redundancy_removal=False)
     assert repro.synthesize_fprm(spec, options).verify
+
+
+def test_error_taxonomy():
+    """Every library error derives from ReproError and carries context."""
+    from repro import errors
+
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+    budget = errors.BudgetExceededError("polarity-scan", remaining=0.25)
+    assert budget.where == "polarity-scan"
+    assert budget.remaining == 0.25
+    assert "polarity-scan" in str(budget)
+
+    crash = errors.WorkerCrashError("sum3", attempts=3, reason="SIGKILL")
+    assert (crash.output, crash.attempts, crash.reason) == \
+        ("sum3", 3, "SIGKILL")
+    assert "sum3" in str(crash) and "3" in str(crash)
+
+    assert issubclass(errors.CacheIntegrityError, errors.ReproError)
+    # KeyError compatibility is part of the registry contract.
+    assert issubclass(errors.UnknownCircuitError, KeyError)
 
 
 def test_version():
