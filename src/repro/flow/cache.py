@@ -29,6 +29,13 @@ simply recomputes.  A corrupt cache can therefore cost time but never
 correctness.  :meth:`ResultCache.verify_all` offers the strict flavour
 for tests and debugging, raising
 :class:`~repro.errors.CacheIntegrityError` instead of healing silently.
+
+Two-level: attaching a :class:`~repro.flow.disk_cache.DiskCacheTier`
+(:meth:`ResultCache.attach_disk` — the engine layer does this when a
+cache directory is configured) makes lookups fall through memory to a
+shared on-disk store with the same key scheme and the same
+checksum/quarantine discipline, and makes stores write through — so a
+cold process starts warm from every previous run on the machine.
 """
 
 from __future__ import annotations
@@ -105,6 +112,8 @@ class CacheStats:
     evictions: int = 0
     #: Entries that failed checksum verification and were quarantined.
     corruptions: int = 0
+    #: Misses in memory that a verified disk-tier entry answered.
+    disk_hits: int = 0
 
 
 @dataclass
@@ -137,7 +146,14 @@ def _entry_checksum(entry: _Entry) -> str:
 
 
 class ResultCache:
-    """A bounded, thread-safe, in-process per-output result cache."""
+    """A bounded, thread-safe, in-process per-output result cache.
+
+    Optionally two-level: :meth:`attach_disk` adds a persistent
+    :class:`~repro.flow.disk_cache.DiskCacheTier` consulted on memory
+    misses (verified entries are promoted into memory) and written
+    through on stores — so every process and every run on the machine
+    shares results under the same content-addressed keys.
+    """
 
     def __init__(self, max_entries: int = 2048):
         if max_entries <= 0:
@@ -146,9 +162,19 @@ class ResultCache:
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
         self.stats = CacheStats()
+        #: Optional persistent tier (``DiskCacheTier``-shaped: needs
+        #: ``load_entry``/``store_entry``); ``None`` = memory only.
+        self.disk = None
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def attach_disk(self, tier) -> None:
+        """Install ``tier`` as the persistent second level."""
+        self.disk = tier
+
+    def detach_disk(self) -> None:
+        self.disk = None
 
     def lookup(self, key: str, output: OutputSpec) -> OutputRun | None:
         """Return a fresh :class:`OutputRun` for a hit, else ``None``.
@@ -158,22 +184,39 @@ class ResultCache:
         keys are content-addressed rather than name-addressed.
 
         Every hit is checksum-verified first; a corrupt entry is
-        quarantined (dropped, counted) and reported as a miss, so the
+        quarantined (dropped, counted) and treated as a miss, so the
         caller transparently recomputes it — the self-healing path.
+        A memory miss (including a quarantined memory entry) falls
+        through to the disk tier when one is attached; a verified disk
+        entry is promoted into memory and served like a hit.
         """
+        tier = "memory"
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is not None:
+                if _entry_checksum(entry) != entry.checksum:
+                    del self._entries[key]
+                    self.stats.corruptions += 1
+                    self._record_corruption(key)
+                    entry = None
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    self._count("cache.memory.hits",
+                                "memory-tier result-cache hits")
+        if entry is None and self.disk is not None:
+            entry = self.disk.load_entry(key)
+            if entry is not None:
+                tier = "disk"
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._insert(key, entry)
+        if entry is None:
+            with self._lock:
                 self.stats.misses += 1
-                return None
-            if _entry_checksum(entry) != entry.checksum:
-                del self._entries[key]
-                self.stats.corruptions += 1
-                self.stats.misses += 1
-                self._record_corruption(key)
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self._count("cache.memory.misses",
+                        "result-cache misses (both tiers)")
+            return None
         record = PassRecord(
             pass_name="cache-lookup",
             output=output.name,
@@ -182,6 +225,7 @@ class ResultCache:
             gates_after=entry.report.gates_after_reduction,
             details={
                 "hit": True,
+                "tier": tier,
                 "key": key[:16],
                 "saved_seconds": entry.pipeline_seconds,
             },
@@ -193,13 +237,23 @@ class ResultCache:
             cached=True,
         )
 
+    def _insert(self, key: str, entry: _Entry) -> None:
+        """Put an entry into the memory map (caller holds the lock)."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
     def store(self, key: str, run: OutputRun) -> None:
         """Insert one pipeline result (defensive copies, checksummed).
 
         Both the variant list and the report are copied: the caller (or
         the resub-merge pass after it) keeps mutating its own ``run``,
         and a stored entry aliasing that list would silently change
-        under every future lookup of the same key.
+        under every future lookup of the same key.  With a disk tier
+        attached the entry is also written through, atomically, so
+        future processes start warm.
         """
         entry = _Entry(
             variants=list(run.variants),
@@ -208,12 +262,10 @@ class ResultCache:
         )
         entry.checksum = _entry_checksum(entry)
         with self._lock:
-            self._entries[key] = entry
-            self._entries.move_to_end(key)
             self.stats.puts += 1
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            self._insert(key, entry)
+        if self.disk is not None:
+            self.disk.store_entry(key, entry)
 
     def verify_all(self) -> int:
         """Strict integrity pass over every entry.
@@ -242,6 +294,13 @@ class ResultCache:
         return checked
 
     @staticmethod
+    def _count(name: str, help: str) -> None:
+        """Bump a registry counter (hit/miss traffic for /metrics)."""
+        from repro.obs.metrics import get_metrics_registry
+
+        get_metrics_registry().counter(name, help).inc()
+
+    @staticmethod
     def _record_corruption(key: str) -> None:
         """Count a quarantined entry in the global metrics registry."""
         from repro.obs.metrics import get_metrics_registry
@@ -252,6 +311,12 @@ class ResultCache:
         ).inc()
 
     def clear(self) -> None:
+        """Drop every memory entry and reset stats.
+
+        The attached disk tier (if any) is deliberately untouched — it
+        is shared machine state; use ``repro-cache purge`` or
+        :meth:`DiskCacheTier.purge` to clear it explicitly.
+        """
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()

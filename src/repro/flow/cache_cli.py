@@ -1,0 +1,120 @@
+"""repro-cache — inspect and maintain a disk-backed result cache.
+
+    repro-cache stats  [--cache-dir DIR]
+    repro-cache verify [--cache-dir DIR]
+    repro-cache gc     [--cache-dir DIR] [--max-mb N]
+    repro-cache purge  [--cache-dir DIR] --yes
+
+``stats`` prints the inventory (entries, distinct functions, bytes,
+quarantined files).  ``verify`` runs the strict integrity pass of
+:meth:`~repro.flow.disk_cache.DiskCacheTier.verify_all` — corrupt
+entries are quarantined, counted in ``cache.corruptions``, and the
+command exits 1 naming them.  ``gc`` evicts least-recently-used entries
+down to the byte budget.  ``purge`` deletes everything (entries and
+quarantine) and requires ``--yes``.
+
+The directory defaults to ``REPRO_CACHE_DIR``, same as every other
+entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine import CACHE_DIR_ENV, resolve_cache_dir
+from repro.errors import CacheIntegrityError
+from repro.flow.disk_cache import DEFAULT_MAX_BYTES, DiskCacheTier
+from repro.obs.metrics import get_metrics_registry
+
+
+def _human(num_bytes: int) -> str:
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"  # pragma: no cover — loop always returns
+
+
+def cmd_stats(tier: DiskCacheTier) -> int:
+    info = tier.scan()
+    print(f"directory:          {info['directory']}")
+    print(f"entries:            {info['entries']}")
+    print(f"distinct functions: {info['distinct_functions']}")
+    print(f"size:               {_human(info['bytes'])} "
+          f"(budget {_human(info['max_bytes'])})")
+    print(f"quarantined:        {info['quarantined']}")
+    return 0
+
+
+def cmd_verify(tier: DiskCacheTier) -> int:
+    try:
+        checked = tier.verify_all()
+    except CacheIntegrityError as exc:
+        corruptions = get_metrics_registry().counter(
+            "cache.corruptions",
+            "result-cache entries quarantined by checksum verification",
+        ).value
+        print(f"FAIL: {exc}", file=sys.stderr)
+        print(f"cache.corruptions: {corruptions:g} "
+              "(bad entries moved to quarantine/)", file=sys.stderr)
+        return 1
+    print(f"OK: {checked} entr{'y' if checked == 1 else 'ies'} verified, "
+          "0 corruptions")
+    return 0
+
+
+def cmd_gc(tier: DiskCacheTier, max_bytes: int | None) -> int:
+    removed = tier.gc(max_bytes)
+    info = tier.scan()
+    print(f"evicted {len(removed)} entr"
+          f"{'y' if len(removed) == 1 else 'ies'}; "
+          f"now {info['entries']} entries, {_human(info['bytes'])}")
+    return 0
+
+
+def cmd_purge(tier: DiskCacheTier, confirmed: bool) -> int:
+    if not confirmed:
+        print("purge removes every cached entry; re-run with --yes",
+              file=sys.stderr)
+        return 2
+    removed = tier.purge()
+    print(f"purged {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="inspect/maintain the disk-backed result cache",
+    )
+    parser.add_argument("command",
+                        choices=["stats", "verify", "gc", "purge"])
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help=f"cache directory (default: {CACHE_DIR_ENV})")
+    parser.add_argument("--max-mb", type=int, default=None, metavar="N",
+                        help="byte budget for gc "
+                             f"(default {DEFAULT_MAX_BYTES // 2**20} MiB)")
+    parser.add_argument("--yes", action="store_true",
+                        help="confirm destructive commands (purge)")
+    args = parser.parse_args(argv)
+
+    directory = resolve_cache_dir(args.cache_dir)
+    if directory is None:
+        parser.error(f"no cache directory: pass --cache-dir or set "
+                     f"{CACHE_DIR_ENV}")
+    tier = DiskCacheTier(directory)
+
+    if args.command == "stats":
+        return cmd_stats(tier)
+    if args.command == "verify":
+        return cmd_verify(tier)
+    if args.command == "gc":
+        max_bytes = args.max_mb * 1024 * 1024 if args.max_mb else None
+        return cmd_gc(tier, max_bytes)
+    return cmd_purge(tier, args.yes)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

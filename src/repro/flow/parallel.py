@@ -134,10 +134,10 @@ def _pool_worker(
     output, options = payload[0], payload[1]
     deadline = payload[2] if len(payload) > 2 else None
     _maybe_inject_fault(output.name)
-    # A forked worker inherits the parent's ambient budget (same module
-    # global), including any stale degradation notes; install a fresh
-    # budget against the shipped deadline so notes drained into this
-    # output's report are its own.
+    # Never rely on fork-inheriting the parent's ambient budget (it is
+    # thread-local and may carry stale degradation notes); install a
+    # fresh budget against the shipped deadline so notes drained into
+    # this output's report are its own.
     budget = Budget.until(deadline) if deadline is not None else None
     previous_budget = install_budget(budget) if budget is not None else None
     stats = {"pid": os.getpid(), "cache": {"hits": 0, "misses": 0}}

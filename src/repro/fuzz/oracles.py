@@ -15,10 +15,12 @@ the runner executes them on a cadence instead of every case.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass
 
 from repro.core.options import FactorMethod, SynthesisOptions
-from repro.core.synthesis import SynthesisResult, synthesize_fprm
+from repro.core.synthesis import SynthesisResult
+from repro.engine import EngineConfig, SynthesisEngine
 from repro.flow.cache import get_result_cache
 from repro.fprm.polarity import PolarityStrategy
 from repro.network.verify import (
@@ -48,9 +50,13 @@ class Finding:
 
 _BASE = SynthesisOptions(verify=False, trace=False)
 
+#: Every oracle synthesis routes through one shared engine (no disk
+#: tier — oracles that want one build their own scoped engine).
+_ENGINE = SynthesisEngine(EngineConfig(options=_BASE))
+
 
 def _synthesize(spec: CircuitSpec, **overrides) -> SynthesisResult:
-    return synthesize_fprm(spec, _BASE.replace(**overrides))
+    return _ENGINE.synthesize(spec, **overrides)
 
 
 def _check_spec(
@@ -146,6 +152,59 @@ def oracle_cache_vs_uncached(spec: CircuitSpec) -> list[Finding]:
     return findings
 
 
+def oracle_disk_cache_vs_uncached(spec: CircuitSpec) -> list[Finding]:
+    """A *disk* cache hit must reproduce the uncached result bit-for-bit.
+
+    Runs the flow three ways: cold (populating a throwaway disk tier),
+    warm-from-disk (memory tier cleared in between, so the entry must
+    round-trip through JSON serialization on disk), and plain uncached.
+    Any divergence means the disk round trip altered the result.
+    """
+    findings: list[Finding] = []
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
+        with SynthesisEngine(
+            EngineConfig(options=_BASE, cache_dir=tmp)
+        ) as engine:
+            cache = get_result_cache()
+            cache.clear()
+            cold = engine.synthesize(spec, cache=True)
+            cache.clear()  # force the warm run through the disk tier
+            disk_hits_before = cache.stats.disk_hits
+            warm = engine.synthesize(spec, cache=True)
+            disk_hits = cache.stats.disk_hits - disk_hits_before
+        plain = _synthesize(spec, cache=False)
+    oracle = "disk-cache-vs-uncached"
+    if disk_hits == 0:
+        findings.append(
+            Finding(
+                check=oracle,
+                detail="warm run hit the disk tier 0 times "
+                       "(expected at least one disk hit)",
+            )
+        )
+    _check_spec(spec, cold, oracle, "disk-cold", findings)
+    _check_spec(spec, warm, oracle, "disk-warm", findings)
+    _check_spec(spec, plain, oracle, "uncached", findings)
+    _check_cross(warm, plain, oracle, "disk-warm vs uncached", findings)
+    for label, cached in (("cold", cold), ("warm", warm)):
+        if (
+            cached.literals != plain.literals
+            or cached.two_input_gates != plain.two_input_gates
+        ):
+            findings.append(
+                Finding(
+                    check=oracle,
+                    detail=(
+                        f"disk-{label} metrics diverge: "
+                        f"{cached.two_input_gates} gates/"
+                        f"{cached.literals} lits vs uncached "
+                        f"{plain.two_input_gates}/{plain.literals}"
+                    ),
+                )
+            )
+    return findings
+
+
 def oracle_serial_vs_parallel(spec: CircuitSpec) -> list[Finding]:
     """``--jobs 2`` must be bit-identical to the serial run."""
     findings: list[Finding] = []
@@ -196,6 +255,7 @@ ORACLES = {
     "cube-vs-ofdd": oracle_cube_vs_ofdd,
     "polarity-variants": oracle_polarity_variants,
     "cache-vs-uncached": oracle_cache_vs_uncached,
+    "disk-cache-vs-uncached": oracle_disk_cache_vs_uncached,
     "serial-vs-parallel": oracle_serial_vs_parallel,
     "degradation-ladder": oracle_degradation_ladder,
 }

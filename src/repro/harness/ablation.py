@@ -26,7 +26,7 @@ from repro.core.options import (
     FactorMethod,
     SynthesisOptions,
 )
-from repro.core.synthesis import synthesize_fprm
+from repro.engine import SynthesisEngine
 from repro.fprm.polarity import PolarityStrategy
 from repro.resilience.checkpoint import CheckpointStore
 
@@ -42,8 +42,10 @@ class AblationRow:
         return min(self.variants, key=self.variants.get)
 
 
-def _run(name: str, options: SynthesisOptions) -> int:
-    return synthesize_fprm(get(name), options.replace(cache=True)).two_input_gates
+def _run(engine: SynthesisEngine, name: str,
+         options: SynthesisOptions) -> int:
+    result = engine.synthesize(get(name), options, cache=True)
+    return result.two_input_gates
 
 
 def _sweep(
@@ -52,32 +54,46 @@ def _sweep(
     circuits: list[str] | None,
     checkpoint: str | None = None,
     resume: bool = False,
+    engine: SynthesisEngine | None = None,
 ) -> list[AblationRow]:
-    """Run one ablation sweep, checkpointing per circuit when asked."""
+    """Run one ablation sweep, checkpointing per circuit when asked.
+
+    Every variant run routes through one shared
+    :class:`~repro.engine.SynthesisEngine` (the caller's, else a
+    process-local one) with caching forced on — ablation sweeps repeat
+    many (circuit, options) combinations.
+    """
     store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    owned_engine: SynthesisEngine | None = None
+    if engine is None:
+        engine = owned_engine = SynthesisEngine()
     reused: list[str] = []
     computed: list[str] = []
     rows: list[AblationRow] = []
-    for name in circuits or DEFAULT_CIRCUITS:
-        unit = f"{sweep}-{name}"
-        if store is not None and resume:
-            payload = store.load(unit)
-            saved = payload.get("variants") if payload is not None else None
-            if isinstance(saved, dict) and set(saved) == set(variant_options):
-                rows.append(AblationRow(
-                    name, {variant: int(gates)
-                           for variant, gates in saved.items()}
-                ))
-                reused.append(unit)
-                continue
-        row = AblationRow(name, {
-            variant: _run(name, options)
-            for variant, options in variant_options.items()
-        })
-        rows.append(row)
-        computed.append(unit)
-        if store is not None:
-            store.save(unit, {"circuit": name, "variants": row.variants})
+    try:
+        for name in circuits or DEFAULT_CIRCUITS:
+            unit = f"{sweep}-{name}"
+            if store is not None and resume:
+                payload = store.load(unit)
+                saved = payload.get("variants") if payload is not None else None
+                if isinstance(saved, dict) and set(saved) == set(variant_options):
+                    rows.append(AblationRow(
+                        name, {variant: int(gates)
+                               for variant, gates in saved.items()}
+                    ))
+                    reused.append(unit)
+                    continue
+            row = AblationRow(name, {
+                variant: _run(engine, name, options)
+                for variant, options in variant_options.items()
+            })
+            rows.append(row)
+            computed.append(unit)
+            if store is not None:
+                store.save(unit, {"circuit": name, "variants": row.variants})
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
     if store is not None:
         store.record_run(resumed=resume, reused=reused, computed=computed,
                          extra={"sweep": sweep})
@@ -88,31 +104,34 @@ def ablate_redundancy_removal(
     circuits: list[str] | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    engine: SynthesisEngine | None = None,
 ) -> list[AblationRow]:
     """Factorization alone vs factorization + XOR redundancy removal."""
     return _sweep("redundancy-removal", {
         "with_rr": SynthesisOptions(),
         "without_rr": SynthesisOptions(redundancy_removal=False),
-    }, circuits, checkpoint, resume)
+    }, circuits, checkpoint, resume, engine)
 
 
 def ablate_factor_method(
     circuits: list[str] | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    engine: SynthesisEngine | None = None,
 ) -> list[AblationRow]:
     """Paper's method 1 (cubes) vs method 2 (OFDD) vs auto."""
     return _sweep("factor-method", {
         "cube": SynthesisOptions(factor_method=FactorMethod.CUBE),
         "ofdd": SynthesisOptions(factor_method=FactorMethod.OFDD),
         "auto": SynthesisOptions(factor_method=FactorMethod.AUTO),
-    }, circuits, checkpoint, resume)
+    }, circuits, checkpoint, resume, engine)
 
 
 def ablate_polarity(
     circuits: list[str] | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    engine: SynthesisEngine | None = None,
 ) -> list[AblationRow]:
     """All-positive vs greedy vs exhaustive polarity search."""
     return _sweep("polarity", {
@@ -122,13 +141,14 @@ def ablate_polarity(
             polarity_strategy=PolarityStrategy.GREEDY),
         "auto": SynthesisOptions(
             polarity_strategy=PolarityStrategy.AUTO),
-    }, circuits, checkpoint, resume)
+    }, circuits, checkpoint, resume, engine)
 
 
 def ablate_controllability(
     circuits: list[str] | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    engine: SynthesisEngine | None = None,
 ) -> list[AblationRow]:
     """Exact BDD decision vs cube-union enumeration vs simulation only."""
     return _sweep("controllability", {
@@ -138,4 +158,4 @@ def ablate_controllability(
             controllability=ControllabilityEngine.ENUMERATION),
         "simulation": SynthesisOptions(
             controllability=ControllabilityEngine.SIMULATION_ONLY),
-    }, circuits, checkpoint, resume)
+    }, circuits, checkpoint, resume, engine)

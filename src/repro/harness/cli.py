@@ -3,16 +3,21 @@
     python -m repro.harness.cli INPUT [-o OUT.blif] [--flow fprm|sislite]
                                 [--report] [--library GENLIB]
                                 [--jobs N] [--trace FILE] [--cache]
+                                [--cache-dir DIR]
 
 Reads a two-level PLA or structural BLIF, runs the chosen flow (the
-paper's FPRM flow by default), verifies equivalence, optionally maps onto
+paper's FPRM flow by default) through the shared
+:mod:`repro.engine` layer, verifies equivalence, optionally maps onto
 a genlib library, and writes the result as BLIF.  ``--report`` prints the
 gate/literal/depth/power summary instead of (or in addition to) writing.
 ``--jobs N`` synthesizes outputs across N worker processes (0 = all
 cores), ``--trace FILE`` dumps the per-pass FlowTrace as JSON (``-``
-writes it to stdout), and ``--cache`` reuses per-output results within
-the process.  Inspect, diff or export a dumped trace with the
-``repro-trace`` companion tool (:mod:`repro.obs.cli`).
+writes it to stdout), ``--cache`` reuses per-output results within
+the process, and ``--cache-dir DIR`` (or ``REPRO_CACHE_DIR``) shares
+them across processes through the disk cache tier.  Inspect, diff or
+export a dumped trace with the ``repro-trace`` companion tool
+(:mod:`repro.obs.cli`); inspect or maintain a disk cache with
+``repro-cache``.
 """
 
 from __future__ import annotations
@@ -21,13 +26,16 @@ import argparse
 import pathlib
 import sys
 
-from repro.core.options import SynthesisOptions
-from repro.core.synthesis import synthesize_fprm
+from repro.engine import (
+    EngineConfig,
+    SynthesisEngine,
+    resolve_cache_dir,
+    resolve_options,
+)
 from repro.mapping import map_network, mcnc_lite_library, parse_genlib
 from repro.network.blif import parse_blif, write_blif
 from repro.network.to_expr import spec_from_network, spec_from_pla_text
 from repro.power import estimate_power
-from repro.sislite.scripts import best_baseline
 from repro.timing import network_delay
 
 
@@ -65,6 +73,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache", action="store_true",
                         help="reuse per-output results across runs in this "
                              "process (fprm flow only)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk-backed result cache shared across "
+                             "processes (implies --cache; default: the "
+                             "REPRO_CACHE_DIR environment variable)")
     parser.add_argument("--budget-seconds", type=float, default=None,
                         metavar="S",
                         help="wall-clock budget for the run; on exhaustion "
@@ -83,29 +95,28 @@ def main(argv: list[str] | None = None) -> int:
 
     spec = load_spec(pathlib.Path(args.input))
     verify = not args.no_verify
-    trace = None
-    if args.flow == "fprm":
-        options = SynthesisOptions(verify=verify, cache=args.cache)
-        if args.jobs is not None:
-            options = options.replace(jobs=args.jobs)
-        if args.budget_seconds is not None:
-            options = options.replace(budget_seconds=args.budget_seconds)
-        if args.timeout_per_output is not None:
-            options = options.replace(
-                timeout_per_output=args.timeout_per_output
-            )
-        if args.retries is not None:
-            options = options.replace(retries=args.retries)
-        result = synthesize_fprm(spec, options)
-        network = result.network
-        seconds = result.seconds
-        trace = result.trace
-        flow_note = "fprm"
-    else:
-        baseline, script = best_baseline(spec, verify=verify)
-        network = baseline.network
-        seconds = baseline.seconds
-        flow_note = f"sislite ({script})"
+    # All the per-flag plumbing lives in the engine layer now: sparse
+    # overrides fold into the defaults, a cache directory attaches the
+    # shared disk tier, and the engine assembles the right pipeline.
+    options = resolve_options(
+        verify=verify,
+        cache=args.cache or None,
+        jobs=args.jobs,
+        budget_seconds=args.budget_seconds,
+        timeout_per_output=args.timeout_per_output,
+        retries=args.retries,
+    )
+    config = EngineConfig(
+        options=options,
+        flow=args.flow,
+        cache_dir=resolve_cache_dir(args.cache_dir),
+    )
+    with SynthesisEngine(config) as engine:
+        run = engine.run(spec)
+    network = run.network
+    seconds = run.seconds
+    trace = run.trace
+    flow_note = run.flow
 
     if args.report or not args.output:
         print(f"flow:    {flow_note}")
@@ -123,6 +134,15 @@ def main(argv: list[str] | None = None) -> int:
                 note += (f", cache {trace.cache_hits} hit(s)/"
                          f"{trace.cache_misses} miss(es)")
             print(note)
+            if config.cache_dir is not None:
+                from repro.obs.metrics import get_metrics_registry
+
+                registry = get_metrics_registry()
+                print(f"disk-cache: "
+                      f"{registry.counter('cache.disk.hits').value:g} "
+                      f"hit(s), "
+                      f"{registry.counter('cache.disk.puts').value:g} "
+                      f"store(s) in {config.cache_dir}")
             if trace.degradations or trace.retries:
                 print(f"resilience: {trace.retries} pool retr"
                       f"{'y' if trace.retries == 1 else 'ies'}; "

@@ -4,6 +4,10 @@ For a circuit this runs (a) the FPRM flow of the paper and (b) the
 SIS-like baseline (best of the script stand-ins), technology-maps both
 onto ``mcnc_lite`` and estimates power for both, yielding every quantity a
 Table 2 row needs.
+
+Both flows route through the shared :class:`~repro.engine.SynthesisEngine`;
+callers running sweeps (table2, ablation) pass one engine in so the
+whole sweep shares its cache wiring.
 """
 
 from __future__ import annotations
@@ -12,10 +16,9 @@ from dataclasses import dataclass
 
 from repro.circuits import get
 from repro.core.options import SynthesisOptions
-from repro.core.synthesis import synthesize_fprm
+from repro.engine import SynthesisEngine
 from repro.mapping import map_network, mcnc_lite_library
 from repro.power.mapped import estimate_mapped_power
-from repro.sislite.scripts import best_baseline
 
 
 @dataclass
@@ -113,6 +116,7 @@ def run_circuit(
     verify: bool = True,
     jobs: int | None = None,
     cache: bool | None = None,
+    engine: SynthesisEngine | None = None,
 ) -> CircuitComparison:
     """Run both flows on one benchmark circuit and collect metrics.
 
@@ -120,19 +124,24 @@ def run_circuit(
     given: ``jobs`` parallelizes the FPRM per-output pipelines and
     ``cache`` lets repeated sweeps over the same circuits (e.g. the
     Table 2 benchmarks) reuse per-output results within the process.
+    ``engine`` lets a sweep share one engine (and thus one cache
+    setup, possibly disk-backed) across circuits; without one a plain
+    process-local engine is used.
     """
     spec = get(name)
     library = mcnc_lite_library()
 
-    if options is None:
-        options = SynthesisOptions()
-    if not verify:
-        options = options.replace(verify=False)
-    if jobs is not None:
-        options = options.replace(jobs=jobs)
-    if cache is not None:
-        options = options.replace(cache=cache)
-    ours = synthesize_fprm(spec, options)
+    if engine is None:
+        engine = SynthesisEngine()
+    # Resolve against the engine's base options so engine-level cache
+    # wiring (e.g. a disk tier implying cache=True) carries through.
+    options = engine.resolve(
+        options,
+        verify=False if not verify else None,
+        jobs=jobs,
+        cache=cache,
+    )
+    ours = engine.synthesize(spec, options)
     ours_mapped = map_network(ours.network, library)
     ours_metrics = FlowMetrics(
         premap_lits=ours.literals,
@@ -142,7 +151,7 @@ def run_circuit(
         power_uw=estimate_mapped_power(ours_mapped).microwatts,
     )
 
-    base, script = best_baseline(spec, verify=verify)
+    base, script = engine.baseline(spec, verify=verify)
     base_mapped = map_network(base.network, library)
     base_metrics = FlowMetrics(
         premap_lits=base.literals,

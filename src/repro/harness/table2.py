@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from repro.circuits import all_names
 from repro.core.options import SynthesisOptions
+from repro.engine import EngineConfig, SynthesisEngine, resolve_cache_dir
 from repro.harness.experiment import CircuitComparison, run_circuit
 from repro.resilience.checkpoint import CheckpointStore
 from repro.utils.tabulate import format_table
@@ -79,6 +80,8 @@ def run_table2(
     cache: bool | None = None,
     checkpoint: str | None = None,
     resume: bool = False,
+    engine: SynthesisEngine | None = None,
+    cache_dir: str | None = None,
 ) -> list[CircuitComparison]:
     """Run the comparison over ``circuits`` (default: the whole suite).
 
@@ -86,29 +89,43 @@ def run_table2(
     to that directory; ``resume=True`` additionally loads circuits that
     already have a checkpoint instead of re-running them, and the
     store's manifest records which was which.
+
+    The whole sweep runs through one shared
+    :class:`~repro.engine.SynthesisEngine` — the caller's, or one built
+    here (with the disk cache tier attached when ``cache_dir`` is
+    given, so repeated sweeps are cross-process warm).
     """
     names = circuits if circuits is not None else all_names()
     store = CheckpointStore(checkpoint) if checkpoint is not None else None
+    owned_engine: SynthesisEngine | None = None
+    if engine is None:
+        engine = owned_engine = SynthesisEngine(
+            EngineConfig(cache_dir=cache_dir)
+        )
     reused: list[str] = []
     computed: list[str] = []
     rows = []
-    for name in names:
-        if store is not None and resume:
-            payload = store.load(name)
-            if payload is not None:
-                rows.append(CircuitComparison.from_dict(payload))
-                reused.append(name)
-                if progress is not None:
-                    progress(f"{name} (resumed)")
-                continue
-        if progress is not None:
-            progress(name)
-        row = run_circuit(name, options=options, verify=verify,
-                          jobs=jobs, cache=cache)
-        rows.append(row)
-        computed.append(name)
-        if store is not None:
-            store.save(name, row.as_dict())
+    try:
+        for name in names:
+            if store is not None and resume:
+                payload = store.load(name)
+                if payload is not None:
+                    rows.append(CircuitComparison.from_dict(payload))
+                    reused.append(name)
+                    if progress is not None:
+                        progress(f"{name} (resumed)")
+                    continue
+            if progress is not None:
+                progress(name)
+            row = run_circuit(name, options=options, verify=verify,
+                              jobs=jobs, cache=cache, engine=engine)
+            rows.append(row)
+            computed.append(name)
+            if store is not None:
+                store.save(name, row.as_dict())
+    finally:
+        if owned_engine is not None:
+            owned_engine.close()
     if store is not None:
         store.record_run(resumed=resume, reused=reused, computed=computed,
                          extra={"sweep": "table2", "circuits": list(names)})
@@ -164,6 +181,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="reuse completed checkpoints (requires "
                              "--checkpoint)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="disk-backed result cache shared across "
+                             "processes (default: REPRO_CACHE_DIR)")
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
@@ -179,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
         progress=lambda name: print(f"running {name} ...", file=sys.stderr),
         checkpoint=args.checkpoint,
         resume=args.resume,
+        cache_dir=resolve_cache_dir(args.cache_dir),
     )
     text = format_table2(rows)
     print(text)

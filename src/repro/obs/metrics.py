@@ -4,8 +4,15 @@ The registry is the always-on complement of the span tracer: spans answer
 "where did this run spend its time", metrics answer "how much work has
 this process done" — apply calls, cache hits, espresso iterations —
 across runs.  Instruments are plain Python objects with integer/float
-fields; recording is an attribute update, cheap enough to leave enabled
-everywhere.
+fields; recording is a small locked update, cheap enough to leave
+enabled everywhere.
+
+Thread safety: every instrument carries its own lock, taken around each
+mutation and around snapshot reads, and the registry locks its map for
+iteration as well as get-or-create — so a threaded caller (the
+``repro-serve`` request handlers scraping ``/metrics`` while worker
+threads synthesize) can never observe a torn histogram or race an
+``inc`` into oblivion.
 
 Exporters: :meth:`MetricsRegistry.as_dict` (the ``BENCH_*.json`` format
 the benchmark harness emits, validated by :mod:`repro.obs.schema`) and
@@ -35,45 +42,57 @@ __all__ = [
 DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0)
 
 
-@dataclass
+@dataclass(eq=False)
 class Counter:
     """Monotonically increasing count."""
 
     name: str
     help: str = ""
     value: int | float = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_dict(self) -> dict:
-        return {"type": "counter", "help": self.help, "value": self.value}
+        with self._lock:
+            return {"type": "counter", "help": self.help, "value": self.value}
 
 
-@dataclass
+@dataclass(eq=False)
 class Gauge:
     """A value that can go up and down."""
 
     name: str
     help: str = ""
     value: int | float = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: int | float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: int | float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: int | float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def as_dict(self) -> dict:
-        return {"type": "gauge", "help": self.help, "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "help": self.help, "value": self.value}
 
 
-@dataclass
+@dataclass(eq=False)
 class Histogram:
     """Cumulative-bucket histogram (Prometheus semantics)."""
 
@@ -83,6 +102,9 @@ class Histogram:
     counts: list[int] = field(default_factory=list)  # one per bucket + inf
     total: float = 0.0
     count: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if list(self.buckets) != sorted(self.buckets):
@@ -91,23 +113,26 @@ class Histogram:
             self.counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_right(self.buckets, value)] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect_right(self.buckets, value)] += 1
+            self.total += value
+            self.count += 1
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "type": "histogram",
-            "help": self.help,
-            "buckets": list(self.buckets),
-            "counts": list(self.counts),
-            "sum": self.total,
-            "count": self.count,
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "help": self.help,
+                "buckets": list(self.buckets),
+                "counts": list(self.counts),
+                "sum": self.total,
+                "count": self.count,
+            }
 
 
 class MetricsRegistry:
@@ -118,10 +143,12 @@ class MetricsRegistry:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def _get(self, name: str, kind, **kwargs):
         with self._lock:
@@ -152,36 +179,44 @@ class MetricsRegistry:
 
     # -- exporters ---------------------------------------------------------
 
+    def _snapshot(self) -> list[tuple[str, dict]]:
+        """A consistent (name, as_dict) view for the exporters.
+
+        The registry lock guards the iteration; each instrument's own
+        lock (inside ``as_dict``) guards its fields, so a concurrent
+        ``observe`` can never produce a torn histogram in an export.
+        """
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return [(name, metric.as_dict()) for name, metric in metrics]
+
     def as_dict(self) -> dict:
         """The JSON shape of ``BENCH_*.json`` (see repro.obs.schema)."""
         return {
             "schema": 1,
-            "metrics": {
-                name: metric.as_dict()
-                for name, metric in sorted(self._metrics.items())
-            },
+            "metrics": dict(self._snapshot()),
         }
 
     def to_prometheus_text(self) -> str:
         """Prometheus text exposition format (0.0.4)."""
         lines: list[str] = []
-        for name, metric in sorted(self._metrics.items()):
+        for name, data in self._snapshot():
             flat = name.replace(".", "_").replace("-", "_")
-            kind = metric.as_dict()["type"]
-            if metric.help:
-                lines.append(f"# HELP {flat} {metric.help}")
+            kind = data["type"]
+            if data["help"]:
+                lines.append(f"# HELP {flat} {data['help']}")
             lines.append(f"# TYPE {flat} {kind}")
-            if isinstance(metric, (Counter, Gauge)):
-                lines.append(f"{flat} {metric.value}")
+            if kind in ("counter", "gauge"):
+                lines.append(f"{flat} {data['value']}")
                 continue
             cumulative = 0
-            for bound, count in zip(metric.buckets, metric.counts):
+            for bound, count in zip(data["buckets"], data["counts"]):
                 cumulative += count
                 lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
-            cumulative += metric.counts[-1]
+            cumulative += data["counts"][-1]
             lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{flat}_sum {metric.total}")
-            lines.append(f"{flat}_count {metric.count}")
+            lines.append(f"{flat}_sum {data['sum']}")
+            lines.append(f"{flat}_count {data['count']}")
         return "\n".join(lines) + "\n"
 
 

@@ -6,13 +6,17 @@ free-form JSON-serializable ``attrs`` dict and nested child spans.  A
 :class:`SpanTracer` owns one span tree per run and maintains the stack of
 open spans.
 
-The tracer is *ambient*: deep layers (``ofdd``, ``esopmin``, ``sislite``,
-``testability``, ``mapping``, ``network.verify``) call the module-level
-:func:`span` helper, which is a shared no-op object when no tracer is
-installed — one global read and one attribute call, so instrumented hot
-paths cost nothing measurable with tracing off.  The synthesis driver
-installs a tracer for the duration of a run (:func:`install` /
-:func:`uninstall`, or ``tracer.activate()``).
+The tracer is *ambient and per-thread*: deep layers (``ofdd``,
+``esopmin``, ``sislite``, ``testability``, ``mapping``,
+``network.verify``) call the module-level :func:`span` helper, which is
+a shared no-op object when no tracer is installed — one thread-local
+read and one attribute call, so instrumented hot paths cost nothing
+measurable with tracing off.  The synthesis driver installs a tracer for
+the duration of a run (:func:`install` / :func:`uninstall`, or
+``tracer.activate()``); the install slot lives in a ``threading.local``,
+so concurrent traced runs on different threads (the ``repro-serve``
+worker threads) each build their own tree instead of corrupting a shared
+span stack.
 
 Process pools cannot share a tracer: workers install their own, serialize
 the finished span tree with :meth:`Span.as_dict`, ship it back in the
@@ -27,6 +31,7 @@ span's start), which is what the Chrome trace-event exporter needs.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -108,7 +113,7 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        tracer = _ACTIVE
+        tracer = _AMBIENT.tracer
         if tracer is not None:
             tracer._close(self)
         return False
@@ -227,26 +232,35 @@ class _Activation:
 
 
 # -- the ambient tracer ------------------------------------------------------
+#
+# The install slot is *per-thread* (threading.local): two threads each
+# running a traced synthesis — the ``repro-serve`` worker threads — get
+# independent span stacks instead of interleaving their passes into one
+# corrupted tree.  A single-threaded program behaves exactly as before;
+# pool workers are separate processes and already install their own.
 
-_ACTIVE: SpanTracer | None = None
+
+class _Ambient(threading.local):
+    tracer: SpanTracer | None = None
+
+
+_AMBIENT = _Ambient()
 
 
 def install(tracer: SpanTracer) -> SpanTracer | None:
-    """Make ``tracer`` the ambient tracer; returns the one it replaced."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = tracer
+    """Make ``tracer`` this thread's ambient tracer; returns the replaced one."""
+    previous = _AMBIENT.tracer
+    _AMBIENT.tracer = tracer
     return previous
 
 
 def uninstall(previous: SpanTracer | None = None) -> None:
-    """Remove the ambient tracer (restoring ``previous`` if given)."""
-    global _ACTIVE
-    _ACTIVE = previous
+    """Remove this thread's ambient tracer (restoring ``previous`` if given)."""
+    _AMBIENT.tracer = previous
 
 
 def current_tracer() -> SpanTracer | None:
-    return _ACTIVE
+    return _AMBIENT.tracer
 
 
 def span(name: str, category: str = "", **attrs):
@@ -256,7 +270,7 @@ def span(name: str, category: str = "", **attrs):
     instrumentation points in hot library code are effectively free
     unless a run explicitly turned tracing on.
     """
-    tracer = _ACTIVE
+    tracer = _AMBIENT.tracer
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, category, **attrs)

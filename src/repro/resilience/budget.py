@@ -20,8 +20,9 @@ per-run budget spans the process pool.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BudgetExceededError
 
@@ -133,25 +134,35 @@ class Budget:
 
 
 # -- the ambient budget ------------------------------------------------------
+#
+# Per-thread, like the ambient span tracer: two synthesis runs on
+# different threads (the ``repro-serve`` worker threads) must not see —
+# or drain degradation notes from — each other's budgets.  Pool workers
+# never rely on inheriting this slot across ``fork``: the deadline
+# travels in the task payload and each worker installs its own budget.
 
-_ACTIVE: Budget | None = None
+
+class _AmbientBudget(threading.local):
+    budget: Budget | None = None
+
+
+_AMBIENT = _AmbientBudget()
 
 
 def install_budget(budget: Budget | None) -> Budget | None:
-    """Make ``budget`` the ambient budget; returns the one it replaced."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = budget
+    """Make ``budget`` this thread's ambient budget; returns the replaced one."""
+    previous = _AMBIENT.budget
+    _AMBIENT.budget = budget
     return previous
 
 
 def current_budget() -> Budget | None:
-    return _ACTIVE
+    return _AMBIENT.budget
 
 
 def budget_tick(where: str) -> None:
     """Strided ambient check — effectively free when no budget is on."""
-    budget = _ACTIVE
+    budget = _AMBIENT.budget
     if budget is not None:
         budget.tick(where)
 
@@ -164,7 +175,7 @@ def note_degradation(stage: str, fallback: str, where: str = "") -> None:
     the ``resilience.degradations`` metric; a zero-length span marks the
     instant in the span tree when tracing is on.
     """
-    budget = _ACTIVE
+    budget = _AMBIENT.budget
     if budget is None:
         return
     budget.note(DegradationRecord(stage=stage, fallback=fallback, where=where))

@@ -1,0 +1,24 @@
+"""repro-serve: synthesis as a long-lived service.
+
+A stdlib-only asyncio daemon in front of the
+:class:`~repro.engine.SynthesisEngine`: jobs go into an async queue,
+identical in-flight requests are deduplicated on their content digest
+(N submissions, one synthesis, N responses), multi-output jobs are
+batched into the crash-isolated process pool, and results land in the
+shared disk-backed cache so a restarted daemon — or a plain
+``repro-synth`` run pointed at the same ``--cache-dir`` — is warm from
+the first request.
+
+See ``docs/SERVICE.md`` for the architecture and the ops runbook.
+"""
+
+from repro.serve.jobs import Job, JobQueue, JobState, options_from_json
+from repro.serve.server import ReproServer
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ReproServer",
+    "options_from_json",
+]

@@ -1,0 +1,73 @@
+"""repro-serve — run the synthesis service from the command line.
+
+    repro-serve [--host H] [--port P] [--cache-dir DIR]
+                [--cache-max-mb N] [--workers N] [--jobs N] [--no-verify]
+
+``--cache-dir`` (or ``REPRO_CACHE_DIR``) attaches the disk-backed
+result cache, so results survive daemon restarts and are shared with
+``repro-synth``/harness runs pointed at the same directory.  ``--jobs``
+sets how many pool processes one multi-output job may fan out to;
+``--workers`` sets how many jobs run concurrently.  The daemon drains
+gracefully on SIGTERM/SIGINT and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.engine import EngineConfig, resolve_cache_dir, resolve_options
+from repro.flow.disk_cache import DEFAULT_MAX_BYTES
+from repro.serve.server import ReproServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="FPRM synthesis service (asyncio, stdlib only)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8348,
+                        help="TCP port (0 = let the OS pick)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="disk-backed result cache shared across "
+                             "processes (default: REPRO_CACHE_DIR)")
+    parser.add_argument("--cache-max-mb", type=int,
+                        default=DEFAULT_MAX_BYTES // (1024 * 1024),
+                        metavar="N", help="disk cache size budget for GC")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrent jobs (default 1)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="pool processes per multi-output job "
+                             "(0 = all cores, the default)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip equivalence checking per job")
+    args = parser.parse_args(argv)
+
+    config = EngineConfig(
+        options=resolve_options(
+            verify=not args.no_verify,
+            cache=True,
+            jobs=args.jobs,
+        ),
+        cache_dir=resolve_cache_dir(args.cache_dir),
+        cache_max_bytes=args.cache_max_mb * 1024 * 1024,
+    )
+    server = ReproServer(config, host=args.host, port=args.port,
+                         workers=args.workers)
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro-serve listening on http://{server.host}:{server.port}"
+              + (f" (cache: {config.cache_dir})" if config.cache_dir else ""),
+              file=sys.stderr, flush=True)
+        await server.serve_forever(install_signals=True)
+
+    asyncio.run(run())
+    print("repro-serve: drained, bye", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

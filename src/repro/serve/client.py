@@ -1,0 +1,82 @@
+"""Small blocking client for repro-serve (urllib, stdlib only).
+
+Used by the test suite and the CI smoke job; handy from scripts too::
+
+    from repro.serve.client import ServeClient
+    client = ServeClient("http://127.0.0.1:8348")
+    job = client.synthesize(pla_text, wait=True)
+    print(job["result"]["two_input_gates"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            payload = resp.read()
+            ctype = resp.headers.get("Content-Type", "")
+            if ctype.startswith("application/json"):
+                return json.loads(payload.decode("utf-8"))
+            return payload.decode("utf-8")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def synthesize(self, pla: str, name: str = "request",
+                   options: dict | None = None, wait: bool = True) -> dict:
+        return self._request("POST", "/synthesize", {
+            "pla": pla, "name": name, "options": options or {}, "wait": wait,
+        })
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/jobs")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait_job(self, job_id: str, timeout: float = 60.0,
+                 poll: float = 0.1) -> dict:
+        """Poll ``/jobs/<id>`` until the job leaves queued/running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] not in ("queued", "running"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"{job_id} still {doc['state']}")
+            time.sleep(poll)
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> dict:
+        """Poll ``/healthz`` until the daemon answers (startup race)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,256 @@
+"""Job queue with in-flight request deduplication.
+
+Every submission is keyed by :meth:`SynthesisEngine.request_key` — the
+``spec digest / options fingerprint`` identity also used by the result
+cache and the run manifest.  Submitting a request whose key matches a
+queued or running job does **not** enqueue a second synthesis: the
+caller is attached to the existing job and gets the same result
+(``Job.submissions`` counts how many callers share it).  Keys equal ⇒
+results equal, so deduplication can never serve a wrong answer.
+
+All queue state is mutated on the event-loop thread only; the actual
+synthesis runs in a thread-pool executor (and, for multi-output specs,
+fans out into the crash-isolated process pool via ``options.jobs``),
+so the loop stays responsive while jobs run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core.options import (
+    ControllabilityEngine,
+    FactorMethod,
+    SynthesisOptions,
+)
+from repro.engine import SynthesisEngine
+from repro.fprm.polarity import PolarityStrategy
+from repro.network.blif import write_blif
+from repro.obs.metrics import get_metrics_registry
+from repro.power import estimate_power
+from repro.spec import CircuitSpec
+from repro.timing import network_delay
+
+__all__ = ["Job", "JobQueue", "JobState", "options_from_json"]
+
+#: JSON-settable synthesis knobs: name -> converter.  A whitelist, not
+#: ``getattr`` on the dataclass — the service must not expose knobs that
+#: change the result silently (``trace``) or that only make sense
+#: in-process (``cache`` is the daemon's own business).
+_OPTION_FIELDS = {
+    "verify": bool,
+    "jobs": int,
+    "budget_seconds": float,
+    "timeout_per_output": float,
+    "retries": int,
+    "redundancy_removal": bool,
+    "literal_cleanup": bool,
+    "cube_limit": int,
+    "factor_method": FactorMethod,
+    "polarity_strategy": PolarityStrategy,
+    "controllability": ControllabilityEngine,
+}
+
+
+def options_from_json(doc: dict) -> dict:
+    """Convert a request's ``options`` object into engine overrides.
+
+    Raises :class:`ValueError` naming the offending field for anything
+    unknown or unconvertible, so the server can answer 400 instead of
+    crashing a worker.
+    """
+    overrides: dict = {}
+    for name, raw in doc.items():
+        conv = _OPTION_FIELDS.get(name)
+        if conv is None:
+            raise ValueError(f"unknown option {name!r}")
+        try:
+            overrides[name] = conv(raw)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"bad value for option {name!r}: {exc}") from exc
+    return overrides
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Job:
+    """One deduplicated unit of synthesis work."""
+
+    id: str
+    key: str
+    circuit: str
+    spec: CircuitSpec
+    options: SynthesisOptions
+    state: JobState = JobState.QUEUED
+    submissions: int = 1
+    submitted_unix: float = field(default_factory=time.time)
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    result: dict | None = None
+    manifest: dict | None = None
+    error: str | None = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def summary(self) -> dict:
+        """The short form (``GET /jobs`` listing)."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "circuit": self.circuit,
+            "key": self.key,
+            "submissions": self.submissions,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+        }
+
+    def as_dict(self) -> dict:
+        """The full form (``GET /jobs/<id>``), manifest included."""
+        doc = self.summary()
+        doc["result"] = self.result
+        doc["manifest"] = self.manifest
+        doc["error"] = self.error
+        return doc
+
+
+class JobQueue:
+    """Async job queue in front of one shared engine."""
+
+    def __init__(self, engine: SynthesisEngine, workers: int = 1):
+        self.engine = engine
+        self.workers = max(1, workers)
+        self.jobs: dict[str, Job] = {}
+        self.synth_calls = 0  # engine invocations (dedup leaves this flat)
+        self._inflight: dict[str, Job] = {}
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._tasks: list[asyncio.Task] = []
+        self._ids = itertools.count(1)
+        self._registry = get_metrics_registry()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        for n in range(self.workers):
+            self._tasks.append(
+                asyncio.get_running_loop().create_task(
+                    self._worker(), name=f"repro-serve-worker-{n}"
+                )
+            )
+
+    async def drain(self) -> None:
+        """Wait for every queued/running job, then stop the workers."""
+        await self._queue.join()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, spec: CircuitSpec,
+               overrides: dict | None = None) -> tuple[Job, bool]:
+        """Enqueue (or join) a request; returns ``(job, deduplicated)``.
+
+        Must be called from the event-loop thread (the HTTP handlers
+        are); all dedup bookkeeping relies on that single-threadedness.
+        """
+        overrides = overrides or {}
+        key = self.engine.request_key(spec, **overrides)
+        self._registry.counter(
+            "serve.jobs.submitted", "job submissions received"
+        ).inc()
+        existing = self._inflight.get(key)
+        if existing is not None:
+            existing.submissions += 1
+            self._registry.counter(
+                "serve.dedup.hits", "submissions joined to in-flight jobs"
+            ).inc()
+            return existing, True
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            key=key,
+            circuit=spec.name,
+            spec=spec,
+            options=self.engine.resolve(**overrides),
+        )
+        self.jobs[job.id] = job
+        self._inflight[key] = job
+        self._queue.put_nowait(job)
+        self._registry.gauge(
+            "serve.queue.depth", "jobs waiting or running"
+        ).set(len(self._inflight))
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def counts(self) -> dict:
+        states = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            states[job.state.value] += 1
+        return states
+
+    # -- execution ---------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            job.state = JobState.RUNNING
+            job.started_unix = time.time()
+            try:
+                self.synth_calls += 1
+                result = await loop.run_in_executor(
+                    None, self.engine.synthesize, job.spec, job.options
+                )
+                job.result = _result_doc(result)
+                job.manifest = (
+                    result.manifest.as_dict()
+                    if result.manifest is not None else None
+                )
+                job.state = JobState.DONE
+                self._registry.counter(
+                    "serve.jobs.completed", "jobs finished successfully"
+                ).inc()
+            except Exception as exc:  # noqa: BLE001 — job isolation
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = JobState.FAILED
+                self._registry.counter(
+                    "serve.jobs.failed", "jobs that raised"
+                ).inc()
+            finally:
+                job.finished_unix = time.time()
+                self._inflight.pop(job.key, None)
+                self._registry.gauge(
+                    "serve.queue.depth", "jobs waiting or running"
+                ).set(len(self._inflight))
+                job.done.set()
+                self._queue.task_done()
+
+
+def _result_doc(result) -> dict:
+    """JSON summary of a :class:`SynthesisResult`, BLIF included.
+
+    The BLIF text is the bit-identity witness: two responses for the
+    same key must carry byte-equal BLIF.
+    """
+    network = result.network
+    return {
+        "two_input_gates": result.two_input_gates,
+        "literals": result.literals,
+        "depth": network_delay(network).delay,
+        "power_uw": estimate_power(network).microwatts,
+        "seconds": result.seconds,
+        "verified": bool(result.verify) if result.verify is not None else None,
+        "blif": write_blif(network),
+    }

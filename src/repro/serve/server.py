@@ -1,0 +1,197 @@
+"""The repro-serve HTTP daemon: stdlib asyncio, no framework.
+
+HTTP/1.1 is hand-rolled on ``asyncio.start_server`` — request line,
+headers, ``Content-Length`` body, one request per connection — because
+the container bakes in only the standard library.  Endpoints:
+
+==========================  =============================================
+``POST /synthesize``        submit a PLA (JSON body: ``pla``, optional
+                            ``name``/``options``/``wait``); 200 with the
+                            finished job when ``wait`` is true, else 202
+                            with the job id.  Identical in-flight
+                            requests join the same job (``deduplicated``
+                            in the response).
+``GET /jobs``               summaries of every job this process has seen
+``GET /jobs/<id>``          full job document, run manifest included
+``GET /metrics``            the process metrics registry in Prometheus
+                            text exposition format
+``GET /healthz``            liveness + job-state counts
+==========================  =============================================
+
+SIGTERM/SIGINT trigger a graceful drain: the listener closes (new
+connections are refused by the OS), queued and running jobs finish,
+and the process exits 0.  A second signal cancels the drain and exits
+immediately.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from repro.engine import EngineConfig, SynthesisEngine
+from repro.network.to_expr import spec_from_pla_text
+from repro.obs.metrics import get_metrics_registry
+from repro.serve.jobs import JobQueue, options_from_json
+
+__all__ = ["ReproServer"]
+
+_MAX_BODY = 8 * 1024 * 1024  # a PLA bigger than 8 MiB is not a request
+
+
+class _BadRequest(Exception):
+    """Client error with a message that goes into the 400 body."""
+
+
+class ReproServer:
+    """One engine, one job queue, one asyncio listener."""
+
+    def __init__(self, config: EngineConfig | None = None,
+                 host: str = "127.0.0.1", port: int = 8348,
+                 workers: int = 1):
+        self.engine = SynthesisEngine(config)
+        self.queue = JobQueue(self.engine, workers=workers)
+        self.host = host
+        self.port = port
+        self._server: asyncio.Server | None = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self.queue.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # Port 0 means "pick one" — publish what the OS chose.
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self, install_signals: bool = True) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, self._shutdown.set)
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the queue, release the engine."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.drain()
+        self.engine.close()
+
+    # -- http plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await self._handle_request(reader)
+        except _BadRequest as exc:
+            status, body = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — never kill the listener
+            status, body = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            if isinstance(body, str):
+                payload = body.encode("utf-8")
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                payload = json.dumps(body).encode("utf-8")
+                ctype = "application/json"
+            reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                      404: "Not Found", 500: "Internal Server Error"}
+            writer.write(
+                f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii")
+            )
+            writer.write(payload)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _handle_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("ascii",
+                                                        "replace").strip()
+        if not request_line:
+            raise _BadRequest("empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {request_line!r}")
+        method, path, _version = parts
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("ascii",
+                                                    "replace").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError as exc:
+                    raise _BadRequest("bad Content-Length") from exc
+        if length > _MAX_BODY:
+            raise _BadRequest(f"body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length else b""
+        return await self._dispatch(method, path, body)
+
+    # -- endpoints ---------------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        if method == "POST" and path == "/synthesize":
+            return await self._post_synthesize(body)
+        if method == "GET" and path == "/jobs":
+            return 200, {
+                "jobs": [job.summary() for job in self.queue.jobs.values()]
+            }
+        if method == "GET" and path.startswith("/jobs/"):
+            job = self.queue.get(path[len("/jobs/"):])
+            if job is None:
+                return 404, {"error": "no such job"}
+            return 200, job.as_dict()
+        if method == "GET" and path == "/metrics":
+            return 200, get_metrics_registry().to_prometheus_text()
+        if method == "GET" and path == "/healthz":
+            return 200, {"status": "ok", "jobs": self.queue.counts()}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    async def _post_synthesize(self, body: bytes):
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _BadRequest(f"body is not JSON: {exc}") from exc
+        if not isinstance(doc, dict) or "pla" not in doc:
+            raise _BadRequest('body must be a JSON object with a "pla" key')
+        try:
+            spec = spec_from_pla_text(
+                doc["pla"], name=str(doc.get("name", "request"))
+            )
+        except Exception as exc:  # parser raises its own taxonomy
+            raise _BadRequest(f"bad PLA: {exc}") from exc
+        try:
+            overrides = options_from_json(doc.get("options") or {})
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+
+        job, deduplicated = self.queue.submit(spec, overrides)
+        if doc.get("wait"):
+            await job.done.wait()
+            response = job.as_dict()
+            response["deduplicated"] = deduplicated
+            return 200, response
+        return 202, {
+            "id": job.id,
+            "state": job.state.value,
+            "deduplicated": deduplicated,
+        }

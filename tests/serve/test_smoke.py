@@ -1,0 +1,35 @@
+"""The end-to-end service smoke driver (what CI's service-smoke runs).
+
+Running it under pytest keeps the whole contract — real daemon
+processes, double-submit dedup, /metrics, SIGTERM drain, restart-warm
+disk cache — inside tier-1, not just in a separate CI lane.
+"""
+
+import pytest
+
+from repro.serve import cli, smoke
+
+
+def test_smoke_driver_end_to_end(tmp_path):
+    assert smoke.main(["--keep-cache", str(tmp_path / "cache")]) == 0
+
+
+def test_smoke_check_raises():
+    with pytest.raises(smoke.SmokeFailure, match="boom"):
+        smoke._check(False, "boom")
+    smoke._check(True, "fine")
+
+
+def test_smoke_metric_parser():
+    text = "# HELP x\nserve_jobs_submitted 2\ncache_disk_hits 3.0\n"
+    assert smoke._metric(text, "serve_jobs_submitted") == 2.0
+    assert smoke._metric(text, "cache_disk_hits") == 3.0
+    assert smoke._metric(text, "absent") == 0.0
+
+
+def test_serve_cli_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--cache-dir" in out and "--workers" in out
