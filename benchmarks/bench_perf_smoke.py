@@ -8,6 +8,9 @@ Three guards the CI perf-smoke job enforces:
 * running the flow with ``trace=False`` is not slower than with tracing
   on beyond a 5% + scheduling-noise margin (best-of-N wall-time, so one
   noisy run cannot fail the job);
+* the sampling profiler, when *enabled*, stays within a 15% + noise
+  margin of an unprofiled traced run, and actually collects span-
+  attributed samples for a Table 2 circuit (non-empty speedscope);
 * the artifacts the run leaves behind — the metrics JSON written to
   ``results/BENCH_flow_metrics.json`` and the trace JSON — validate
   against their schemas, so a malformed artifact fails CI here rather
@@ -93,3 +96,53 @@ def test_prometheus_exposition_renders():
     text = registry.to_prometheus_text()
     assert "# TYPE flow_runs counter" in text
     assert "flow_run_seconds_bucket" in text
+
+
+# -- sampling profiler --------------------------------------------------------
+
+_PROFILE_FACTOR = 1.15    # the documented <15% enabled-profiler budget
+
+
+def test_profiler_enabled_overhead_within_fifteen_percent():
+    plain = _best_wall(SynthesisOptions(verify=False, trace=True))
+    profiled = _best_wall(
+        SynthesisOptions(verify=False, trace=True, profile=True)
+    )
+    budget = plain * _PROFILE_FACTOR + _NOISE_FLOOR
+    assert profiled <= budget, (
+        f"profiled run took {profiled:.4f}s vs {plain:.4f}s plain "
+        f"(budget {budget:.4f}s)"
+    )
+
+
+def test_profiler_produces_nonempty_speedscope_for_table2_circuit(
+    results_dir,
+):
+    """The acceptance check: profile a real Table 2 circuit at a fast
+    sampling rate and the speedscope export must carry samples."""
+    from repro.obs.prof import profile_to_speedscope
+    from repro.obs.schema import validate
+
+    # mlp4 runs long enough (hundreds of ms) that even a conservative
+    # sampler interval collects a meaningful profile.
+    result = synthesize_fprm(
+        get("mlp4"),
+        SynthesisOptions(verify=False, trace=True, profile=True,
+                         profile_interval=0.001),
+    )
+    profile = result.trace.profile
+    assert profile is not None
+    assert profile.sample_count > 0, "no samples collected"
+    assert validate(json.loads(json.dumps(profile.as_dict())),
+                    "profile") == []
+    doc = profile_to_speedscope(profile, name="mlp4")
+    prof = doc["profiles"][0]
+    assert prof["samples"] and prof["weights"]
+    assert prof["endValue"] > 0
+    assert doc["shared"]["frames"], "speedscope document has no frames"
+    # Samples must be span-attributed: the flow's pass names appear as
+    # base layers of the flamegraph.
+    frame_names = {frame["name"] for frame in doc["shared"]["frames"]}
+    assert any(name.startswith("synthesize:") for name in frame_names)
+    write_result(results_dir / "BENCH_profile_mlp4.speedscope.json",
+                 json.dumps(doc, indent=2))

@@ -56,6 +56,13 @@ class SynthesisOptions:
     jobs: int = 1
     #: Collect a per-pass :class:`~repro.flow.trace.FlowTrace` on the result.
     trace: bool = True
+    #: Attach the sampling profiler (:mod:`repro.obs.prof`) to the run —
+    #: stack samples attributed to the enclosing span, shipped back from
+    #: pool workers like spans are.  Off by default; like ``trace`` it
+    #: never changes the synthesized result.
+    profile: bool = False
+    #: Sampling period in seconds when ``profile`` is on (200 Hz default).
+    profile_interval: float = 0.005
     #: Consult/populate the process-wide per-output result cache.
     cache: bool = False
     #: Wall-clock budget for the whole run (seconds); ``None`` = unlimited

@@ -47,6 +47,7 @@ from repro.network.netlist import Network
 from repro.network.verify import VerifyResult, equivalent_to_spec
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import get_metrics_registry
+from repro.obs.prof.profiler import Profile, SamplingProfiler
 from repro.obs.spans import Span, SpanTracer, install, span as obs_span, uninstall
 from repro.resilience.budget import (
     Budget,
@@ -103,16 +104,26 @@ class FprmSynthesizer:
         seconds = effective_budget_seconds(options.budget_seconds)
         budget = Budget.start(seconds) if seconds is not None else None
         previous_budget = install_budget(budget) if budget is not None else None
+        # The sampling profiler rides along with the tracer (samples are
+        # attributed to the open-span path, so it needs one); pool
+        # workers profile themselves and ship their samples home.
+        profiler = (
+            SamplingProfiler(interval=options.profile_interval,
+                             tracer=tracer).start()
+            if options.profile and tracer is not None else None
+        )
         try:
-            return self._run(spec, tracer)
+            return self._run(spec, tracer, profiler)
         finally:
+            if profiler is not None:
+                profiler.stop()
             if budget is not None:
                 install_budget(previous_budget)
             if tracer is not None:
                 uninstall(previous)
 
-    def _run(self, spec: CircuitSpec,
-             tracer: SpanTracer | None) -> SynthesisResult:
+    def _run(self, spec: CircuitSpec, tracer: SpanTracer | None,
+             profiler: SamplingProfiler | None = None) -> SynthesisResult:
         start = time.perf_counter()
         options = self.options
         jobs = resolve_jobs(options.jobs)
@@ -169,6 +180,14 @@ class FprmSynthesizer:
                                 [Span.from_dict(d) for d in output_run.spans],
                                 at=pool_span.start if pool_span else None,
                                 parent=pool_span,
+                            )
+                        if output_run.profile and profiler is not None:
+                            # Re-parent worker samples under this run's
+                            # span tree, the profile analogue of adopt().
+                            profiler.profile.merge(
+                                Profile.from_dict(output_run.profile),
+                                span_prefix=(tracer.root.name,
+                                             "parallel-map"),
                             )
             if trace is not None and fallback is not None:
                 trace.parallel_fallback = fallback
@@ -275,6 +294,11 @@ class FprmSynthesizer:
             trace.seconds = time.perf_counter() - start
             assert tracer is not None
             trace.root = tracer.finish()
+            if profiler is not None:
+                # Same Profile object the still-running profiler owns;
+                # run() stops it (stamping the duration) before the
+                # result can be serialized.
+                trace.profile = profiler.profile
         return result
 
     # -- helpers ---------------------------------------------------------------

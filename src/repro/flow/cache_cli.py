@@ -1,6 +1,6 @@
 """repro-cache — inspect and maintain a disk-backed result cache.
 
-    repro-cache stats  [--cache-dir DIR]
+    repro-cache stats  [--cache-dir DIR] [--json]
     repro-cache verify [--cache-dir DIR]
     repro-cache gc     [--cache-dir DIR] [--max-mb N]
     repro-cache purge  [--cache-dir DIR] --yes
@@ -20,6 +20,7 @@ entry point.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.engine import CACHE_DIR_ENV, resolve_cache_dir
@@ -37,8 +38,11 @@ def _human(num_bytes: int) -> str:
     return f"{value:.1f} GiB"  # pragma: no cover — loop always returns
 
 
-def cmd_stats(tier: DiskCacheTier) -> int:
+def cmd_stats(tier: DiskCacheTier, as_json: bool = False) -> int:
     info = tier.scan()
+    if as_json:
+        print(json.dumps(info, indent=2, default=str))
+        return 0
     print(f"directory:          {info['directory']}")
     print(f"entries:            {info['entries']}")
     print(f"distinct functions: {info['distinct_functions']}")
@@ -98,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
                              f"(default {DEFAULT_MAX_BYTES // 2**20} MiB)")
     parser.add_argument("--yes", action="store_true",
                         help="confirm destructive commands (purge)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output (stats only)")
     args = parser.parse_args(argv)
 
     directory = resolve_cache_dir(args.cache_dir)
@@ -107,7 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     tier = DiskCacheTier(directory)
 
     if args.command == "stats":
-        return cmd_stats(tier)
+        return cmd_stats(tier, as_json=args.json)
     if args.command == "verify":
         return cmd_verify(tier)
     if args.command == "gc":

@@ -99,3 +99,7 @@ class OutputRun:
     cached: bool = False
     spans: list[dict] = field(default_factory=list)
     worker_stats: dict | None = None
+    #: Serialized :class:`~repro.obs.prof.Profile` of a pool worker's
+    #: pipeline (``None`` when profiling is off or the run was local —
+    #: the parent's own profiler already sampled it).
+    profile: dict | None = None

@@ -56,7 +56,14 @@ from repro.errors import ReproError, WorkerCrashError
 from repro.flow.cache import cache_key, get_result_cache
 from repro.flow.context import OutputRun
 from repro.flow.passes import run_output_pipeline
+from repro.obs.logs import log_event
 from repro.obs.metrics import get_metrics_registry
+from repro.obs.prof.profiler import SamplingProfiler
+from repro.obs.runctx import (
+    RunContext,
+    current_run_context,
+    install_run_context,
+)
 from repro.obs.spans import SpanTracer, install, uninstall
 from repro.resilience.budget import Budget, current_budget, install_budget
 from repro.resilience.retry import RetryPolicy
@@ -129,10 +136,12 @@ def _maybe_inject_fault(output_name: str) -> None:
 
 def _pool_worker(
     payload: tuple[OutputSpec, SynthesisOptions]
-    | tuple[OutputSpec, SynthesisOptions, float | None],
+    | tuple[OutputSpec, SynthesisOptions, float | None]
+    | tuple[OutputSpec, SynthesisOptions, float | None, dict | None],
 ) -> OutputRun:
     output, options = payload[0], payload[1]
     deadline = payload[2] if len(payload) > 2 else None
+    context = RunContext.from_dict(payload[3]) if len(payload) > 3 else None
     _maybe_inject_fault(output.name)
     # Never rely on fork-inheriting the parent's ambient budget (it is
     # thread-local and may carry stale degradation notes); install a
@@ -140,12 +149,23 @@ def _pool_worker(
     # this output's report are its own.
     budget = Budget.until(deadline) if deadline is not None else None
     previous_budget = install_budget(budget) if budget is not None else None
+    # The request context cannot fork-inherit either (thread-local, and
+    # the pool outlives any single request): install the shipped one so
+    # this worker's log lines join the parent's correlation id.
+    previous_context = install_run_context(context) \
+        if context is not None else None
     stats = {"pid": os.getpid(), "cache": {"hits": 0, "misses": 0}}
     tracer = (
         SpanTracer(root_name=f"output:{output.name}", category="output")
         if options.trace else None
     )
     previous = install(tracer) if tracer is not None else None
+    profiler = (
+        SamplingProfiler(interval=options.profile_interval,
+                         tracer=tracer).start()
+        if options.profile and tracer is not None else None
+    )
+    log_event("worker.output.start", output=output.name)
     try:
         run: OutputRun | None = None
         cache = get_result_cache() if options.cache else None
@@ -180,17 +200,26 @@ def _pool_worker(
             if cache is not None and key is not None \
                     and not run.report.degraded:
                 cache.store(key, run)
+        if profiler is not None:
+            run.profile = profiler.stop().as_dict()
+            profiler = None
+        if tracer is not None:
+            root = tracer.finish()
+            root.set(output=output.name)
+            run.spans = [root.as_dict()]
+        run.worker_stats = stats
+        log_event("worker.output.done", output=output.name,
+                  cached=run.cached or stats["cache"]["hits"] > 0)
+        return run
     finally:
+        if profiler is not None:
+            profiler.stop()
         if tracer is not None:
             uninstall(previous)
         if budget is not None:
             install_budget(previous_budget)
-    if tracer is not None:
-        root = tracer.finish()
-        root.set(output=output.name)
-        run.spans = [root.as_dict()]
-    run.worker_stats = stats
-    return run
+        if context is not None:
+            install_run_context(previous_context)
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -231,6 +260,13 @@ def run_outputs_in_pool(
     workers = min(resolve_jobs(jobs), len(outputs))
     ambient = current_budget()
     deadline = ambient.deadline if ambient is not None else None
+    # Ship the ambient request context (correlation id) with every task:
+    # thread-locals don't cross the process boundary, and the pool may
+    # serve many requests over its lifetime, so fork inheritance would
+    # pin workers to whichever request happened to build the pool.
+    ambient_context = current_run_context()
+    context = ambient_context.as_dict() if ambient_context is not None \
+        else None
     timeout = effective_timeout_per_output(options.timeout_per_output)
     policy = RetryPolicy(max_retries=max(0, options.retries))
     metrics = get_metrics_registry()
@@ -269,7 +305,8 @@ def run_outputs_in_pool(
             try:
                 for index in pending:
                     future = pool.submit(
-                        _pool_worker, (outputs[index], options, deadline)
+                        _pool_worker,
+                        (outputs[index], options, deadline, context),
                     )
                     outstanding[future] = index
             except Exception:  # noqa: BLE001 - pool broke during submit
@@ -325,7 +362,9 @@ def run_outputs_in_pool(
             "outputs recovered on the in-process serial path",
         ).inc()
         try:
-            runs[index] = _pool_worker((outputs[index], options, deadline))
+            runs[index] = _pool_worker(
+                (outputs[index], options, deadline, context)
+            )
         except ReproError:
             raise
         except Exception as err:  # noqa: BLE001 - genuinely unrecoverable

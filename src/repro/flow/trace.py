@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.obs.manifest import RunManifest
+from repro.obs.prof.profiler import Profile
 from repro.obs.schema import TRACE_SCHEMA_VERSION
 from repro.obs.spans import Span
 
@@ -104,6 +105,10 @@ class FlowTrace:
     seconds: float = 0.0
     root: Span | None = None
     manifest: RunManifest | None = None
+    #: Stack samples from the sampling profiler (``options.profile``);
+    #: span-attributed, pool-worker samples merged in — see
+    #: :mod:`repro.obs.prof`.
+    profile: Profile | None = None
     flat_records: list[PassRecord] = field(default_factory=list)
     # Resilience: ``output:stage->fallback`` labels for every effort-
     # degradation rung taken this run, and how many pool retries the
@@ -195,6 +200,8 @@ class FlowTrace:
             payload["spans"] = self.root.as_dict()
         if self.manifest is not None:
             payload["manifest"] = self.manifest.as_dict()
+        if self.profile is not None:
+            payload["profile"] = self.profile.as_dict()
         return payload
 
     @classmethod
@@ -221,6 +228,8 @@ class FlowTrace:
             ]
         if "manifest" in payload:
             trace.manifest = RunManifest.from_dict(payload["manifest"])
+        if "profile" in payload:
+            trace.profile = Profile.from_dict(payload["profile"])
         return trace
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -2,8 +2,8 @@
 
     python -m repro.harness.cli INPUT [-o OUT.blif] [--flow fprm|sislite]
                                 [--report] [--library GENLIB]
-                                [--jobs N] [--trace FILE] [--cache]
-                                [--cache-dir DIR]
+                                [--jobs N] [--trace FILE] [--profile FILE]
+                                [--cache] [--cache-dir DIR]
 
 Reads a two-level PLA or structural BLIF, runs the chosen flow (the
 paper's FPRM flow by default) through the shared
@@ -12,7 +12,9 @@ a genlib library, and writes the result as BLIF.  ``--report`` prints the
 gate/literal/depth/power summary instead of (or in addition to) writing.
 ``--jobs N`` synthesizes outputs across N worker processes (0 = all
 cores), ``--trace FILE`` dumps the per-pass FlowTrace as JSON (``-``
-writes it to stdout), ``--cache`` reuses per-output results within
+writes it to stdout), ``--profile FILE`` attaches the sampling profiler
+and writes a flamegraph (speedscope JSON, or collapsed stacks for a
+``.collapsed``/``.folded`` extension), ``--cache`` reuses per-output results within
 the process, and ``--cache-dir DIR`` (or ``REPRO_CACHE_DIR``) shares
 them across processes through the disk cache tier.  Inspect, diff or
 export a dumped trace with the ``repro-trace`` companion tool
@@ -70,6 +72,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", default=None, metavar="FILE",
                         help="write the per-pass FlowTrace as JSON "
                              "('-' = stdout; fprm flow only)")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="sample the run and write a flamegraph: "
+                             ".collapsed/.folded = collapsed stacks, else "
+                             "speedscope JSON (fprm flow only)")
+    parser.add_argument("--profile-interval", type=float, default=None,
+                        metavar="S",
+                        help="sampling period in seconds (default 0.005)")
     parser.add_argument("--cache", action="store_true",
                         help="reuse per-output results across runs in this "
                              "process (fprm flow only)")
@@ -102,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
         verify=verify,
         cache=args.cache or None,
         jobs=args.jobs,
+        profile=True if args.profile else None,
+        profile_interval=args.profile_interval,
         budget_seconds=args.budget_seconds,
         timeout_per_output=args.timeout_per_output,
         retries=args.retries,
@@ -162,6 +173,17 @@ def main(argv: list[str] | None = None) -> int:
             mapped = map_network(network, library)
             print(f"mapped:  {mapped.gate_count} cells, "
                   f"{mapped.literal_count} lits, area {mapped.area:.0f}")
+    if args.profile:
+        if trace is None or trace.profile is None:
+            print("--profile: no profile collected for this flow; skipped",
+                  file=sys.stderr)
+        else:
+            from repro.obs.prof import write_profile
+
+            kind = write_profile(trace.profile, args.profile, name=spec.name)
+            print(f"wrote {kind} flamegraph "
+                  f"({trace.profile.sample_count} samples) to {args.profile}",
+                  file=sys.stderr)
     if args.trace:
         if trace is None:
             print("--trace: no trace available for this flow; skipped",

@@ -2,9 +2,18 @@
 
 Subcommands::
 
-    repro-trace summary RUN.json [--top N]
+    repro-trace summary RUN.json [--top N] [--json]
         Compact text summary: cache stats, per-pass totals and the
-        top-N hotspots by aggregated self-time.
+        top-N hotspots by aggregated self-time.  ``--json`` emits the
+        same digest as a machine-readable JSON object instead.
+
+    repro-trace profile RUN.json [--collapsed | --speedscope] [-o OUT]
+        Flamegraph export of the sampling profile embedded in a trace
+        produced with ``repro-synth --profile``.  Default prints a
+        hotspot summary; ``--collapsed`` writes collapsed stacks
+        (flamegraph.pl-style), ``--speedscope`` the speedscope JSON
+        document.  With ``-o`` the extension picks the format
+        (``.collapsed``/``.folded`` vs anything else).
 
     repro-trace diff OLD.json NEW.json [--threshold 0.2] [--min-seconds S]
         Compare per-pass wall-time between two traces.  Exits 1 when any
@@ -78,7 +87,33 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     trace = _load(args.trace)
     from repro.flow.trace import FlowTrace
 
-    print(FlowTrace.from_dict(trace).summary(top=args.top))
+    parsed = FlowTrace.from_dict(trace)
+    if args.json:
+        doc = {
+            "circuit": parsed.circuit,
+            "jobs": parsed.jobs,
+            "seconds": parsed.seconds,
+            "records": len(parsed.records),
+            "cache": {
+                "enabled": parsed.cache_enabled,
+                "hits": parsed.cache_hits,
+                "misses": parsed.cache_misses,
+            },
+            "resilience": {
+                "degradations": list(parsed.degradations),
+                "retries": parsed.retries,
+            },
+            "seconds_by_pass": parsed.seconds_by_pass(),
+            "hotspots": [
+                {"name": name, "self_seconds": round(secs, 6)}
+                for name, secs in parsed.hotspots(args.top)
+            ],
+            "manifest": trace.get("manifest"),
+            "has_profile": bool(trace.get("profile")),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(parsed.summary(top=args.top))
     manifest = trace.get("manifest")
     if manifest:
         print(
@@ -88,6 +123,48 @@ def _cmd_summary(args: argparse.Namespace) -> int:
             f"py{manifest.get('python', '?')} "
             f"{manifest.get('platform', '?')}"
         )
+    return 0
+
+
+# -- profile -----------------------------------------------------------------
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.prof import (
+        Profile,
+        profile_to_collapsed,
+        profile_to_speedscope,
+        write_profile,
+    )
+
+    trace = _load(args.trace)
+    payload = trace.get("profile")
+    if not payload or not payload.get("samples"):
+        print(f"repro-trace: {args.trace} carries no profile samples "
+              "(produce one with repro-synth --profile)", file=sys.stderr)
+        return 1
+    profile = Profile.from_dict(payload)
+    name = trace.get("circuit") or "repro"
+    if args.output and args.output != "-":
+        kind = write_profile(profile, args.output, name=name)
+        print(f"wrote {kind} flamegraph ({profile.sample_count} samples, "
+              f"~{profile.sample_count * profile.interval:.3f}s sampled) "
+              f"to {args.output}")
+        return 0
+    if args.collapsed:
+        sys.stdout.write(profile_to_collapsed(profile))
+        return 0
+    if args.speedscope:
+        print(json.dumps(profile_to_speedscope(profile, name=name), indent=2))
+        return 0
+    print(f"profile: {name}  {profile.sample_count} samples @ "
+          f"{profile.interval * 1000:.1f}ms  duration {profile.duration:.3f}s")
+    print("  by span:")
+    for span, secs in list(profile.seconds_by_span().items())[:args.top]:
+        print(f"    {span:<28} ~{secs:7.3f}s")
+    print("  hot functions (leaf frames):")
+    for frame, secs in profile.hotspots(args.top):
+        print(f"    {frame:<48} ~{secs:7.3f}s")
     return 0
 
 
@@ -225,7 +302,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_summary.add_argument("trace", help="trace JSON file ('-' for stdin)")
     p_summary.add_argument("--top", type=int, default=5,
                            help="hotspot count (default 5)")
+    p_summary.add_argument("--json", action="store_true",
+                           help="machine-readable JSON instead of text")
     p_summary.set_defaults(func=_cmd_summary)
+
+    p_profile = sub.add_parser(
+        "profile", help="flamegraph export of the embedded sampling profile"
+    )
+    p_profile.add_argument("trace", help="trace JSON file ('-' for stdin)")
+    fmt = p_profile.add_mutually_exclusive_group()
+    fmt.add_argument("--collapsed", action="store_true",
+                     help="collapsed stacks to stdout (flamegraph.pl)")
+    fmt.add_argument("--speedscope", action="store_true",
+                     help="speedscope JSON to stdout")
+    p_profile.add_argument("-o", "--output", default=None,
+                           help="write to a file; .collapsed/.folded picks "
+                                "the collapsed format, else speedscope")
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="rows in the default hotspot summary")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_diff = sub.add_parser("diff", help="compare two traces for regressions")
     p_diff.add_argument("old", help="baseline trace JSON")

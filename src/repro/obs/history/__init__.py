@@ -1,0 +1,35 @@
+"""Run-history store, bench snapshots and the regression gate.
+
+:mod:`repro.obs.history.store` — the append-only JSONL every engine
+request, bench run and serve job can record into;
+:mod:`repro.obs.history.snapshot` — snapshot recording and the
+snapshot-diff semantics; :mod:`repro.obs.history.bench_cli` — the
+``repro-bench record/compare/regressions`` CLI (not imported here so
+the library import stays light).
+"""
+
+from repro.obs.history.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    compare_snapshots,
+    record_snapshot,
+    snapshot_history_records,
+)
+from repro.obs.history.store import (
+    HISTORY_FILE_ENV,
+    HISTORY_SCHEMA_VERSION,
+    RunHistoryStore,
+    current_git_sha,
+    resolve_history_path,
+)
+
+__all__ = [
+    "HISTORY_FILE_ENV",
+    "HISTORY_SCHEMA_VERSION",
+    "RunHistoryStore",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "compare_snapshots",
+    "current_git_sha",
+    "record_snapshot",
+    "resolve_history_path",
+    "snapshot_history_records",
+]

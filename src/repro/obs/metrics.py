@@ -198,13 +198,20 @@ class MetricsRegistry:
         }
 
     def to_prometheus_text(self) -> str:
-        """Prometheus text exposition format (0.0.4)."""
+        """Prometheus text exposition format (0.0.4).
+
+        Every metric family gets both its ``# HELP`` and ``# TYPE``
+        line — scrapers and dashboards key the type off the metadata,
+        and an instrument registered without help text still must not
+        produce an untyped family.
+        """
         lines: list[str] = []
         for name, data in self._snapshot():
             flat = name.replace(".", "_").replace("-", "_")
             kind = data["type"]
-            if data["help"]:
-                lines.append(f"# HELP {flat} {data['help']}")
+            help_text = (data["help"] or name).replace("\\", "\\\\") \
+                .replace("\n", "\\n")
+            lines.append(f"# HELP {flat} {help_text}")
             lines.append(f"# TYPE {flat} {kind}")
             if kind in ("counter", "gauge"):
                 lines.append(f"{flat} {data['value']}")

@@ -1,0 +1,90 @@
+"""Ambient per-request context: correlation IDs across threads and pools.
+
+A :class:`RunContext` names one request — the serve job id (the
+*correlation id*) and the engine ``request_key`` — so every log line a
+request produces, on any thread or in any pool worker, can be joined
+back together.  The install slot is per-thread, exactly like the span
+tracer's: two serve worker threads each carry their own context, and
+:mod:`repro.flow.parallel` ships the current context to pool workers
+inside the task payload (processes cannot share a thread-local).
+
+The disabled path is one thread-local read returning ``None`` — free
+enough to consult on every structured log call.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+
+__all__ = [
+    "RunContext",
+    "current_run_context",
+    "install_run_context",
+    "new_correlation_id",
+    "run_context",
+]
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Identity of the request the current thread is working for."""
+
+    correlation_id: str
+    request_key: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "correlation_id": self.correlation_id,
+            "request_key": self.request_key,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict | None) -> "RunContext | None":
+        if not payload:
+            return None
+        return cls(
+            correlation_id=payload.get("correlation_id", ""),
+            request_key=payload.get("request_key", ""),
+        )
+
+
+class _Ambient(threading.local):
+    context: RunContext | None = None
+
+
+_AMBIENT = _Ambient()
+
+
+def new_correlation_id() -> str:
+    """A fresh, short, process-unique correlation id."""
+    return f"{os.getpid():x}-{uuid.uuid4().hex[:12]}"
+
+
+def install_run_context(context: RunContext | None) -> RunContext | None:
+    """Make ``context`` this thread's ambient one; returns the replaced."""
+    previous = _AMBIENT.context
+    _AMBIENT.context = context
+    return previous
+
+
+def current_run_context() -> RunContext | None:
+    return _AMBIENT.context
+
+
+class run_context:
+    """``with run_context(cid, key): ...`` — scoped install/restore."""
+
+    def __init__(self, correlation_id: str, request_key: str = ""):
+        self._context = RunContext(correlation_id, request_key)
+        self._previous: RunContext | None = None
+
+    def __enter__(self) -> RunContext:
+        self._previous = install_run_context(self._context)
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        install_run_context(self._previous)
+        return False

@@ -76,6 +76,30 @@ MANIFEST_SCHEMA: dict = {
     },
 }
 
+PROFILE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["schema", "interval", "samples"],
+    "properties": {
+        "schema": _INT,
+        "interval": _NUMBER,
+        "pid": _INT,
+        "duration": _NUMBER,
+        "sample_count": _INT,
+        "samples": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["spans", "stack", "count"],
+                "properties": {
+                    "spans": {"type": "array", "items": _STRING},
+                    "stack": {"type": "array", "items": _STRING},
+                    "count": _INT,
+                },
+            },
+        },
+    },
+}
+
 TRACE_SCHEMA: dict = {
     "type": "object",
     "required": ["schema", "circuit", "jobs", "cache", "seconds",
@@ -99,6 +123,9 @@ TRACE_SCHEMA: dict = {
         "records": {"type": "array", "items": RECORD_SCHEMA},
         "spans": SPAN_SCHEMA,
         "manifest": MANIFEST_SCHEMA,
+        # Optional: stack samples from the sampling profiler
+        # (``repro-synth --profile``, ``options.profile``).
+        "profile": PROFILE_SCHEMA,
     },
 }
 
@@ -130,6 +157,7 @@ SCHEMAS = {
     "manifest": MANIFEST_SCHEMA,
     "metrics": METRICS_SCHEMA,
     "span": SPAN_SCHEMA,
+    "profile": PROFILE_SCHEMA,
 }
 
 _TYPES = {

@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 
 from repro.engine import EngineConfig, resolve_cache_dir, resolve_options
 from repro.flow.disk_cache import DEFAULT_MAX_BYTES
+from repro.obs.logs import LOG_FILE_ENV, configure, log_event, logging_enabled
 from repro.serve.server import ReproServer
 
 
@@ -43,7 +45,21 @@ def main(argv: list[str] | None = None) -> int:
                              "(0 = all cores, the default)")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip equivalence checking per job")
+    parser.add_argument("--log-file", default=None, metavar="FILE",
+                        help="structured JSON log sink shared with pool "
+                             f"workers (default: {LOG_FILE_ENV}; "
+                             "'-' = stderr, daemon lines only)")
+    parser.add_argument("--history", default=None, metavar="FILE",
+                        help="run-history JSONL to append per-request "
+                             "records to (default: REPRO_HISTORY_FILE)")
     args = parser.parse_args(argv)
+
+    # A file sink travels into forked pool workers via the env var, so
+    # one request's lines — daemon and workers — share a correlation id.
+    if args.log_file == "-":
+        configure(sys.stderr)
+    elif args.log_file is not None:
+        os.environ[LOG_FILE_ENV] = args.log_file
 
     config = EngineConfig(
         options=resolve_options(
@@ -53,6 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         ),
         cache_dir=resolve_cache_dir(args.cache_dir),
         cache_max_bytes=args.cache_max_mb * 1024 * 1024,
+        history_path=args.history,
     )
     server = ReproServer(config, host=args.host, port=args.port,
                          workers=args.workers)
@@ -62,9 +79,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-serve listening on http://{server.host}:{server.port}"
               + (f" (cache: {config.cache_dir})" if config.cache_dir else ""),
               file=sys.stderr, flush=True)
+        if logging_enabled():
+            log_event("serve.started", host=server.host, port=server.port,
+                      workers=args.workers)
         await server.serve_forever(install_signals=True)
 
     asyncio.run(run())
+    if logging_enabled():
+        log_event("serve.stopped")
     print("repro-serve: drained, bye", file=sys.stderr)
     return 0
 

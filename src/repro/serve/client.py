@@ -47,6 +47,10 @@ class ServeClient:
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")
 
+    def trace(self, job_id: str) -> dict:
+        """The request's span tree (404 until the job is done)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
     def jobs(self) -> dict:
         return self._request("GET", "/jobs")
 

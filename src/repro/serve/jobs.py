@@ -30,7 +30,9 @@ from repro.core.options import (
 from repro.engine import SynthesisEngine
 from repro.fprm.polarity import PolarityStrategy
 from repro.network.blif import write_blif
+from repro.obs.logs import log_event
 from repro.obs.metrics import get_metrics_registry
+from repro.obs.runctx import RunContext, install_run_context, new_correlation_id
 from repro.power import estimate_power
 from repro.spec import CircuitSpec
 from repro.timing import network_delay
@@ -93,11 +95,17 @@ class Job:
     options: SynthesisOptions
     state: JobState = JobState.QUEUED
     submissions: int = 1
+    #: One id shared by every log line this request produces — in the
+    #: daemon, on the executor thread and inside pool workers.
+    correlation_id: str = ""
     submitted_unix: float = field(default_factory=time.time)
     started_unix: float | None = None
     finished_unix: float | None = None
     result: dict | None = None
     manifest: dict | None = None
+    #: The request's span tree (``GET /jobs/<id>/trace``), the full
+    #: FlowTrace document of the completed run.
+    trace: dict | None = None
     error: str | None = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
 
@@ -108,6 +116,7 @@ class Job:
             "state": self.state.value,
             "circuit": self.circuit,
             "key": self.key,
+            "correlation_id": self.correlation_id,
             "submissions": self.submissions,
             "submitted_unix": self.submitted_unix,
             "started_unix": self.started_unix,
@@ -175,17 +184,27 @@ class JobQueue:
             self._registry.counter(
                 "serve.dedup.hits", "submissions joined to in-flight jobs"
             ).inc()
+            log_event("serve.job.joined", job=existing.id,
+                      correlation_id=existing.correlation_id,
+                      submissions=existing.submissions)
             return existing, True
         job = Job(
             id=f"job-{next(self._ids)}",
             key=key,
             circuit=spec.name,
             spec=spec,
-            options=self.engine.resolve(**overrides),
+            # Serve jobs always trace: the span tree is the request's
+            # GET /jobs/<id>/trace document.  (``trace`` never changes
+            # the synthesized result, so dedup keys stay valid.)
+            options=self.engine.resolve(**overrides).replace(trace=True),
+            correlation_id=new_correlation_id(),
         )
         self.jobs[job.id] = job
         self._inflight[key] = job
         self._queue.put_nowait(job)
+        log_event("serve.job.submitted", job=job.id,
+                  correlation_id=job.correlation_id,
+                  circuit=job.circuit, request_key=job.key)
         self._registry.gauge(
             "serve.queue.depth", "jobs waiting or running"
         ).set(len(self._inflight))
@@ -202,6 +221,23 @@ class JobQueue:
 
     # -- execution ---------------------------------------------------------
 
+    def _run_job(self, job: Job):
+        """Synthesize on the executor thread, request context installed.
+
+        The context must be installed on the thread that runs the
+        engine (not the event loop): the flow reads the ambient context
+        there and ships it to pool workers, which is what makes every
+        log line of one request carry one correlation id.
+        """
+        previous = install_run_context(
+            RunContext(job.correlation_id, job.key)
+        )
+        try:
+            log_event("serve.job.start", job=job.id, circuit=job.circuit)
+            return self.engine.synthesize(job.spec, job.options)
+        finally:
+            install_run_context(previous)
+
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
@@ -211,12 +247,16 @@ class JobQueue:
             try:
                 self.synth_calls += 1
                 result = await loop.run_in_executor(
-                    None, self.engine.synthesize, job.spec, job.options
+                    None, self._run_job, job
                 )
                 job.result = _result_doc(result)
                 job.manifest = (
                     result.manifest.as_dict()
                     if result.manifest is not None else None
+                )
+                job.trace = (
+                    result.trace.as_dict()
+                    if result.trace is not None else None
                 )
                 job.state = JobState.DONE
                 self._registry.counter(
@@ -230,6 +270,21 @@ class JobQueue:
                 ).inc()
             finally:
                 job.finished_unix = time.time()
+                latency = job.finished_unix - job.submitted_unix
+                self._registry.histogram(
+                    "serve.request_seconds",
+                    "submit-to-finish latency per request",
+                ).observe(latency)
+                self._registry.histogram(
+                    "serve.queue_wait_seconds",
+                    "submit-to-start wait per request",
+                ).observe(job.started_unix - job.submitted_unix)
+                log_event(
+                    "serve.job.finished", job=job.id,
+                    correlation_id=job.correlation_id,
+                    state=job.state.value, seconds=round(latency, 6),
+                    error=job.error,
+                )
                 self._inflight.pop(job.key, None)
                 self._registry.gauge(
                     "serve.queue.depth", "jobs waiting or running"

@@ -13,6 +13,8 @@ the container bakes in only the standard library.  Endpoints:
                             in the response).
 ``GET /jobs``               summaries of every job this process has seen
 ``GET /jobs/<id>``          full job document, run manifest included
+``GET /jobs/<id>/trace``    the request's span tree (full FlowTrace
+                            document; 404 until the job is done)
 ``GET /metrics``            the process metrics registry in Prometheus
                             text exposition format
 ``GET /healthz``            liveness + job-state counts
@@ -156,9 +158,23 @@ class ReproServer:
                 "jobs": [job.summary() for job in self.queue.jobs.values()]
             }
         if method == "GET" and path.startswith("/jobs/"):
-            job = self.queue.get(path[len("/jobs/"):])
+            rest = path[len("/jobs/"):]
+            job_id, _, sub = rest.partition("/")
+            job = self.queue.get(job_id)
             if job is None:
                 return 404, {"error": "no such job"}
+            if sub == "trace":
+                if job.trace is None:
+                    return 404, {"error": f"no trace for {job_id} "
+                                          f"(state: {job.state.value})"}
+                return 200, {
+                    "id": job.id,
+                    "correlation_id": job.correlation_id,
+                    "key": job.key,
+                    "trace": job.trace,
+                }
+            if sub:
+                return 404, {"error": f"no route for {method} {path}"}
             return 200, job.as_dict()
         if method == "GET" and path == "/metrics":
             return 200, get_metrics_registry().to_prometheus_text()

@@ -231,3 +231,16 @@ def test_cache_cli_requires_directory(monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     with pytest.raises(SystemExit):
         cache_cli.main(["stats"])
+
+
+def test_cache_cli_stats_json(tier, capsys):
+    import json
+
+    spec, _ = _populate(tier)
+    assert cache_cli.main(
+        ["stats", "--cache-dir", str(tier.directory), "--json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == spec.num_outputs
+    assert doc["bytes"] > 0
+    assert doc["directory"] == str(tier.directory)

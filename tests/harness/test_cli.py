@@ -139,3 +139,22 @@ def test_cli_report_shows_hotspots(pla_file, capsys):
     out = capsys.readouterr().out
     assert "hotspots (self-time):" in out
     assert "inverter-cleanup" in out or "derive-fprm" in out
+
+
+def test_cli_profile_writes_flamegraph(pla_file, tmp_path, capsys):
+    out = tmp_path / "run.speedscope.json"
+    assert main([str(pla_file), "--profile", str(out),
+                 "--profile-interval", "0.001", "--report"]) == 0
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["$schema"].startswith("https://www.speedscope.app")
+    assert "flamegraph" in capsys.readouterr().err
+
+
+def test_cli_profile_collapsed_extension(pla_file, tmp_path, capsys):
+    out = tmp_path / "run.collapsed"
+    assert main([str(pla_file), "--profile", str(out), "--report"]) == 0
+    assert "collapsed flamegraph" in capsys.readouterr().err
+    # The tiny circuit may yield zero samples; the file still exists.
+    assert out.exists()

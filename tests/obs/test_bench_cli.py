@@ -1,0 +1,101 @@
+"""The repro-bench CLI: record, compare, regressions; exit codes."""
+
+import json
+
+import pytest
+
+from repro.obs.history.bench_cli import main
+from repro.obs.history.store import RunHistoryStore
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_history(monkeypatch):
+    monkeypatch.delenv("REPRO_HISTORY_FILE", raising=False)
+    monkeypatch.setenv("REPRO_GIT_SHA", "cafe0000babe")
+
+
+def record(tmp_path, label="base", history=None, circuits="z4ml"):
+    out = tmp_path / f"BENCH_{label}.json"
+    argv = ["record", "--circuits", circuits, "--label", label,
+            "-o", str(out), "--no-verify", "--quiet"]
+    if history:
+        argv += ["--history", str(history)]
+    assert main(argv) == 0
+    return out
+
+
+def test_record_writes_snapshot_and_history(tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    out = record(tmp_path, history=history)
+    snapshot = json.loads(out.read_text())
+    assert snapshot["kind"] == "bench-snapshot"
+    assert snapshot["git_sha"] == "cafe0000babe"
+    assert "z4ml" in snapshot["entries"]
+    records = RunHistoryStore(str(history)).records(kind="bench")
+    assert len(records) == 1
+    assert records[0]["circuit"] == "z4ml"
+    assert "recorded 1 circuit(s)" in capsys.readouterr().out
+
+
+def test_compare_identical_snapshots_passes(tmp_path, capsys):
+    out = record(tmp_path)
+    assert main(["compare", str(out), str(out)]) == 0
+    assert "no regression" in capsys.readouterr().out
+
+
+def test_compare_detects_seeded_slowdown(tmp_path, capsys):
+    out = record(tmp_path)
+    snapshot = json.loads(out.read_text())
+    entry = snapshot["entries"]["z4ml"]
+    entry["seconds"] = entry["seconds"] * 2 + 1.0  # unambiguous slowdown
+    slowed = tmp_path / "slowed.json"
+    slowed.write_text(json.dumps(snapshot))
+    assert main(["compare", str(out), str(slowed)]) == 1
+    assert "wall" in capsys.readouterr().out
+
+
+def test_compare_detects_gate_growth(tmp_path, capsys):
+    out = record(tmp_path)
+    snapshot = json.loads(out.read_text())
+    snapshot["entries"]["z4ml"]["gates"] += 1
+    grown = tmp_path / "grown.json"
+    grown.write_text(json.dumps(snapshot))
+    assert main(["compare", str(out), str(grown)]) == 1
+    assert "gates" in capsys.readouterr().out
+
+
+def test_compare_unreadable_input_exits_2(tmp_path):
+    out = record(tmp_path)
+    with pytest.raises(SystemExit) as err:
+        main(["compare", str(out), str(tmp_path / "missing.json")])
+    assert "cannot read" in str(err.value)
+
+
+def test_regressions_scans_history_trajectory(tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    store = RunHistoryStore(str(history))
+    base = {"kind": "bench", "request_key": "k1", "circuit": "z4ml",
+            "gates": 100, "literals": 200, "seconds": 1.0}
+    store.append(base)
+    store.append({**base, "seconds": 1.01})  # within noise
+    assert main(["regressions", "--history", str(history)]) == 0
+    assert "no regressions" in capsys.readouterr().out
+    store.append({**base, "seconds": 2.0})  # newest vs previous: 2x
+    assert main(["regressions", "--history", str(history)]) == 1
+    assert "z4ml" in capsys.readouterr().out
+
+
+def test_regressions_without_history_is_usage_error(monkeypatch):
+    with pytest.raises(SystemExit):
+        main(["regressions"])
+
+
+def test_record_smoke_numbers_attach(tmp_path):
+    out = tmp_path / "s.json"
+    assert main(["record", "--circuits", "z4ml", "--label", "s",
+                 "-o", str(out), "--no-verify", "--quiet", "--smoke"]) == 0
+    snapshot = json.loads(out.read_text())
+    smoke = snapshot["perf_smoke"]
+    assert smoke["span_disabled_ns_per_call"] > 0
+    assert smoke["trace_off_seconds"] > 0
+    assert smoke["trace_on_seconds"] > 0

@@ -1,0 +1,126 @@
+"""Structured logging and the ambient per-request RunContext."""
+
+import io
+import json
+import threading
+
+import repro.obs.logs as logs
+from repro.obs.logs import configure, log_event, logging_enabled
+from repro.obs.runctx import (
+    RunContext,
+    current_run_context,
+    install_run_context,
+    new_correlation_id,
+    run_context,
+)
+
+
+def events_from(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def teardown_function(_fn):
+    configure(None)
+    logs._env_checked_pid = -1
+
+
+# -- run context --------------------------------------------------------------
+
+
+def test_run_context_install_and_restore():
+    assert current_run_context() is None
+    ctx = RunContext("cid-1", "key-1")
+    previous = install_run_context(ctx)
+    assert previous is None
+    assert current_run_context() is ctx
+    install_run_context(previous)
+    assert current_run_context() is None
+
+
+def test_run_context_manager_nests():
+    with run_context("outer"):
+        assert current_run_context().correlation_id == "outer"
+        with run_context("inner", "k"):
+            assert current_run_context().correlation_id == "inner"
+        assert current_run_context().correlation_id == "outer"
+    assert current_run_context() is None
+
+
+def test_run_context_is_thread_local():
+    seen = {}
+
+    def worker():
+        seen["worker"] = current_run_context()
+
+    with run_context("main-cid"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen["worker"] is None
+
+
+def test_correlation_ids_are_unique_and_pid_stamped():
+    import os
+
+    ids = {new_correlation_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(cid.startswith(f"{os.getpid():x}-") for cid in ids)
+
+
+def test_run_context_roundtrips_dict():
+    ctx = RunContext("cid", "key")
+    assert RunContext.from_dict(ctx.as_dict()) == ctx
+
+
+# -- structured logging -------------------------------------------------------
+
+
+def test_log_event_is_noop_without_sink(monkeypatch):
+    monkeypatch.delenv(logs.LOG_FILE_ENV, raising=False)
+    logs._env_checked_pid = -1
+    configure(None)
+    assert not logging_enabled()
+    log_event("should.vanish", x=1)  # must not raise
+
+
+def test_log_event_stamps_context_and_fields():
+    stream = io.StringIO()
+    configure(stream)
+    with run_context("cid-9", "key-9"):
+        log_event("unit.test", answer=42)
+    (event,) = events_from(stream)
+    assert event["event"] == "unit.test"
+    assert event["correlation_id"] == "cid-9"
+    assert event["request_key"] == "key-9"
+    assert event["answer"] == 42
+    assert event["pid"] > 0 and event["ts"] > 0
+
+
+def test_log_event_without_context_omits_correlation_fields():
+    stream = io.StringIO()
+    configure(stream)
+    log_event("bare")
+    (event,) = events_from(stream)
+    assert "correlation_id" not in event
+    assert "request_key" not in event
+
+
+def test_unserializable_fields_degrade_gracefully():
+    stream = io.StringIO()
+    configure(stream)
+    log_event("odd", payload={1, 2, 3})  # sets are not JSON
+    (event,) = events_from(stream)
+    # default=str stringifies; worst case a placeholder record appears.
+    assert event["event"] == "odd"
+
+
+def test_env_file_sink_appends_jsonl(tmp_path, monkeypatch):
+    path = tmp_path / "log.jsonl"
+    monkeypatch.setenv(logs.LOG_FILE_ENV, str(path))
+    logs._env_checked_pid = -1
+    assert logging_enabled()
+    log_event("first", n=1)
+    log_event("second", n=2)
+    lines = [json.loads(line) for line in
+             path.read_text().splitlines()]
+    assert [line["event"] for line in lines] == ["first", "second"]

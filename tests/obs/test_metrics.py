@@ -96,3 +96,51 @@ def test_global_registry_is_shared_and_clearable():
     assert "test.obs.temp" in registry
     registry.clear()
     assert "test.obs.temp" not in registry
+
+
+def test_prometheus_export_has_help_and_type_for_every_family():
+    """Format-validation pass over the whole exposition: every sample
+    line's family must be preceded by exactly one # HELP and one # TYPE
+    with a legal type, even for instruments registered without help."""
+    registry = MetricsRegistry()
+    registry.counter("no.help.counter").inc()          # empty help text
+    registry.gauge("depth", "queue\ndepth \\ stuff").set(3)  # escaping
+    registry.histogram("lat.seconds", "latency").observe(0.2)
+    text = registry.to_prometheus_text()
+    assert text.endswith("\n")
+
+    helps: dict[str, str] = {}
+    types: dict[str, str] = {}
+    samples: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert name not in helps, f"duplicate HELP for {name}"
+            assert help_text, f"empty HELP text for {name}"
+            assert "\n" not in help_text
+            helps[name] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert name not in types, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram")
+            types[name] = kind
+        else:
+            samples.append(line)
+
+    assert set(helps) == set(types) == {"no_help_counter", "depth",
+                                        "lat_seconds"}
+    # An instrument with no help text falls back to its name.
+    assert helps["no_help_counter"] == "no.help.counter"
+    assert helps["depth"] == "queue\\ndepth \\\\ stuff"
+    for line in samples:
+        name = line.split("{")[0].split(" ")[0]
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix) and family[: -len(suffix)] in types:
+                family = family[: -len(suffix)]
+                break
+        assert family in types, f"sample {name} has no TYPE metadata"
+        value = line.split(" ")[-1]
+        float(value)  # every sample value parses as a number

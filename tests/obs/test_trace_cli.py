@@ -158,3 +158,66 @@ def test_validate_subcommand(trace_file, tmp_path, capsys):
 def test_unreadable_file_exits_with_usage_error(tmp_path):
     with pytest.raises(SystemExit):
         main(["summary", str(tmp_path / "missing.json")])
+
+
+# -- summary --json -----------------------------------------------------------
+
+
+def test_summary_json_emits_machine_readable_digest(trace_file, capsys):
+    assert main(["summary", str(trace_file), "--json", "--top", "3"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["circuit"] == "rd53"
+    assert doc["records"] > 0
+    assert doc["seconds_by_pass"]
+    assert len(doc["hotspots"]) <= 3
+    assert all("name" in h and "self_seconds" in h for h in doc["hotspots"])
+    assert doc["manifest"]["circuit"] == "rd53"
+    assert doc["has_profile"] is False
+
+
+# -- profile ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def profiled_trace_dict():
+    result = synthesize_fprm(
+        get("mlp4"),
+        SynthesisOptions(verify=False, profile=True, profile_interval=0.001),
+    )
+    return json.loads(result.trace.to_json())
+
+
+@pytest.fixture
+def profiled_trace_file(tmp_path, profiled_trace_dict):
+    path = tmp_path / "profiled.json"
+    path.write_text(json.dumps(profiled_trace_dict))
+    return path
+
+
+def test_profile_default_prints_hotspot_summary(profiled_trace_file, capsys):
+    assert main(["profile", str(profiled_trace_file)]) == 0
+    out = capsys.readouterr().out
+    assert "samples @" in out
+    assert "hot functions" in out
+
+
+def test_profile_collapsed_to_stdout(profiled_trace_file, capsys):
+    assert main(["profile", str(profiled_trace_file), "--collapsed"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines
+    frames, count = lines[0].rsplit(" ", 1)
+    assert ";" in frames and int(count) >= 1
+
+
+def test_profile_speedscope_to_file(profiled_trace_file, tmp_path, capsys):
+    out_path = tmp_path / "flame.speedscope.json"
+    assert main(["profile", str(profiled_trace_file),
+                 "-o", str(out_path)]) == 0
+    assert "speedscope" in capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    assert doc["profiles"][0]["samples"]
+
+
+def test_profile_without_samples_exits_one(trace_file, capsys):
+    assert main(["profile", str(trace_file)]) == 1
+    assert "no profile samples" in capsys.readouterr().err
