@@ -11,6 +11,9 @@ Three guards the CI perf-smoke job enforces:
 * the sampling profiler, when *enabled*, stays within a 15% + noise
   margin of an unprofiled traced run, and actually collects span-
   attributed samples for a Table 2 circuit (non-empty speedscope);
+* the vectorized cube-algebra kernels beat the scalar loops on a
+  kernel-sized ESOP workload by a same-window A/B ratio budget (machine
+  speed cancels out), with bit-identical results across the arms;
 * the artifacts the run leaves behind — the metrics JSON written to
   ``results/BENCH_flow_metrics.json`` and the trace JSON — validate
   against their schemas, so a malformed artifact fails CI here rather
@@ -112,6 +115,67 @@ def test_profiler_enabled_overhead_within_fifteen_percent():
     assert profiled <= budget, (
         f"profiled run took {profiled:.4f}s vs {plain:.4f}s plain "
         f"(budget {budget:.4f}s)"
+    )
+
+
+# -- vectorized kernels -------------------------------------------------------
+
+# The kernels must *beat* the scalar loops on a kernel-sized workload, not
+# merely keep up — a regression that erodes the win to parity fails here.
+# The ratio budget compares two arms measured in the same process window,
+# so machine speed cancels out (unlike an absolute wall budget).
+_KERNEL_RATIO_BUDGET = 0.85
+
+
+def test_kernel_esop_minimization_beats_scalar(results_dir):
+    """A/B the exorcism loop: vectorized pair selection vs scalar scans.
+
+    Structured FPRM-derived ESOPs of random n=8 functions (~120 cubes
+    each) exercise the distance-matrix path; results must stay
+    bit-identical across the arms.
+    """
+    import random
+
+    from repro.esopmin import esop_from_fprm, minimize_esop
+    from repro.expr.kernels import set_kernels_enabled
+    from repro.truth.spectra import fprm_from_table
+    from repro.truth.table import TruthTable
+
+    rng = random.Random(11)
+    esops = [
+        esop_from_fprm(fprm_from_table(
+            TruthTable.from_function(8, lambda i: rng.getrandbits(1)), 0))
+        for _ in range(6)
+    ]
+
+    def arm(enabled: bool) -> tuple[float, list]:
+        previous = set_kernels_enabled(enabled)
+        try:
+            start = time.perf_counter()
+            out = [minimize_esop(esop) for esop in esops]
+            return time.perf_counter() - start, out
+        finally:
+            set_kernels_enabled(previous)
+
+    arm(True), arm(False)  # warm both paths
+    kernel_best = scalar_best = float("inf")
+    for _ in range(3):  # alternate arms so drift hits both equally
+        kernel_wall, kernel_out = arm(True)
+        scalar_wall, scalar_out = arm(False)
+        kernel_best = min(kernel_best, kernel_wall)
+        scalar_best = min(scalar_best, scalar_wall)
+        assert [r.cubes for r in kernel_out] == [r.cubes for r in scalar_out]
+
+    ratio = kernel_best / scalar_best
+    write_result(
+        results_dir / "BENCH_kernels_ab.json",
+        json.dumps({"kernel_seconds": kernel_best,
+                    "scalar_seconds": scalar_best,
+                    "ratio": ratio}, indent=2),
+    )
+    assert ratio <= _KERNEL_RATIO_BUDGET, (
+        f"kernels took {kernel_best:.3f}s vs {scalar_best:.3f}s scalar "
+        f"(ratio {ratio:.2f}, budget {_KERNEL_RATIO_BUDGET})"
     )
 
 

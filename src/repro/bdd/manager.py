@@ -31,10 +31,16 @@ class BddManager:
         self._level = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
         self._low = [0, 1]
         self._high = [0, 1]
-        self._unique: dict[tuple[int, int, int], int] = {}
+        # Unique table keyed by the packed triple (same int-key scheme
+        # as the apply memos).
+        self._unique: dict[int, int] = {}
+        # Apply memos are keyed by the packed pair ``f << 32 | g``
+        # (node ids stay far below 2^32): int keys hash at C speed and
+        # skip the per-probe tuple allocation of ``(f, g)`` keys.
         self._not_memo: dict[int, int] = {}
-        self._and_memo: dict[tuple[int, int], int] = {}
-        self._xor_memo: dict[tuple[int, int], int] = {}
+        self._and_memo: dict[int, int] = {}
+        self._or_memo: dict[int, int] = {}
+        self._xor_memo: dict[int, int] = {}
         self._vars = [self._mk(i, FALSE, TRUE) for i in range(num_vars)]
 
     # -- node construction ---------------------------------------------------
@@ -42,7 +48,7 @@ class BddManager:
     def _mk(self, level: int, low: int, high: int) -> int:
         if low == high:
             return low
-        key = (level, low, high)
+        key = level << 64 | low << 32 | high
         node = self._unique.get(key)
         if node is not None:
             return node
@@ -106,12 +112,12 @@ class BddManager:
             return f
         if f > g:
             f, g = g, f
-        key = (f, g)
+        key = f << 32 | g
         cached = self._and_memo.get(key)
         if cached is not None:
             return cached
         lf, lg = self._level[f], self._level[g]
-        level = min(lf, lg)
+        level = lf if lf < lg else lg
         f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, f)
         g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, g)
         result = self._mk(level, self.and_(f0, g0), self.and_(f1, g1))
@@ -119,7 +125,30 @@ class BddManager:
         return result
 
     def or_(self, f: int, g: int) -> int:
-        return self.not_(self.and_(self.not_(f), self.not_(g)))
+        # Direct memoized apply.  ROBDD canonicity makes this
+        # interchangeable with the De Morgan route: the result node is
+        # the unique reduced diagram of f+g either way.
+        if f == g:
+            return f
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = f << 32 | g
+        cached = self._or_memo.get(key)
+        if cached is not None:
+            return cached
+        lf, lg = self._level[f], self._level[g]
+        level = lf if lf < lg else lg
+        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, g)
+        result = self._mk(level, self.or_(f0, g0), self.or_(f1, g1))
+        self._or_memo[key] = result
+        return result
 
     def xor_(self, f: int, g: int) -> int:
         if f == g:
@@ -134,12 +163,12 @@ class BddManager:
             return self.not_(f)
         if f > g:
             f, g = g, f
-        key = (f, g)
+        key = f << 32 | g
         cached = self._xor_memo.get(key)
         if cached is not None:
             return cached
         lf, lg = self._level[f], self._level[g]
-        level = min(lf, lg)
+        level = lf if lf < lg else lg
         f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, f)
         g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, g)
         result = self._mk(level, self.xor_(f0, g0), self.xor_(f1, g1))

@@ -80,12 +80,22 @@ class ReductionStats:
 
 @dataclass
 class _Analysis:
-    """Per-pass derived data: values, observability, BDDs, parents."""
+    """Per-pass derived data: values, observability, BDDs, parents.
+
+    ODC BDDs are materialized lazily (see ``RedundancyRemover._odc``):
+    ``odcs`` holds only the roots plus whatever has been demanded so
+    far, ``odc_zero`` answers the cheap ``odc == 0`` filter without any
+    BDD work, and ``odc_parts`` records how to build the rest on
+    demand — ``(parent_key,)`` for XOR/NOT children (same ODC) or
+    ``(parent_key, sibling_bdd, "and"|"or")`` for AND/OR children.
+    """
 
     values: dict[int, int] = field(default_factory=dict)
     observable: dict[int, int] = field(default_factory=dict)
     bdds: dict[int, int] = field(default_factory=dict)
     odcs: dict[int, int] = field(default_factory=dict)
+    odc_zero: dict[int, bool] = field(default_factory=dict)
+    odc_parts: dict[int, tuple] = field(default_factory=dict)
     preorder: list[TNode] = field(default_factory=list)
 
 
@@ -116,16 +126,24 @@ class RedundancyRemover:
             # BDD blow-up: no exact oracle, leave the tree untouched.
             self.stats.skipped_no_engine += 1
             return self.root
+        # Reuse an analysis as long as the tree is untouched: the
+        # baseline covers the first pass whenever the initial simplify
+        # is a no-op (the common case — factorization emits normalized
+        # trees), and a pass that applied nothing leaves every node and
+        # therefore every id-keyed table valid.
+        analysis: _Analysis | None = baseline
         while True:
-            self.root = tr.simplify_tree(self.root)
+            self.root, tree_changed = tr.simplify_tree_tracked(self.root)
             try:
-                analysis = self._analyze()
+                if tree_changed or analysis is None:
+                    analysis = self._analyze()
                 progressed = self._reduce_pass(analysis)
             except ReproError:
                 self.stats.skipped_no_engine += 1
                 break
             if not progressed:
                 break
+            analysis = None  # reductions mutated the tree in place
         self.root = tr.simplify_tree(self.root)
         return self.root
 
@@ -170,68 +188,144 @@ class RedundancyRemover:
     # -- per-pass analysis ---------------------------------------------------------
 
     def _analyze(self) -> _Analysis:
+        # Iterative traversals with hoisted locals: the analysis runs
+        # once per reduction pass over the whole tree, making the Python
+        # recursion overhead of the obvious formulation a confirmed
+        # flow hotspot.  All orders (post-order values, pre-order
+        # observability) match the recursive version exactly.
         analysis = _Analysis()
         all_bits = (1 << len(self._patterns)) - 1
         bdd = self._bdd
         assert bdd is not None
+        values = analysis.values
+        bdds = analysis.bdds
+        observable = analysis.observable
+        odcs = analysis.odcs
+        preorder = analysis.preorder
+        lit_cols = self._lit_cols
 
-        def down(node: TNode) -> None:
-            for kid in node.kids:
-                down(kid)
+        post: list[TNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            post.append(node)
+            stack.extend(node.kids)
+        for node in reversed(post):  # kids before parents
             key = id(node)
-            if node.op == tr.LIT:
-                analysis.values[key] = self._lit_cols[node.var]
-                analysis.bdds[key] = bdd.var(node.var)
-            elif node.op == tr.C0:
-                analysis.values[key] = 0
-                analysis.bdds[key] = 0
-            elif node.op == tr.C1:
-                analysis.values[key] = all_bits
-                analysis.bdds[key] = 1
-            elif node.op == tr.NOT:
-                analysis.values[key] = analysis.values[id(node.kids[0])] ^ all_bits
-                analysis.bdds[key] = bdd.not_(analysis.bdds[id(node.kids[0])])
+            op = node.op
+            if op == tr.LIT:
+                values[key] = lit_cols[node.var]
+                bdds[key] = bdd.var(node.var)
+            elif op == tr.C0:
+                values[key] = 0
+                bdds[key] = 0
+            elif op == tr.C1:
+                values[key] = all_bits
+                bdds[key] = 1
+            elif op == tr.NOT:
+                kid = id(node.kids[0])
+                values[key] = values[kid] ^ all_bits
+                bdds[key] = bdd.not_(bdds[kid])
             else:
                 a = id(node.kids[0])
                 b = id(node.kids[1])
-                if node.op == tr.AND:
-                    analysis.values[key] = analysis.values[a] & analysis.values[b]
-                    analysis.bdds[key] = bdd.and_(analysis.bdds[a], analysis.bdds[b])
-                elif node.op == tr.OR:
-                    analysis.values[key] = analysis.values[a] | analysis.values[b]
-                    analysis.bdds[key] = bdd.or_(analysis.bdds[a], analysis.bdds[b])
+                if op == tr.AND:
+                    values[key] = values[a] & values[b]
+                    bdds[key] = bdd.and_(bdds[a], bdds[b])
+                elif op == tr.OR:
+                    values[key] = values[a] | values[b]
+                    bdds[key] = bdd.or_(bdds[a], bdds[b])
                 else:
-                    analysis.values[key] = analysis.values[a] ^ analysis.values[b]
-                    analysis.bdds[key] = bdd.xor_(analysis.bdds[a], analysis.bdds[b])
+                    values[key] = values[a] ^ values[b]
+                    bdds[key] = bdd.xor_(bdds[a], bdds[b])
 
-        def up(node: TNode, obs: int, odc: int) -> None:
-            analysis.observable[id(node)] = obs
-            analysis.odcs[id(node)] = odc
-            analysis.preorder.append(node)
-            if node.op == tr.NOT:
-                up(node.kids[0], obs, odc)
-                return
-            if not node.is_gate():
-                return
-            a, b = node.kids
-            if node.op == tr.XOR:
-                # Property 5: XOR gates have no controlling value.
-                up(a, obs, odc)
-                up(b, obs, odc)
-            elif node.op == tr.AND:
-                up(a, obs & analysis.values[id(b)],
-                   bdd.or_(odc, bdd.not_(analysis.bdds[id(b)])))
-                up(b, obs & analysis.values[id(a)],
-                   bdd.or_(odc, bdd.not_(analysis.bdds[id(a)])))
-            else:  # OR
-                up(a, obs & (analysis.values[id(b)] ^ all_bits),
-                   bdd.or_(odc, analysis.bdds[id(b)]))
-                up(b, obs & (analysis.values[id(a)] ^ all_bits),
-                   bdd.or_(odc, analysis.bdds[id(a)]))
-
-        down(self.root)
-        up(self.root, all_bits, 0)
+        # Pre-order: Property 5 — XOR gates have no controlling value;
+        # AND/OR gates mask observability with the sibling's value and
+        # grow the ODC with the sibling's controlling condition.  The
+        # ODC *BDDs* are not built here: most gates only ever need the
+        # "is the ODC empty?" answer (the reduction filter), which
+        # propagates as a boolean — ``or_(p, c) == 0`` iff both parts
+        # are 0, and a sibling contributes 0 exactly when its BDD is
+        # the non-controlling constant.  Full ODCs are materialized on
+        # demand by :meth:`_odc`; since every consuming decision is a
+        # canonical-node comparison, deferring the construction cannot
+        # change any result.
+        odc_zero = analysis.odc_zero
+        odc_parts = analysis.odc_parts
+        odcs[id(self.root)] = 0
+        odc_zero[id(self.root)] = True
+        up_stack: list[tuple[TNode, int]] = [(self.root, all_bits)]
+        while up_stack:
+            node, obs = up_stack.pop()
+            key = id(node)
+            observable[key] = obs
+            preorder.append(node)
+            op = node.op
+            if op == tr.NOT:
+                kid = node.kids[0]
+                odc_parts[id(kid)] = (key,)
+                odc_zero[id(kid)] = odc_zero[key]
+                up_stack.append((kid, obs))
+            elif op == tr.XOR:
+                a, b = node.kids
+                zero = odc_zero[key]
+                odc_parts[id(a)] = (key,)
+                odc_zero[id(a)] = zero
+                odc_parts[id(b)] = (key,)
+                odc_zero[id(b)] = zero
+                up_stack.append((b, obs))
+                up_stack.append((a, obs))
+            elif op == tr.AND:
+                a, b = node.kids
+                zero = odc_zero[key]
+                ab, bb = bdds[id(a)], bdds[id(b)]
+                odc_parts[id(a)] = (key, bb, "and")
+                odc_zero[id(a)] = zero and bb == 1
+                odc_parts[id(b)] = (key, ab, "and")
+                odc_zero[id(b)] = zero and ab == 1
+                up_stack.append((b, obs & values[id(a)]))
+                up_stack.append((a, obs & values[id(b)]))
+            elif op == tr.OR:
+                a, b = node.kids
+                zero = odc_zero[key]
+                ab, bb = bdds[id(a)], bdds[id(b)]
+                odc_parts[id(a)] = (key, bb, "or")
+                odc_zero[id(a)] = zero and bb == 0
+                odc_parts[id(b)] = (key, ab, "or")
+                odc_zero[id(b)] = zero and ab == 0
+                up_stack.append((b, obs & (values[id(a)] ^ all_bits)))
+                up_stack.append((a, obs & (values[id(b)] ^ all_bits)))
         return analysis
+
+    def _odc(self, key: int, analysis: _Analysis) -> int:
+        """The ODC BDD for node ``key``, built (and memoized) on demand.
+
+        Walks up the recorded parent chain to the nearest materialized
+        ancestor, then replays the contributions downward — the same
+        ``or_``/``not_`` applications the eager formulation performed,
+        just only for nodes whose ODC is actually consumed.
+        """
+        odcs = analysis.odcs
+        cached = odcs.get(key)
+        if cached is not None:
+            return cached
+        bdd = self._bdd
+        assert bdd is not None
+        parts = analysis.odc_parts
+        chain: list[int] = []
+        k = key
+        while k not in odcs:
+            chain.append(k)
+            k = parts[k][0]
+        odc = odcs[k]
+        for k in reversed(chain):
+            part = parts[k]
+            if len(part) > 1:
+                _, sibling, kind = part
+                contribution = bdd.not_(sibling) if kind == "and" else sibling
+                odc = bdd.or_(odc, contribution)
+            odcs[k] = odc
+        return odc
 
     # -- the reduction step -------------------------------------------------------
 
@@ -281,7 +375,7 @@ class RedundancyRemover:
         # Cheap filter from the paper: disjoint-support XOR gates observed
         # through nothing but XOR gates (parity trees, PO join trees) are
         # never reducible.
-        if analysis.odcs[id(node)] == 0 and not (
+        if analysis.odc_zero[id(node)] and not (
             _tree_support(g) & _tree_support(h)
         ):
             return False
@@ -296,9 +390,21 @@ class RedundancyRemover:
         return self._apply(node, replacement(g, h), kind=_KIND[relevant])
 
     def _try_reduce_literal(self, node: TNode, analysis: _Analysis) -> bool:
+        # Simulation witness first: a pattern where the literal is 0 (1)
+        # with the node observable satisfies the stuck-at-1 (stuck-at-0)
+        # BDD condition directly — ``observable`` is the bit-parallel
+        # evaluation of exactly the complement of the ODC — so both
+        # faults witnessed testable means neither replacement can apply
+        # and the ODC BDD is never needed.
+        key = id(node)
+        all_bits = (1 << len(self._patterns)) - 1
+        obs = analysis.observable[key]
+        value = analysis.values[key]
+        if obs & (value ^ all_bits) and obs & value:
+            return False
         bdd = self._bdd
         assert bdd is not None
-        care = bdd.not_(analysis.odcs[id(node)])
+        care = bdd.not_(self._odc(key, analysis))
         literal = bdd.var(node.var)
         # stuck-at-1 untestable: the literal is never observed at 0.
         if bdd.and_(care, bdd.not_(literal)) == 0:
@@ -330,7 +436,9 @@ class RedundancyRemover:
                 gb if pattern[0] else bdd.not_(gb),
                 hb if pattern[1] else bdd.not_(hb),
             )
-            condition = bdd.and_(condition, bdd.not_(analysis.odcs[id(node)]))
+            condition = bdd.and_(
+                condition, bdd.not_(self._odc(id(node), analysis))
+            )
             self.stats.decided_by_engine += 1
             return condition != 0
         if engine is ControllabilityEngine.ENUMERATION:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.core.options import SynthesisOptions
 from repro.errors import VerificationError
+from repro.expr.kernels import set_kernels_enabled
 from repro.flow.cache import cache_key, get_result_cache
 from repro.flow.context import OutputReport, OutputRun
 from repro.flow.parallel import resolve_jobs, run_outputs_in_pool
@@ -112,9 +113,14 @@ class FprmSynthesizer:
                              tracer=tracer).start()
             if options.profile and tracer is not None else None
         )
+        # Kernel selection is ambient like the budget: the option drives
+        # the process-wide switch for the duration of the run (restored
+        # after, so engines with different options can share a process).
+        previous_kernels = set_kernels_enabled(options.use_kernels)
         try:
             return self._run(spec, tracer, profiler)
         finally:
+            set_kernels_enabled(previous_kernels)
             if profiler is not None:
                 profiler.stop()
             if budget is not None:
@@ -135,6 +141,10 @@ class FprmSynthesizer:
             if options.trace else None
         )
         metrics = get_metrics_registry()
+        # Snapshot the ofdd.* counters so the trace can attribute this
+        # run's delta (the counters themselves are process-cumulative).
+        ofdd_before = metrics.counter_values("ofdd.") if trace is not None \
+            else {}
         metrics.counter("flow.runs", "synthesis runs started").inc()
         metrics.counter("flow.outputs", "outputs synthesized").inc(
             spec.num_outputs
@@ -292,6 +302,11 @@ class FprmSynthesizer:
         )
         if trace is not None:
             trace.seconds = time.perf_counter() - start
+            trace.metrics = {
+                name: value - ofdd_before.get(name, 0)
+                for name, value in metrics.counter_values("ofdd.").items()
+                if value - ofdd_before.get(name, 0)
+            }
             assert tracer is not None
             trace.root = tracer.finish()
             if profiler is not None:
@@ -333,6 +348,11 @@ class FprmSynthesizer:
             metrics.counter("flow.cache.hits").inc(hits)
         if misses:
             metrics.counter("flow.cache.misses").inc(misses)
+        # Fold the worker's ofdd.* counter deltas into this process's
+        # registry — the run's trace delta then includes pool work.
+        for name, value in (stats.get("ofdd") or {}).items():
+            if name.startswith("ofdd.") and value > 0:
+                metrics.counter(name).inc(value)
 
     # -- per-output pipeline ---------------------------------------------------
 

@@ -175,8 +175,26 @@ def simplify_tree(root: TNode) -> TNode:
     Keeps the tree normalized after the redundancy remover rewrites ops:
     gates with constant fanins fold away, double inverters cancel.
     """
+    return simplify_tree_tracked(root)[0]
+
+
+def simplify_tree_tracked(root: TNode) -> tuple[TNode, bool]:
+    """:func:`simplify_tree` plus a did-anything-change flag.
+
+    When the flag is False every node object (and thus every ``id``-keyed
+    analysis of the tree) is untouched, which lets callers skip re-derived
+    per-pass data.
+    """
+    changed = False
 
     def simp(node: TNode) -> TNode:
+        nonlocal changed
+        result = _simp_inner(node)
+        if result is not node:
+            changed = True
+        return result
+
+    def _simp_inner(node: TNode) -> TNode:
         if node.op in (LIT, C0, C1):
             return node
         node.kids = [simp(kid) for kid in node.kids]
@@ -208,4 +226,4 @@ def simplify_tree(root: TNode) -> TNode:
                     return simp(TNode.invert(second))
         return node
 
-    return simp(root)
+    return simp(root), changed

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field
 
 from repro.errors import DimensionError
 from repro.expr.cube import Cube
-from repro.utils.bitops import popcount
+
+#: Below this cover size the numpy setup cost of the matrix SCC scan
+#: beats its win; the scalar loop stays in charge.  Pure perf cutoff —
+#: both paths are bit-identical, so the threshold never changes results.
+_KERNEL_MIN_CUBES = 8
 
 
 @dataclass(frozen=True)
@@ -86,6 +90,12 @@ class Cover:
 
     def single_cube_containment(self) -> "Cover":
         """Drop cubes contained in another single cube (SCC minimization)."""
+        if len(self.cubes) >= _KERNEL_MIN_CUBES:
+            # Deferred import: repro.expr.kernels imports Cover.
+            from repro.expr.kernels import kernels_enabled, scc_cover
+
+            if kernels_enabled():
+                return scc_cover(self)
         kept: list[Cube] = []
         # Sorting by decreasing freedom makes the quadratic scan cheaper:
         # big cubes absorb small ones early.
@@ -130,22 +140,21 @@ class Cover:
         ``variables[j]`` is the global index that becomes local variable
         ``j``.  Every cube literal must fall inside ``variables``.
         """
-        index = {var: j for j, var in enumerate(variables)}
+        pairs = [(1 << var, 1 << j) for j, var in enumerate(variables)]
+        support_mask = sum(bit for bit, _ in pairs)
+        width = len(variables)
         cubes = []
         for cube in self.cubes:
             pos = neg = 0
-            for var, j in index.items():
-                bit = 1 << var
+            for bit, local in pairs:
                 if cube.pos & bit:
-                    pos |= 1 << j
+                    pos |= local
                 if cube.neg & bit:
-                    neg |= 1 << j
-            if popcount(cube.support) != popcount(
-                cube.support & sum(1 << v for v in variables)
-            ):
+                    neg |= local
+            if cube.support & ~support_mask:
                 raise ValueError("cube uses a variable outside the new support")
-            cubes.append(Cube(len(variables), pos, neg))
-        return Cover(len(variables), tuple(cubes))
+            cubes.append(Cube(width, pos, neg))
+        return Cover(width, tuple(cubes))
 
     def lift_support(self, n: int, variables: list[int]) -> "Cover":
         """Inverse of :meth:`restrict_support`: embed into ``n`` variables."""

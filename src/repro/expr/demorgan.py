@@ -66,10 +66,17 @@ def _network_cost(expr: ex.Expr, width: int) -> tuple[int, int]:
         return result
 
     net.set_outputs([add(expr)])
-    inverters = sum(
-        1 for n in net.live_nodes() if net.type_of(n) is GateType.NOT
-    )
-    return (net.two_input_gate_count(), inverters)
+    gates = 0
+    inverters = 0
+    for n in net.live_nodes():
+        kind = net.type_of(n)
+        if kind is GateType.AND or kind is GateType.OR:
+            gates += 1
+        elif kind is GateType.XOR:
+            gates += 3
+        elif kind is GateType.NOT:
+            inverters += 1
+    return (gates, inverters)
 
 
 def _phase(

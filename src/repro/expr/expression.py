@@ -170,11 +170,14 @@ def _install_cached_hash(cls, compute):
     """
 
     def cached_hash(self):
-        value = self.__dict__.get("_cached_hash")
-        if value is None:
+        # Plain attribute access beats a __dict__.get probe on the hot
+        # (already cached) path; the AttributeError fires once per object.
+        try:
+            return self._cached_hash
+        except AttributeError:
             value = compute(self)
             object.__setattr__(self, "_cached_hash", value)
-        return value
+            return value
 
     cls.__hash__ = cached_hash
 

@@ -53,6 +53,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.options import SynthesisOptions
 from repro.errors import ReproError, WorkerCrashError
+from repro.expr.kernels import set_kernels_enabled
 from repro.flow.cache import cache_key, get_result_cache
 from repro.flow.context import OutputRun
 from repro.flow.passes import run_output_pipeline
@@ -154,7 +155,13 @@ def _pool_worker(
     # this worker's log lines join the parent's correlation id.
     previous_context = install_run_context(context) \
         if context is not None else None
+    # The kernel switch is process-wide and never fork-inherited
+    # reliably (spawn contexts start clean); apply the shipped option.
+    previous_kernels = set_kernels_enabled(options.use_kernels)
     stats = {"pid": os.getpid(), "cache": {"hits": 0, "misses": 0}}
+    # Workers are long-lived: snapshot the ofdd.* counters so the stats
+    # shipped home are this output's delta, not the process lifetime's.
+    ofdd_before = get_metrics_registry().counter_values("ofdd.")
     tracer = (
         SpanTracer(root_name=f"output:{output.name}", category="output")
         if options.trace else None
@@ -207,11 +214,20 @@ def _pool_worker(
             root = tracer.finish()
             root.set(output=output.name)
             run.spans = [root.as_dict()]
+        ofdd_after = get_metrics_registry().counter_values("ofdd.")
+        ofdd_delta = {
+            name: value - ofdd_before.get(name, 0)
+            for name, value in ofdd_after.items()
+            if value - ofdd_before.get(name, 0)
+        }
+        if ofdd_delta:
+            stats["ofdd"] = ofdd_delta
         run.worker_stats = stats
         log_event("worker.output.done", output=output.name,
                   cached=run.cached or stats["cache"]["hits"] > 0)
         return run
     finally:
+        set_kernels_enabled(previous_kernels)
         if profiler is not None:
             profiler.stop()
         if tracer is not None:

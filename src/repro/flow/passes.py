@@ -122,7 +122,7 @@ class DeriveFprmPass(OutputPass):
             node = manager.from_fprm_masks(form.cubes)
             ctx.polarity, ctx.form, ctx.ofdd = polarity, None, (manager, node)
             return {"route": "dense-ofdd", "polarity": polarity,
-                    "num_fprm_cubes": None, "ofdd": manager.stats()}
+                    "num_fprm_cubes": None, "ofdd": manager.publish_metrics()}
         # Wide support: diagram-only derivation.  The dense polarity search
         # is unavailable, so try a few cheap candidate vectors and keep the
         # diagram with the fewest nodes.
@@ -162,11 +162,11 @@ class DeriveFprmPass(OutputPass):
             ctx.form = FprmForm.from_masks(width, polarity, masks)
             return {"route": "wide", "polarity": polarity,
                     "num_fprm_cubes": ctx.form.num_cubes,
-                    "ofdd_nodes": best_size, "ofdd": manager.stats()}
+                    "ofdd_nodes": best_size, "ofdd": manager.publish_metrics()}
         ctx.form = None
         return {"route": "wide", "polarity": polarity,
                 "num_fprm_cubes": None, "ofdd_nodes": best_size,
-                "ofdd": manager.stats()}
+                "ofdd": manager.publish_metrics()}
 
 
 # -- factor passes -----------------------------------------------------------
@@ -231,7 +231,7 @@ class FactorOfddPass(OutputPass):
         ctx.candidates.append(("ofdd", expr))
         ctx.note_gates(gates)
         return {"gates": gates, "fallback": not applies,
-                "ofdd": manager.stats()}
+                "ofdd": manager.publish_metrics()}
 
 
 class FactorXorFxPass(OutputPass):
@@ -562,28 +562,32 @@ def greedy_mixed_network(
     outputs: list[int] = []
     chosen: list[ex.Expr] = []
     for index in range(spec.num_outputs):
+        # The base cost (nodes live through the outputs chosen so far) is
+        # the same for every variant, so the winner is decided by the
+        # *delta* cost of each variant's new nodes alone — identical
+        # ranking to the old full-network recount, without cloning the
+        # network or re-walking it per trial.
+        base_seen: set[int] = set()
+        for out in outputs:
+            net.gate_cost_from(out, base_seen)
         seen_ids: set[int] = set()
-        best_node = None
-        best_net = None
         best_expr = None
-        best_cost = None
+        best_delta = None
         for _tag, expr in variants_per_output[index]:
             if id(expr) in seen_ids:
                 continue
             seen_ids.add(id(expr))
-            trial = net.clone()
-            node = add_expr(trial, expr, var_maps[index])
-            trial.set_outputs(outputs + [node])
-            cost = trial.two_input_gate_count()
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_net = trial
-                best_node = node
+            mark = net.checkpoint()
+            node = add_expr(net, expr, var_maps[index])
+            delta = net.gate_cost_from(node, set(base_seen))
+            net.rollback(mark)
+            if best_delta is None or delta < best_delta:
+                best_delta = delta
                 best_expr = expr
-        assert best_net is not None and best_node is not None
         assert best_expr is not None
-        net = best_net
-        outputs.append(best_node)
+        # Re-adding the winner reproduces the node ids its trial had:
+        # every trial started from the identical checkpointed network.
+        outputs.append(add_expr(net, best_expr, var_maps[index]))
         chosen.append(best_expr)
     net.set_outputs(outputs, spec.output_names)
     return net, chosen

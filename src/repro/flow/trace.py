@@ -115,6 +115,10 @@ class FlowTrace:
     # crash-isolated map needed (0 for a clean run).
     degradations: list[str] = field(default_factory=list)
     retries: int = 0
+    #: Run-scoped counter deltas from the metrics registry (today the
+    #: ``ofdd.*`` family), so an exported trace carries the same numbers
+    #: ``repro-trace summary`` shows.
+    metrics: dict = field(default_factory=dict)
 
     # -- the records view --------------------------------------------------
 
@@ -196,6 +200,8 @@ class FlowTrace:
             "seconds_by_pass": self.seconds_by_pass(),
             "records": [record.as_dict() for record in self.records],
         }
+        if self.metrics:
+            payload["metrics"] = dict(self.metrics)
         if self.root is not None:
             payload["spans"] = self.root.as_dict()
         if self.manifest is not None:
@@ -219,6 +225,7 @@ class FlowTrace:
             seconds=payload.get("seconds", 0.0),
             degradations=list(resilience.get("degradations", [])),
             retries=resilience.get("retries", 0),
+            metrics=dict(payload.get("metrics", {})),
         )
         if "spans" in payload:
             trace.root = Span.from_dict(payload["spans"])
@@ -235,6 +242,26 @@ class FlowTrace:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent)
 
+    def ofdd_summary(self) -> str:
+        """One-line ``ofdd.*`` digest ('' when the run built no OFDDs)."""
+        ofdd = {
+            name.removeprefix("ofdd."): value
+            for name, value in self.metrics.items()
+            if name.startswith("ofdd.")
+        }
+        if not ofdd:
+            return ""
+        hits = ofdd.get("computed.hits", 0)
+        misses = ofdd.get("computed.misses", 0)
+        total = hits + misses
+        rate = f"{hits / total:.0%}" if total else "n/a"
+        return (
+            f"ofdd: {ofdd.get('managers', 0):g} manager(s), "
+            f"{ofdd.get('nodes', 0):g} node(s), apply cache "
+            f"{hits:g}/{total:g} hit(s) ({rate}), "
+            f"{ofdd.get('auto_gc', 0):g} auto-gc"
+        )
+
     def summary(self, top: int = 5) -> str:
         """A compact multi-line text summary (for CLI reports)."""
         lines = [f"flow trace: {self.circuit}  jobs={self.jobs}  "
@@ -249,6 +276,9 @@ class FlowTrace:
                 f"  resilience: {self.retries} retr{'y' if self.retries == 1 else 'ies'}, "
                 f"degraded: {', '.join(self.degradations) or 'none'}"
             )
+        ofdd_line = self.ofdd_summary()
+        if ofdd_line:
+            lines.append(f"  {ofdd_line}")
         for name, secs in self.seconds_by_pass().items():
             lines.append(f"  {name:<20} {secs:8.4f}s")
         hot = self.hotspots(top)

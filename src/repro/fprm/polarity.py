@@ -34,12 +34,32 @@ class PolarityStrategy(str, enum.Enum):
 
 _EXHAUSTIVE_MAX_VARS = 12
 
+_POPCOUNT_TABLES: dict[int, np.ndarray] = {}
+
+
+def _index_popcounts(n: int) -> np.ndarray:
+    """Popcount of every spectrum index ``0..2^n-1`` (cached per width)."""
+    table = _POPCOUNT_TABLES.get(n)
+    if table is None:
+        table = np.zeros(1 << n, dtype=np.int64)
+        for i in range(n):
+            half = 1 << i
+            table[half:2 * half] = table[:half] + 1
+        _POPCOUNT_TABLES[n] = table
+    return table
+
 
 def _cost(spectrum: np.ndarray, n: int) -> tuple[int, int]:
-    """(cube count, literal count) — lexicographic minimization target."""
-    masks = np.nonzero(spectrum)[0]
-    cubes = int(masks.size)
-    literals = int(sum(int(m).bit_count() for m in masks))
+    """(cube count, literal count) — lexicographic minimization target.
+
+    A nonzero spectrum entry at index ``m`` is one FPRM cube whose
+    literal count is ``popcount(m)``; spectra are 0/1 ``uint8`` arrays,
+    so the literal total is one dot product against a per-width popcount
+    table and the Gray-code scan's per-step cost check is O(2^n) numpy
+    instead of a Python loop over the nonzero masks.
+    """
+    cubes = int(np.count_nonzero(spectrum))
+    literals = int(spectrum.dot(_index_popcounts(n)))
     return cubes, literals
 
 
@@ -98,7 +118,7 @@ def best_polarity_exhaustive(table: TruthTable) -> int:
         if budget is not None and not (step & 63):
             budget.check("polarity-exhaustive")
         var = (step & -step).bit_length() - 1  # Gray-code transition bit
-        spectrum = spectrum_flip_polarity(spectrum, n, var)
+        spectrum = spectrum_flip_polarity(spectrum, n, var, copy=False)
         polarity ^= 1 << var
         cost = _cost(spectrum, n)
         if cost < best_cost or (cost == best_cost and polarity > best_polarity):

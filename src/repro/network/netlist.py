@@ -99,7 +99,10 @@ class Network:
     def _lookup(self, gate: GateType, fanins: tuple[int, ...]) -> int:
         if gate in _COMMUTATIVE:
             fanins = tuple(sorted(fanins))
-        key = (gate, fanins)
+        # Key by the enum's string value: str hashing is C-level and
+        # cached, unlike Enum.__hash__ which is a Python-level call on
+        # every structural-hash probe (a confirmed hot path).
+        key = (gate.value, fanins)
         node = self._hash.get(key)
         if node is None:
             node = len(self.types)
@@ -246,7 +249,64 @@ class Network:
 
     def two_input_gate_count(self) -> int:
         """Live gate count in 2-input AND/OR gates (XOR = 3, inverters free)."""
-        return sum(GATE_COST[self.types[node]] for node in self.live_nodes())
+        types = self.types
+        total = 0
+        for node in self.live_nodes():
+            gate = types[node]
+            if gate is GateType.AND or gate is GateType.OR:
+                total += 1
+            elif gate is GateType.XOR:
+                total += 3
+        return total
+
+    def gate_cost_from(self, root: int, seen: set[int]) -> int:
+        """Gate cost of nodes reachable from ``root`` not already in
+        ``seen``, adding them to ``seen``.
+
+        The incremental form of :meth:`two_input_gate_count`: summing
+        deltas over a set of roots equals the full live count, because
+        gate cost is additive over the union of transitive fanins.
+        """
+        types = self.types
+        fanins = self.fanins
+        total = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            gate = types[node]
+            if gate is GateType.AND or gate is GateType.OR:
+                total += 1
+            elif gate is GateType.XOR:
+                total += 3
+            stack.extend(fanins[node])
+        return total
+
+    # -- trial construction --------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Mark the current node count for :meth:`rollback`."""
+        return len(self.types)
+
+    def rollback(self, mark: int) -> None:
+        """Undo every node added since ``checkpoint`` returned ``mark``.
+
+        Nodes are append-only and each post-``mark`` node carries exactly
+        one structural-hash entry (keyed by its stored, already-normalized
+        fanins), so dropping the list tails and those entries restores the
+        network to the checkpointed state exactly.
+        """
+        types = self.types
+        fanins = self.fanins
+        if len(types) == mark:
+            return
+        hashes = self._hash
+        for node in range(mark, len(types)):
+            del hashes[(types[node].value, fanins[node])]
+        del types[mark:]
+        del fanins[mark:]
 
     def literal_count(self) -> int:
         """Pre-mapping literal count: 2 per 2-input AND/OR gate."""

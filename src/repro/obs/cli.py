@@ -103,6 +103,7 @@ def _cmd_summary(args: argparse.Namespace) -> int:
                 "degradations": list(parsed.degradations),
                 "retries": parsed.retries,
             },
+            "metrics": parsed.metrics,
             "seconds_by_pass": parsed.seconds_by_pass(),
             "hotspots": [
                 {"name": name, "self_seconds": round(secs, 6)}

@@ -177,6 +177,20 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def counter_values(self, prefix: str = "") -> dict[str, int | float]:
+        """Current values of the counters whose name starts with ``prefix``.
+
+        A cheap point-in-time view for run-scoped deltas (e.g. the
+        ``ofdd.*`` counters a trace attributes to one synthesis run).
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        return {
+            name: metric.value
+            for name, metric in items
+            if isinstance(metric, Counter) and name.startswith(prefix)
+        }
+
     # -- exporters ---------------------------------------------------------
 
     def _snapshot(self) -> list[tuple[str, dict]]:

@@ -32,6 +32,16 @@ FALSE = 0
 TRUE = 1
 _TERMINAL_LEVEL = 1 << 30
 
+# Computed-table bounds for the iterative apply: the table starts at the
+# initial bound and, when full, either doubles (hit rate since the last
+# flush >= the threshold: the entries are earning their keep) or is
+# flushed (cold entries are dead weight).  Flushing never changes
+# results — memo entries only cache canonical nodes that recomputation
+# reproduces — it only trades CPU for memory.
+_COMPUTED_LIMIT_INITIAL = 1 << 18
+_COMPUTED_LIMIT_MAX = 1 << 21
+_COMPUTED_GC_HIT_RATE = 0.5
+
 
 class OfddManager:
     """OFDD manager over ``num_vars`` variables with a fixed polarity vector."""
@@ -51,9 +61,12 @@ class OfddManager:
         self._level = [_TERMINAL_LEVEL, _TERMINAL_LEVEL]
         self._low = [0, 1]
         self._high = [0, 0]
-        self._unique: dict[tuple[int, int, int], int] = {}
-        self._xor_memo: dict[tuple[int, int], int] = {}
-        self._and_memo: dict[tuple[int, int], int] = {}
+        # Unique table and apply memos use packed int keys
+        # (``level << 64 | low << 32 | high`` and ``f << 32 | g``):
+        # C-speed hashing, no per-probe tuple allocation.
+        self._unique: dict[int, int] = {}
+        self._xor_memo: dict[int, int] = {}
+        self._and_memo: dict[int, int] = {}
         self._paths_memo: dict[int, int] = {}
         # Observability counters (always on; plain int increments).
         self._apply_calls = {"xor": 0, "and": 0}
@@ -61,13 +74,20 @@ class OfddManager:
         self._computed_misses = {"xor": 0, "and": 0}
         self._unique_hits = 0
         self._gc_count = 0
+        self._auto_gc_count = 0
+        self._computed_limit = _COMPUTED_LIMIT_INITIAL
+        self._hits_at_flush = 0
+        self._misses_at_flush = 0
+        # Last values pushed by publish_metrics, so repeated publishes
+        # of one manager only add the delta to the process counters.
+        self._published: dict[str, int] = {}
 
     # -- node construction -----------------------------------------------------
 
     def _mk(self, level: int, low: int, high: int) -> int:
         if high == FALSE:
             return low
-        key = (level, low, high)
+        key = level << 64 | low << 32 | high
         node = self._unique.get(key)
         if node is not None:
             self._unique_hits += 1
@@ -124,22 +144,7 @@ class OfddManager:
             return g
         if g == FALSE:
             return f
-        if f > g:
-            f, g = g, f
-        self._apply_calls["xor"] += 1
-        key = (f, g)
-        cached = self._xor_memo.get(key)
-        if cached is not None:
-            self._computed_hits["xor"] += 1
-            return cached
-        self._computed_misses["xor"] += 1
-        lf, lg = self._level[f], self._level[g]
-        level = min(lf, lg)
-        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, FALSE)
-        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, FALSE)
-        result = self._mk(level, self.xor_(f0, g0), self.xor_(f1, g1))
-        self._xor_memo[key] = result
-        return result
+        return self._apply("xor", f, g)
 
     def and_(self, f: int, g: int) -> int:
         if f == FALSE or g == FALSE:
@@ -150,28 +155,143 @@ class OfddManager:
             return f
         if f == g:
             return f
-        if f > g:
-            f, g = g, f
-        self._apply_calls["and"] += 1
-        key = (f, g)
-        cached = self._and_memo.get(key)
-        if cached is not None:
-            self._computed_hits["and"] += 1
-            return cached
-        self._computed_misses["and"] += 1
-        lf, lg = self._level[f], self._level[g]
-        level = min(lf, lg)
-        f0, f1 = (self._low[f], self._high[f]) if lf == level else (f, FALSE)
-        g0, g1 = (self._low[g], self._high[g]) if lg == level else (g, FALSE)
-        # (f0 ⊕ ℓf1)(g0 ⊕ ℓg1) = f0g0 ⊕ ℓ(f0g1 ⊕ f1g0 ⊕ f1g1)   [ℓ² = ℓ]
-        low = self.and_(f0, g0)
-        high = self.xor_(
-            self.xor_(self.and_(f0, g1), self.and_(f1, g0)),
-            self.and_(f1, g1),
-        )
-        result = self._mk(level, low, high)
-        self._and_memo[key] = result
-        return result
+        return self._apply("and", f, g)
+
+    def _apply(self, op: str, root_f: int, root_g: int) -> int:
+        """Iterative apply: an explicit stack machine over op frames.
+
+        Replays the recursive evaluation order *exactly* — every
+        :meth:`_mk` call, memo write and counter bump happens in the
+        same sequence a recursive apply would produce — so node ids
+        (and therefore every downstream result) are bit-identical to
+        the old recursive implementation, minus the Python call-stack
+        depth limit and frame overhead.
+
+        Frames: ``("xor", f, g)`` / ``("and", f, g)`` expand an apply
+        step; ``("xorv",)`` pops two computed values and re-dispatches
+        their XOR; ``("mk", level, key, memo)`` pops the two cofactor
+        results, builds the node and memoizes it under ``key``.
+        """
+        level = self._level
+        low = self._low
+        high = self._high
+        xor_memo = self._xor_memo
+        and_memo = self._and_memo
+        apply_calls = self._apply_calls
+        computed_hits = self._computed_hits
+        computed_misses = self._computed_misses
+        work: list[tuple] = [(op, root_f, root_g)]
+        values: list[int] = []
+        push = work.append
+        while work:
+            frame = work.pop()
+            tag = frame[0]
+            if tag == "xor":
+                f, g = frame[1], frame[2]
+                if f == g:
+                    values.append(FALSE)
+                    continue
+                if f == FALSE:
+                    values.append(g)
+                    continue
+                if g == FALSE:
+                    values.append(f)
+                    continue
+                if f > g:
+                    f, g = g, f
+                apply_calls["xor"] += 1
+                key = f << 32 | g
+                cached = xor_memo.get(key)
+                if cached is not None:
+                    computed_hits["xor"] += 1
+                    values.append(cached)
+                    continue
+                computed_misses["xor"] += 1
+                lf, lg = level[f], level[g]
+                lv = lf if lf < lg else lg
+                f0, f1 = (low[f], high[f]) if lf == lv else (f, FALSE)
+                g0, g1 = (low[g], high[g]) if lg == lv else (g, FALSE)
+                push(("mk", lv, key, xor_memo))
+                push(("xor", f1, g1))
+                push(("xor", f0, g0))
+            elif tag == "and":
+                f, g = frame[1], frame[2]
+                if f == FALSE or g == FALSE:
+                    values.append(FALSE)
+                    continue
+                if f == TRUE:
+                    values.append(g)
+                    continue
+                if g == TRUE:
+                    values.append(f)
+                    continue
+                if f == g:
+                    values.append(f)
+                    continue
+                if f > g:
+                    f, g = g, f
+                apply_calls["and"] += 1
+                key = f << 32 | g
+                cached = and_memo.get(key)
+                if cached is not None:
+                    computed_hits["and"] += 1
+                    values.append(cached)
+                    continue
+                computed_misses["and"] += 1
+                lf, lg = level[f], level[g]
+                lv = lf if lf < lg else lg
+                f0, f1 = (low[f], high[f]) if lf == lv else (f, FALSE)
+                g0, g1 = (low[g], high[g]) if lg == lv else (g, FALSE)
+                # (f0 ⊕ ℓf1)(g0 ⊕ ℓg1)
+                #   = f0g0 ⊕ ℓ(f0g1 ⊕ f1g0 ⊕ f1g1)        [ℓ² = ℓ]
+                # Pop order replays the recursive schedule: f0g0, f0g1,
+                # f1g0, their XOR, f1g1, the outer XOR, then mk.
+                push(("mk", lv, key, and_memo))
+                push(("xorv",))
+                push(("and", f1, g1))
+                push(("xorv",))
+                push(("and", f1, g0))
+                push(("and", f0, g1))
+                push(("and", f0, g0))
+            elif tag == "xorv":
+                b = values.pop()
+                a = values.pop()
+                push(("xor", a, b))
+            else:  # "mk"
+                lv, key, memo = frame[1], frame[2], frame[3]
+                r1 = values.pop()
+                r0 = values.pop()
+                result = self._mk(lv, r0, r1)
+                memo[key] = result
+                values.append(result)
+                if len(xor_memo) + len(and_memo) > self._computed_limit:
+                    self._tune_computed()
+        return values[-1]
+
+    def _tune_computed(self) -> None:
+        """Bound the computed table, steered by the recent hit rate.
+
+        A full table with a warm hit rate gets a bigger bound (dropping
+        hot memos would stall the apply); a cold table is flushed.  At
+        the hard cap the table always flushes.  Either way results are
+        unchanged — only the recompute/memory trade-off moves.
+        """
+        hits = sum(self._computed_hits.values()) - self._hits_at_flush
+        misses = sum(self._computed_misses.values()) - self._misses_at_flush
+        total = hits + misses
+        rate = hits / total if total else 0.0
+        if (rate >= _COMPUTED_GC_HIT_RATE
+                and self._computed_limit < _COMPUTED_LIMIT_MAX):
+            self._computed_limit = min(self._computed_limit * 2,
+                                       _COMPUTED_LIMIT_MAX)
+            return
+        # .clear() (not reassignment): in-flight apply frames hold
+        # references to these dicts.
+        self._xor_memo.clear()
+        self._and_memo.clear()
+        self._auto_gc_count += 1
+        self._hits_at_flush = sum(self._computed_hits.values())
+        self._misses_at_flush = sum(self._computed_misses.values())
 
     def not_(self, f: int) -> int:
         return self.xor_(f, TRUE)
@@ -352,8 +472,56 @@ class OfddManager:
             "hits": hits,
             "misses": misses,
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "computed_limit": self._computed_limit,
+            "computed_entries": len(self._xor_memo) + len(self._and_memo),
             "gc": self._gc_count,
+            "auto_gc": self._auto_gc_count,
         }
+
+    def publish_metrics(self) -> dict:
+        """Accumulate :meth:`stats` into the process metrics registry.
+
+        Counters land under the ``ofdd.`` prefix (``ofdd.managers``,
+        ``ofdd.apply.calls``, ``ofdd.computed.hits`` / ``.misses``,
+        ``ofdd.unique.hits``, ``ofdd.nodes``, ``ofdd.gc``,
+        ``ofdd.auto_gc``).  Repeated calls publish only the growth since
+        the previous call, so every site that records a manager's stats
+        can also publish them without double counting a shared manager.
+        Returns the :meth:`stats` dict, so call sites can use one call
+        for both the trace detail and the registry.
+        """
+        from repro.obs.metrics import get_metrics_registry
+
+        stats = self.stats()
+        values = {
+            "ofdd.apply.calls": (stats["computed"]["xor"]["calls"]
+                                 + stats["computed"]["and"]["calls"]),
+            "ofdd.computed.hits": stats["hits"],
+            "ofdd.computed.misses": stats["misses"],
+            "ofdd.unique.hits": stats["unique"]["hits"],
+            "ofdd.nodes": stats["size"],
+            "ofdd.gc": stats["gc"],
+            "ofdd.auto_gc": stats["auto_gc"],
+        }
+        helps = {
+            "ofdd.apply.calls": "xor_/and_ apply-cache consults",
+            "ofdd.computed.hits": "apply-cache hits",
+            "ofdd.computed.misses": "apply-cache misses",
+            "ofdd.unique.hits": "unique-table hits in _mk",
+            "ofdd.nodes": "OFDD nodes allocated (terminals included)",
+            "ofdd.gc": "explicit computed-table flushes",
+            "ofdd.auto_gc": "hit-rate-steered computed-table flushes",
+        }
+        registry = get_metrics_registry()
+        if not self._published:
+            registry.counter("ofdd.managers",
+                             "OFDD managers that published stats").inc()
+        for name, value in values.items():
+            delta = value - self._published.get(name, 0)
+            if delta > 0:
+                registry.counter(name, helps[name]).inc(delta)
+            self._published[name] = value
+        return stats
 
     def gc(self) -> int:
         """Drop the computed tables (apply and path-count memos).
@@ -369,4 +537,7 @@ class OfddManager:
         self._and_memo.clear()
         self._paths_memo.clear()
         self._gc_count += 1
+        # Re-anchor the auto-tuner's hit-rate window at this flush.
+        self._hits_at_flush = sum(self._computed_hits.values())
+        self._misses_at_flush = sum(self._computed_misses.values())
         return dropped

@@ -47,14 +47,17 @@ def fprm_spectrum(table: TruthTable, polarity: int) -> np.ndarray:
     return pprm_spectrum(adjusted)
 
 
-def spectrum_flip_polarity(spectrum: np.ndarray, n: int, var: int) -> np.ndarray:
+def spectrum_flip_polarity(
+    spectrum: np.ndarray, n: int, var: int, copy: bool = True
+) -> np.ndarray:
     """Incrementally flip the polarity of one variable.
 
     Given the FPRM spectrum for polarity ``p``, returns the spectrum for
     ``p ^ (1 << var)`` in O(2^n) XORs: substituting ``y = 1 ⊕ z`` into
-    ``A ⊕ y·B`` yields ``(A ⊕ B) ⊕ z·B``.
+    ``A ⊕ y·B`` yields ``(A ⊕ B) ⊕ z·B``.  Pass ``copy=False`` to flip
+    in place (Gray-code scans never revisit the previous spectrum).
     """
-    out = spectrum.copy()
+    out = spectrum.copy() if copy else spectrum
     shaped = out.reshape(-1, 2, 1 << var)
     shaped[:, 0, :] ^= shaped[:, 1, :]
     return out

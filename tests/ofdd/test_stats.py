@@ -91,3 +91,59 @@ def test_stats_flow_into_pass_details():
     ofdd_stats = by_name["derive-fprm"].details.get("ofdd")
     assert ofdd_stats is not None and ofdd_stats["size"] > 2
     assert "ofdd" in by_name["factor-ofdd"].details
+
+
+def test_publish_metrics_is_delta_safe():
+    """Re-publishing a manager adds only the growth since last publish."""
+    from repro.obs.metrics import get_metrics_registry
+
+    registry = get_metrics_registry()
+    manager, _ = _parity_manager()
+    managers_before = registry.counter("ofdd.managers").value
+    nodes_before = registry.counter("ofdd.nodes").value
+    stats = manager.publish_metrics()
+    assert registry.counter("ofdd.managers").value == managers_before + 1
+    assert registry.counter("ofdd.nodes").value == \
+        nodes_before + stats["size"]
+    # No new work: a second publish adds nothing.
+    manager.publish_metrics()
+    assert registry.counter("ofdd.managers").value == managers_before + 1
+    assert registry.counter("ofdd.nodes").value == \
+        nodes_before + stats["size"]
+    # More work: only the delta lands.
+    manager.xor_(manager.literal(0), manager.literal(2))
+    grown = manager.publish_metrics()
+    assert registry.counter("ofdd.nodes").value == \
+        nodes_before + grown["size"]
+
+
+def test_ofdd_counters_surface_in_trace_metrics_and_summary():
+    from repro.core.options import SynthesisOptions
+    from repro.core.synthesis import FprmSynthesizer
+    from repro.expr import expression as ex
+    from repro.flow.passes import DENSE_SYNTH_LIMIT
+    from repro.spec import CircuitSpec, OutputSpec
+
+    width = DENSE_SYNTH_LIMIT + 2
+    spec = CircuitSpec(
+        name="wide-parity",
+        num_inputs=width,
+        outputs=[OutputSpec("p", tuple(range(width)),
+                            expr=ex.xor_([ex.Lit(v) for v in range(width)]))],
+    )
+    result = FprmSynthesizer(
+        SynthesisOptions(verify=False, trace=True)
+    ).run(spec)
+    trace = result.trace
+    assert trace is not None
+    assert trace.metrics.get("ofdd.managers", 0) >= 1
+    assert trace.metrics.get("ofdd.nodes", 0) > 2
+    line = trace.ofdd_summary()
+    assert line.startswith("ofdd:")
+    assert line in trace.summary()
+    # The metrics survive the JSON round trip repro-trace consumes.
+    from repro.flow.trace import FlowTrace
+
+    back = FlowTrace.from_dict(json.loads(trace.to_json()))
+    assert back.metrics == trace.metrics
+    assert back.ofdd_summary() == line
