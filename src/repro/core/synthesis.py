@@ -76,6 +76,12 @@ class SynthesisResult:
     seconds: float = 0.0
     trace: FlowTrace | None = None
     manifest: RunManifest | None = None
+    #: How many outputs were answered by the result cache (memory or
+    #: disk tier, parent or pool worker).  ``cached_outputs`` equal to
+    #: the output count means the run computed nothing fresh — the
+    #: signal the serving tier uses to count *actual* syntheses when
+    #: several daemons share one cache directory.
+    cached_outputs: int = 0
 
     @property
     def two_input_gates(self) -> int:
@@ -274,6 +280,10 @@ class FprmSynthesizer:
             seconds=time.perf_counter() - start,
             trace=trace,
             manifest=manifest,
+            cached_outputs=sum(
+                1 for output_run in runs
+                if output_run is not None and output_run.cached
+            ),
         )
         if options.verify:
             with obs_span("verify", category="pass") as verify_span:

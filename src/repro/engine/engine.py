@@ -119,10 +119,26 @@ class SynthesisEngine:
                    **overrides) -> SynthesisResult:
         """Run the paper's FPRM flow (pipeline, cache, budget, manifest)."""
         resolved = self.resolve(options, **overrides)
-        get_metrics_registry().counter(
+        registry = get_metrics_registry()
+        registry.counter(
             "engine.requests", "synthesis requests through the engine"
         ).inc()
         result = FprmSynthesizer(resolved).run(spec)
+        # Fresh vs. fully-cached accounting: a request whose every output
+        # came out of the result cache did no synthesis work of its own.
+        # Summed across daemons sharing a cache directory, the fresh
+        # counter is the "exactly one synthesis per request_key" witness
+        # the multi-daemon crash-restart gauntlet asserts on.
+        if spec.num_outputs and result.cached_outputs == spec.num_outputs:
+            registry.counter(
+                "engine.requests.cached",
+                "requests answered entirely from the result cache",
+            ).inc()
+        else:
+            registry.counter(
+                "engine.requests.fresh",
+                "requests that synthesized at least one output",
+            ).inc()
         if self.history is not None:
             # Best-effort by design: a full history disk must never
             # fail a synthesis that already succeeded.

@@ -6,6 +6,7 @@ __all__ = [
     "DimensionError",
     "LibraryError",
     "ParseError",
+    "QuotaExceededError",
     "ReproError",
     "TooManyVariablesError",
     "UnknownCircuitError",
@@ -69,6 +70,25 @@ class WorkerCrashError(ReproError):
         super().__init__(
             f"worker for output {output!r} failed after {attempts} "
             f"attempt(s): {reason}"
+        )
+
+
+class QuotaExceededError(ReproError):
+    """A client exhausted its admission quota (token bucket empty).
+
+    Raised at submission time by the serving tier's admission control
+    (:class:`repro.serve.quota.ClientQuotas`), mapped by the HTTP layer
+    to a ``429 Too Many Requests`` response carrying ``retry_after``
+    (whole seconds until the bucket has a token again) in the
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, client: str, retry_after: float):
+        self.client = client
+        self.retry_after = retry_after
+        super().__init__(
+            f"quota exhausted for client {client!r}; "
+            f"retry in {retry_after:.0f}s"
         )
 
 

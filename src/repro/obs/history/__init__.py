@@ -18,7 +18,9 @@ from repro.obs.history.store import (
     HISTORY_FILE_ENV,
     HISTORY_SCHEMA_VERSION,
     RunHistoryStore,
+    append_jsonl,
     current_git_sha,
+    read_jsonl,
     resolve_history_path,
 )
 
@@ -27,8 +29,10 @@ __all__ = [
     "HISTORY_SCHEMA_VERSION",
     "RunHistoryStore",
     "SNAPSHOT_SCHEMA_VERSION",
+    "append_jsonl",
     "compare_snapshots",
     "current_git_sha",
+    "read_jsonl",
     "record_snapshot",
     "resolve_history_path",
     "snapshot_history_records",

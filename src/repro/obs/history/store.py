@@ -30,7 +30,9 @@ __all__ = [
     "HISTORY_FILE_ENV",
     "HISTORY_SCHEMA_VERSION",
     "RunHistoryStore",
+    "append_jsonl",
     "current_git_sha",
+    "read_jsonl",
     "resolve_history_path",
 ]
 
@@ -69,6 +71,54 @@ def resolve_history_path(explicit: str | None = None) -> str | None:
     return os.environ.get(HISTORY_FILE_ENV) or None
 
 
+def append_jsonl(path: str, record: dict) -> None:
+    """Append one record to a JSONL file as a single ``O_APPEND`` write.
+
+    The append-only discipline shared by the run-history store and the
+    serve job journal: whole lines written with one syscall interleave
+    (never interleave bytes) under concurrent writers, and a crash
+    mid-write leaves at most one torn tail line.  Before appending, the
+    tail is healed: if the last byte is not a newline, the new line is
+    prefixed with one so the torn line is terminated instead of glued to
+    a fresh record (a resulting blank line is skipped by readers; two
+    healers racing just make two blank lines).
+    """
+    line = json.dumps(record, sort_keys=True) + "\n"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        size = os.fstat(fd).st_size
+        if size and os.pread(fd, 1, size - 1) != b"\n":
+            line = "\n" + line
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """All parseable dict records of a JSONL file, oldest first.
+
+    Torn, blank or hand-mangled lines are skipped, not fatal — an
+    append-only log must stay readable after a crash mid-write.
+    """
+    if not os.path.exists(path):
+        return []
+    out: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                out.append(record)
+    return out
+
+
 class RunHistoryStore:
     """One JSONL file of run records, append-only."""
 
@@ -88,22 +138,7 @@ class RunHistoryStore:
         stamped.setdefault("schema", HISTORY_SCHEMA_VERSION)
         stamped.setdefault("created_unix", time.time())
         stamped.setdefault("git_sha", current_git_sha())
-        line = json.dumps(stamped, sort_keys=True) + "\n"
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        fd = os.open(self.path,
-                     os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
-        try:
-            # A crash mid-write leaves a torn line with no newline; glue
-            # a fresh record onto it and *both* are lost.  Terminate the
-            # torn tail first (a resulting blank line is skipped by the
-            # reader; two healers racing just make two blank lines).
-            size = os.fstat(fd).st_size
-            if size and os.pread(fd, 1, size - 1) != b"\n":
-                line = "\n" + line
-            os.write(fd, line.encode("utf-8"))
-        finally:
-            os.close(fd)
+        append_jsonl(self.path, stamped)
         return stamped
 
     # -- reading -----------------------------------------------------------
@@ -115,26 +150,14 @@ class RunHistoryStore:
         A torn or hand-mangled line is skipped, not fatal: an append-only
         log must stay readable after a crash mid-write.
         """
-        if not os.path.exists(self.path):
-            return []
         out: list[dict] = []
-        with open(self.path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if not isinstance(record, dict):
-                    continue
-                if kind is not None and record.get("kind") != kind:
-                    continue
-                if request_key is not None \
-                        and record.get("request_key") != request_key:
-                    continue
-                out.append(record)
+        for record in read_jsonl(self.path):
+            if kind is not None and record.get("kind") != kind:
+                continue
+            if request_key is not None \
+                    and record.get("request_key") != request_key:
+                continue
+            out.append(record)
         return out
 
     def latest_by_key(self, kind: str | None = None) -> dict[str, dict]:

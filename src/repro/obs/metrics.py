@@ -42,6 +42,18 @@ __all__ = [
 DEFAULT_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0)
 
 
+def _label_key(name: str, labels: dict[str, str] | None) -> str:
+    """Registry key for an instrument: ``name{k=v,...}`` when labeled.
+
+    Labels are sorted so ``{"a": 1, "b": 2}`` and ``{"b": 2, "a": 1}``
+    name the same instrument.
+    """
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
 @dataclass(eq=False)
 class Counter:
     """Monotonically increasing count."""
@@ -49,6 +61,7 @@ class Counter:
     name: str
     help: str = ""
     value: int | float = 0
+    labels: dict = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -61,7 +74,10 @@ class Counter:
 
     def as_dict(self) -> dict:
         with self._lock:
-            return {"type": "counter", "help": self.help, "value": self.value}
+            doc = {"type": "counter", "help": self.help, "value": self.value}
+            if self.labels:
+                doc["labels"] = dict(self.labels)
+            return doc
 
 
 @dataclass(eq=False)
@@ -71,6 +87,7 @@ class Gauge:
     name: str
     help: str = ""
     value: int | float = 0
+    labels: dict = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -89,7 +106,10 @@ class Gauge:
 
     def as_dict(self) -> dict:
         with self._lock:
-            return {"type": "gauge", "help": self.help, "value": self.value}
+            doc = {"type": "gauge", "help": self.help, "value": self.value}
+            if self.labels:
+                doc["labels"] = dict(self.labels)
+            return doc
 
 
 @dataclass(eq=False)
@@ -99,6 +119,7 @@ class Histogram:
     name: str
     help: str = ""
     buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    labels: dict = field(default_factory=dict)
     counts: list[int] = field(default_factory=list)  # one per bucket + inf
     total: float = 0.0
     count: int = 0
@@ -125,7 +146,7 @@ class Histogram:
 
     def as_dict(self) -> dict:
         with self._lock:
-            return {
+            doc = {
                 "type": "histogram",
                 "help": self.help,
                 "buckets": list(self.buckets),
@@ -133,6 +154,9 @@ class Histogram:
                 "sum": self.total,
                 "count": self.count,
             }
+            if self.labels:
+                doc["labels"] = dict(self.labels)
+            return doc
 
 
 class MetricsRegistry:
@@ -150,28 +174,34 @@ class MetricsRegistry:
         with self._lock:
             return name in self._metrics
 
-    def _get(self, name: str, kind, **kwargs):
+    def _get(self, name: str, kind, labels=None, **kwargs):
+        labels = {k: str(v) for k, v in (labels or {}).items()}
+        key = _label_key(name, labels)
         with self._lock:
-            metric = self._metrics.get(name)
+            metric = self._metrics.get(key)
             if metric is None:
-                metric = kind(name=name, **kwargs)
-                self._metrics[name] = metric
+                metric = kind(name=name, labels=labels, **kwargs)
+                self._metrics[key] = metric
             elif not isinstance(metric, kind):
                 raise TypeError(
-                    f"metric {name!r} already registered as "
+                    f"metric {key!r} already registered as "
                     f"{type(metric).__name__}"
                 )
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, Counter, help=help)
+    def counter(self, name: str, help: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._get(name, Counter, labels=labels, help=help)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, Gauge, help=help)
+    def gauge(self, name: str, help: str = "",
+              labels: dict | None = None) -> Gauge:
+        return self._get(name, Gauge, labels=labels, help=help)
 
     def histogram(self, name: str, help: str = "",
-                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
-        return self._get(name, Histogram, help=help, buckets=buckets)
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  labels: dict | None = None) -> Histogram:
+        return self._get(name, Histogram, labels=labels,
+                         help=help, buckets=buckets)
 
     def clear(self) -> None:
         with self._lock:
@@ -217,27 +247,55 @@ class MetricsRegistry:
         Every metric family gets both its ``# HELP`` and ``# TYPE``
         line — scrapers and dashboards key the type off the metadata,
         and an instrument registered without help text still must not
-        produce an untyped family.
+        produce an untyped family.  Labeled instruments of one family
+        (e.g. the per-priority queue-wait histograms) are grouped under
+        a single HELP/TYPE header and rendered as label sets.
         """
+        def render_labels(labels: dict, extra: str = "") -> str:
+            parts = [
+                '{key}="{val}"'.format(
+                    key=key,
+                    val=str(val).replace("\\", "\\\\").replace('"', '\\"'),
+                )
+                for key, val in sorted(labels.items())
+            ]
+            if extra:
+                parts.append(extra)
+            return "{" + ",".join(parts) + "}" if parts else ""
+
+        # Group label variants under one family: sort by base name, with
+        # the unlabeled instrument (if any) first.
+        snapshot = sorted(
+            self._snapshot(),
+            key=lambda item: (item[0].split("{", 1)[0], item[0]),
+        )
         lines: list[str] = []
-        for name, data in self._snapshot():
+        seen_families: set[str] = set()
+        for key, data in snapshot:
+            name = key.split("{", 1)[0]
             flat = name.replace(".", "_").replace("-", "_")
             kind = data["type"]
-            help_text = (data["help"] or name).replace("\\", "\\\\") \
-                .replace("\n", "\\n")
-            lines.append(f"# HELP {flat} {help_text}")
-            lines.append(f"# TYPE {flat} {kind}")
+            labels = data.get("labels", {})
+            if flat not in seen_families:
+                seen_families.add(flat)
+                help_text = (data["help"] or name).replace("\\", "\\\\") \
+                    .replace("\n", "\\n")
+                lines.append(f"# HELP {flat} {help_text}")
+                lines.append(f"# TYPE {flat} {kind}")
+            label_text = render_labels(labels)
             if kind in ("counter", "gauge"):
-                lines.append(f"{flat} {data['value']}")
+                lines.append(f"{flat}{label_text} {data['value']}")
                 continue
             cumulative = 0
             for bound, count in zip(data["buckets"], data["counts"]):
                 cumulative += count
-                lines.append(f'{flat}_bucket{{le="{bound}"}} {cumulative}')
+                bucket = render_labels(labels, extra=f'le="{bound}"')
+                lines.append(f"{flat}_bucket{bucket} {cumulative}")
             cumulative += data["counts"][-1]
-            lines.append(f'{flat}_bucket{{le="+Inf"}} {cumulative}')
-            lines.append(f"{flat}_sum {data['sum']}")
-            lines.append(f"{flat}_count {data['count']}")
+            bucket = render_labels(labels, extra='le="+Inf"')
+            lines.append(f"{flat}_bucket{bucket} {cumulative}")
+            lines.append(f"{flat}_sum{label_text} {data['sum']}")
+            lines.append(f"{flat}_count{label_text} {data['count']}")
         return "\n".join(lines) + "\n"
 
 

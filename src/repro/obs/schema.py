@@ -145,6 +145,7 @@ _METRIC_SCHEMA: dict = {
         "type": _STRING,
         "help": _STRING,
         "value": _NUMBER,
+        "labels": {"type": "object"},
         "buckets": {"type": "array", "items": _NUMBER},
         "counts": {"type": "array", "items": _INT},
         "sum": _NUMBER,

@@ -1,24 +1,52 @@
-"""repro-serve: synthesis as a long-lived service.
+"""repro-serve: synthesis as a long-lived, durable service.
 
 A stdlib-only asyncio daemon in front of the
-:class:`~repro.engine.SynthesisEngine`: jobs go into an async queue,
-identical in-flight requests are deduplicated on their content digest
-(N submissions, one synthesis, N responses), multi-output jobs are
-batched into the crash-isolated process pool, and results land in the
-shared disk-backed cache so a restarted daemon — or a plain
-``repro-synth`` run pointed at the same ``--cache-dir`` — is warm from
-the first request.
+:class:`~repro.engine.SynthesisEngine`: jobs go into a priority-aware
+async queue, identical in-flight requests are deduplicated on their
+content digest (N submissions, one synthesis, N responses), per-client
+token buckets reject over-quota traffic with ``429`` + ``Retry-After``,
+multi-output jobs are batched into the crash-isolated process pool,
+and results land in the shared disk-backed cache so a restarted daemon
+— or a plain ``repro-synth`` run pointed at the same ``--cache-dir`` —
+is warm from the first request.
+
+With a ``--state-dir`` the queue itself is durable: accepted jobs are
+written to an append-only journal (:mod:`repro.serve.journal`) before
+their 202 goes out and replayed on the next boot, and lease files
+(:mod:`repro.resilience.lease`) let several daemons share one
+cache/journal directory without duplicating in-flight synthesis.
+``python -m repro.serve.gauntlet`` exercises exactly those crash paths.
 
 See ``docs/SERVICE.md`` for the architecture and the ops runbook.
 """
 
-from repro.serve.jobs import Job, JobQueue, JobState, options_from_json
-from repro.serve.server import ReproServer
+from repro.serve.jobs import (
+    DEFAULT_CLIENT,
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    Job,
+    JobQueue,
+    JobState,
+    options_from_json,
+)
+from repro.serve.journal import JOURNAL_SCHEMA_VERSION, JobJournal, PendingJob
+from repro.serve.quota import ClientQuotas, QuotaDecision, TokenBucket
+from repro.serve.server import ReproServer, resolve_state_dir
 
 __all__ = [
+    "ClientQuotas",
+    "DEFAULT_CLIENT",
+    "DEFAULT_PRIORITY",
+    "JOURNAL_SCHEMA_VERSION",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobState",
+    "PRIORITY_CLASSES",
+    "PendingJob",
+    "QuotaDecision",
     "ReproServer",
+    "TokenBucket",
     "options_from_json",
+    "resolve_state_dir",
 ]

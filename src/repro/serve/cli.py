@@ -1,14 +1,20 @@
 """repro-serve — run the synthesis service from the command line.
 
-    repro-serve [--host H] [--port P] [--cache-dir DIR]
+    repro-serve [--host H] [--port P] [--cache-dir DIR] [--state-dir DIR]
                 [--cache-max-mb N] [--workers N] [--jobs N] [--no-verify]
+                [--quota-rate R] [--quota-burst B] [--lease-ttl S]
 
 ``--cache-dir`` (or ``REPRO_CACHE_DIR``) attaches the disk-backed
 result cache, so results survive daemon restarts and are shared with
-``repro-synth``/harness runs pointed at the same directory.  ``--jobs``
-sets how many pool processes one multi-output job may fan out to;
-``--workers`` sets how many jobs run concurrently.  The daemon drains
-gracefully on SIGTERM/SIGINT and exits 0.
+``repro-synth``/harness runs pointed at the same directory.
+``--state-dir`` (or ``REPRO_SERVE_STATE_DIR``) makes the *queue*
+durable too: accepted jobs are journaled and replayed after a crash,
+and lease files under the same directory coordinate several daemons
+sharing one cache.  ``--quota-rate``/``--quota-burst`` turn on
+per-client token-bucket admission (429 + ``Retry-After`` when a bucket
+runs dry).  ``--jobs`` sets how many pool processes one multi-output
+job may fan out to; ``--workers`` sets how many jobs run concurrently.
+The daemon drains gracefully on SIGTERM/SIGINT and exits 0.
 """
 
 from __future__ import annotations
@@ -21,7 +27,8 @@ import sys
 from repro.engine import EngineConfig, resolve_cache_dir, resolve_options
 from repro.flow.disk_cache import DEFAULT_MAX_BYTES
 from repro.obs.logs import LOG_FILE_ENV, configure, log_event, logging_enabled
-from repro.serve.server import ReproServer
+from repro.resilience.lease import DEFAULT_TTL_SECONDS
+from repro.serve.server import ReproServer, resolve_state_dir
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,6 +42,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="disk-backed result cache shared across "
                              "processes (default: REPRO_CACHE_DIR)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="durable queue state: job journal + lease "
+                             "files (default: REPRO_SERVE_STATE_DIR; "
+                             "unset = in-memory queue)")
+    parser.add_argument("--quota-rate", type=float, default=None,
+                        metavar="R", help="per-client admission rate in "
+                             "requests/second (unset = no quotas)")
+    parser.add_argument("--quota-burst", type=float, default=10.0,
+                        metavar="B", help="per-client token-bucket "
+                             "capacity (default 10)")
+    parser.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_TTL_SECONDS, metavar="S",
+                        help="seconds without a heartbeat before a "
+                             "peer's lease is stale (default "
+                             f"{DEFAULT_TTL_SECONDS:g})")
     parser.add_argument("--cache-max-mb", type=int,
                         default=DEFAULT_MAX_BYTES // (1024 * 1024),
                         metavar="N", help="disk cache size budget for GC")
@@ -75,17 +97,25 @@ def main(argv: list[str] | None = None) -> int:
         cache_max_bytes=args.cache_max_mb * 1024 * 1024,
         history_path=args.history,
     )
+    state_dir = resolve_state_dir(args.state_dir)
     server = ReproServer(config, host=args.host, port=args.port,
-                         workers=args.workers)
+                         workers=args.workers,
+                         state_dir=state_dir,
+                         quota_rate=args.quota_rate,
+                         quota_burst=args.quota_burst,
+                         lease_ttl_seconds=args.lease_ttl)
 
     async def run() -> None:
         await server.start()
         print(f"repro-serve listening on http://{server.host}:{server.port}"
-              + (f" (cache: {config.cache_dir})" if config.cache_dir else ""),
+              + (f" (cache: {config.cache_dir})" if config.cache_dir else "")
+              + (f" (state: {state_dir}, replayed {server.replayed})"
+                 if state_dir else ""),
               file=sys.stderr, flush=True)
         if logging_enabled():
             log_event("serve.started", host=server.host, port=server.port,
-                      workers=args.workers)
+                      workers=args.workers, state_dir=state_dir,
+                      replayed=server.replayed)
         await server.serve_forever(install_signals=True)
 
     asyncio.run(run())

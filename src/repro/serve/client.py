@@ -15,6 +15,8 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.errors import QuotaExceededError
+
 __all__ = ["ServeClient"]
 
 
@@ -29,20 +31,42 @@ class ServeClient:
             self.base_url + path, data=data, method=method,
             headers={"Content-Type": "application/json"} if data else {},
         )
-        with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-            payload = resp.read()
-            ctype = resp.headers.get("Content-Type", "")
-            if ctype.startswith("application/json"):
-                return json.loads(payload.decode("utf-8"))
-            return payload.decode("utf-8")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                payload = resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+                if ctype.startswith("application/json"):
+                    return json.loads(payload.decode("utf-8"))
+                return payload.decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            if exc.code == 429:
+                # Surface the daemon's backpressure as the same typed
+                # error the queue raises in-process.
+                retry_after = float(exc.headers.get("Retry-After") or 1.0)
+                client = "unknown"
+                try:
+                    doc = json.loads(exc.read().decode("utf-8"))
+                    client = str(doc.get("client", client))
+                    retry_after = float(doc.get("retry_after", retry_after))
+                except (ValueError, UnicodeDecodeError):
+                    pass
+                raise QuotaExceededError(client, retry_after) from exc
+            raise
 
     # -- endpoints ---------------------------------------------------------
 
     def synthesize(self, pla: str, name: str = "request",
-                   options: dict | None = None, wait: bool = True) -> dict:
-        return self._request("POST", "/synthesize", {
+                   options: dict | None = None, wait: bool = True,
+                   priority: str | None = None,
+                   client: str | None = None) -> dict:
+        body: dict = {
             "pla": pla, "name": name, "options": options or {}, "wait": wait,
-        })
+        }
+        if priority is not None:
+            body["priority"] = priority
+        if client is not None:
+            body["client"] = client
+        return self._request("POST", "/synthesize", body)
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

@@ -1,4 +1,4 @@
-"""Job queue with in-flight request deduplication.
+"""Job queue: dedup, priority classes, quotas, journal and leases.
 
 Every submission is keyed by :meth:`SynthesisEngine.request_key` — the
 ``spec digest / options fingerprint`` identity also used by the result
@@ -7,6 +7,28 @@ queued or running job does **not** enqueue a second synthesis: the
 caller is attached to the existing job and gets the same result
 (``Job.submissions`` counts how many callers share it).  Keys equal ⇒
 results equal, so deduplication can never serve a wrong answer.
+
+On top of the PR-6 dedup queue this adds the durability/fairness tier:
+
+* **priority classes** — every job carries one of
+  :data:`PRIORITY_CLASSES` (``high``/``normal``/``low``); the dequeue
+  is a binary heap ordered by (class rank, FIFO sequence), so a batch
+  client marked ``low`` can never starve interactive ``high`` traffic.
+  Queue-wait latency is recorded both overall and per class
+  (``serve.queue_wait_seconds{priority=...}``).
+* **per-client quotas** — a :class:`~repro.serve.quota.ClientQuotas`
+  token bucket is consulted *before* dedup; an empty bucket raises
+  :class:`~repro.errors.QuotaExceededError`, which the HTTP layer maps
+  to ``429`` + ``Retry-After``.
+* **journal** — when a :class:`~repro.serve.journal.JobJournal` is
+  attached, ``queued``/``running``/``done``/``failed`` transitions are
+  appended before they are observable, so a SIGKILL'd daemon replays
+  its unfinished backlog on the next boot.
+* **leases** — when a :class:`~repro.resilience.lease.LeaseManager` is
+  attached, a worker takes the per-key lease before synthesizing and
+  heartbeats while running; a peer daemon wanting the same key waits
+  for the lease and then (thanks to the shared disk cache) answers
+  from cache instead of duplicating the work.
 
 All queue state is mutated on the event-loop thread only; the actual
 synthesis runs in a thread-pool executor (and, for multi-output specs,
@@ -18,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -34,10 +57,26 @@ from repro.obs.logs import log_event
 from repro.obs.metrics import get_metrics_registry
 from repro.obs.runctx import RunContext, install_run_context, new_correlation_id
 from repro.power import estimate_power
+from repro.resilience.lease import Lease, LeaseManager
+from repro.serve.journal import JobJournal
+from repro.serve.quota import ClientQuotas
 from repro.spec import CircuitSpec
 from repro.timing import network_delay
 
-__all__ = ["Job", "JobQueue", "JobState", "options_from_json"]
+__all__ = [
+    "DEFAULT_CLIENT",
+    "DEFAULT_PRIORITY",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "PRIORITY_CLASSES",
+    "options_from_json",
+]
+
+#: Priority classes in dequeue order: lower rank runs first.
+PRIORITY_CLASSES = {"high": 0, "normal": 1, "low": 2}
+DEFAULT_PRIORITY = "normal"
+DEFAULT_CLIENT = "default"
 
 #: JSON-settable synthesis knobs: name -> converter.  A whitelist, not
 #: ``getattr`` on the dataclass — the service must not expose knobs that
@@ -77,6 +116,18 @@ def options_from_json(doc: dict) -> dict:
     return overrides
 
 
+def validate_priority(priority: str | None) -> str:
+    """Normalize a request's priority field (400 material when bad)."""
+    if priority is None:
+        return DEFAULT_PRIORITY
+    if priority not in PRIORITY_CLASSES:
+        raise ValueError(
+            f"unknown priority {priority!r} "
+            f"(expected one of {sorted(PRIORITY_CLASSES)})"
+        )
+    return priority
+
+
 class JobState(str, enum.Enum):
     QUEUED = "queued"
     RUNNING = "running"
@@ -94,6 +145,10 @@ class Job:
     spec: CircuitSpec
     options: SynthesisOptions
     state: JobState = JobState.QUEUED
+    priority: str = DEFAULT_PRIORITY
+    client: str = DEFAULT_CLIENT
+    #: Re-enqueued from the journal after a crash (skips quota/journal).
+    replayed: bool = False
     submissions: int = 1
     #: One id shared by every log line this request produces — in the
     #: daemon, on the executor thread and inside pool workers.
@@ -116,6 +171,9 @@ class Job:
             "state": self.state.value,
             "circuit": self.circuit,
             "key": self.key,
+            "priority": self.priority,
+            "client": self.client,
+            "replayed": self.replayed,
             "correlation_id": self.correlation_id,
             "submissions": self.submissions,
             "submitted_unix": self.submitted_unix,
@@ -132,19 +190,63 @@ class Job:
         return doc
 
 
+class _PriorityQueue:
+    """Heap-ordered asyncio queue: (priority rank, FIFO sequence).
+
+    A small stand-in for :class:`asyncio.Queue` with the same
+    ``put_nowait``/``get``/``task_done``/``join`` surface; all calls
+    happen on the event-loop thread.
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._available = asyncio.Semaphore(0)
+        self._unfinished = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    def put_nowait(self, rank: int, job: Job) -> None:
+        heapq.heappush(self._heap, (rank, next(self._seq), job))
+        self._unfinished += 1
+        self._idle.clear()
+        self._available.release()
+
+    async def get(self) -> Job:
+        await self._available.acquire()
+        return heapq.heappop(self._heap)[2]
+
+    def task_done(self) -> None:
+        self._unfinished -= 1
+        if self._unfinished <= 0:
+            self._idle.set()
+
+    async def join(self) -> None:
+        await self._idle.wait()
+
+
 class JobQueue:
     """Async job queue in front of one shared engine."""
 
-    def __init__(self, engine: SynthesisEngine, workers: int = 1):
+    def __init__(self, engine: SynthesisEngine, workers: int = 1,
+                 quotas: ClientQuotas | None = None,
+                 journal: JobJournal | None = None,
+                 leases: LeaseManager | None = None,
+                 lease_poll_seconds: float = 0.25):
         self.engine = engine
         self.workers = max(1, workers)
+        self.quotas = quotas
+        self.journal = journal
+        self.leases = leases
+        self.lease_poll_seconds = lease_poll_seconds
         self.jobs: dict[str, Job] = {}
         self.synth_calls = 0  # engine invocations (dedup leaves this flat)
         self._inflight: dict[str, Job] = {}
-        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._queue = _PriorityQueue()
         self._tasks: list[asyncio.Task] = []
         self._ids = itertools.count(1)
         self._registry = get_metrics_registry()
+        self._stale_seen = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -166,14 +268,32 @@ class JobQueue:
 
     # -- submission --------------------------------------------------------
 
-    def submit(self, spec: CircuitSpec,
-               overrides: dict | None = None) -> tuple[Job, bool]:
+    def submit(self, spec: CircuitSpec, overrides: dict | None = None, *,
+               priority: str = DEFAULT_PRIORITY,
+               client: str = DEFAULT_CLIENT,
+               pla: str | None = None,
+               options_doc: dict | None = None,
+               replayed: bool = False) -> tuple[Job, bool]:
         """Enqueue (or join) a request; returns ``(job, deduplicated)``.
 
         Must be called from the event-loop thread (the HTTP handlers
         are); all dedup bookkeeping relies on that single-threadedness.
+        Raises :class:`~repro.errors.QuotaExceededError` when the
+        client's token bucket is empty (checked before dedup — joining
+        an in-flight job is admission too) and :class:`ValueError` for
+        an unknown priority class.  ``pla``/``options_doc`` carry the
+        raw request payload into the journal so a crashed daemon can
+        reconstruct the job on replay; replayed re-submissions skip
+        both the quota (the tokens were spent on first admission) and
+        the journal (their ``queued`` event already exists).
         """
         overrides = overrides or {}
+        priority = validate_priority(priority)
+        if self.quotas is not None and not replayed:
+            self.quotas.admit(client)  # raises QuotaExceededError
+            self._registry.counter(
+                "serve.quota.allowed", "submissions that passed admission"
+            ).inc()
         key = self.engine.request_key(spec, **overrides)
         self._registry.counter(
             "serve.jobs.submitted", "job submissions received"
@@ -197,14 +317,29 @@ class JobQueue:
             # GET /jobs/<id>/trace document.  (``trace`` never changes
             # the synthesized result, so dedup keys stay valid.)
             options=self.engine.resolve(**overrides).replace(trace=True),
+            priority=priority,
+            client=client,
+            replayed=replayed,
             correlation_id=new_correlation_id(),
         )
+        if self.journal is not None and not replayed:
+            # Journal before the job becomes observable: once a caller
+            # holds a 202, the work survives any crash of this daemon.
+            self.journal.record_queued(
+                request_key=key,
+                circuit=spec.name,
+                pla=pla if pla is not None else "",
+                options=options_doc or {},
+                priority=priority,
+                client=client,
+            )
         self.jobs[job.id] = job
         self._inflight[key] = job
-        self._queue.put_nowait(job)
+        self._queue.put_nowait(PRIORITY_CLASSES[priority], job)
         log_event("serve.job.submitted", job=job.id,
                   correlation_id=job.correlation_id,
-                  circuit=job.circuit, request_key=job.key)
+                  circuit=job.circuit, request_key=job.key,
+                  priority=priority, client=client, replayed=replayed)
         self._registry.gauge(
             "serve.queue.depth", "jobs waiting or running"
         ).set(len(self._inflight))
@@ -238,12 +373,52 @@ class JobQueue:
         finally:
             install_run_context(previous)
 
+    async def _acquire_lease(self, job: Job) -> Lease | None:
+        """Take the per-key lease, waiting out a live peer if needed."""
+        assert self.leases is not None
+        lease = self.leases.try_acquire(job.key)
+        if lease is None:
+            self._registry.counter(
+                "serve.lease.waits",
+                "jobs that waited for a peer daemon's lease",
+            ).inc()
+            log_event("serve.lease.wait", job=job.id, request_key=job.key)
+            while lease is None:
+                await asyncio.sleep(self.lease_poll_seconds)
+                lease = self.leases.try_acquire(job.key)
+        self._registry.counter(
+            "serve.lease.acquired", "per-key leases taken before running"
+        ).inc()
+        self._registry.counter(
+            "serve.lease.stale_takeovers",
+            "stale leases taken over from crashed holders",
+        ).inc(self.leases.stale_takeovers - self._stale_seen)
+        self._stale_seen = self.leases.stale_takeovers
+        return lease
+
+    async def _heartbeat(self, lease: Lease) -> None:
+        """Refresh the lease stamp while the job runs (cancelled after)."""
+        assert self.leases is not None
+        interval = max(0.05, self.leases.ttl_seconds / 3.0)
+        while True:
+            await asyncio.sleep(interval)
+            if not self.leases.heartbeat(lease):
+                log_event("serve.lease.lost", request_key=lease.key)
+                return
+
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             job = await self._queue.get()
+            lease = None
+            heartbeat: asyncio.Task | None = None
+            if self.leases is not None:
+                lease = await self._acquire_lease(job)
+                heartbeat = loop.create_task(self._heartbeat(lease))
             job.state = JobState.RUNNING
             job.started_unix = time.time()
+            if self.journal is not None:
+                self.journal.record_event("running", job.key)
             try:
                 self.synth_calls += 1
                 result = await loop.run_in_executor(
@@ -259,18 +434,28 @@ class JobQueue:
                     if result.trace is not None else None
                 )
                 job.state = JobState.DONE
+                if self.journal is not None:
+                    self.journal.record_event("done", job.key)
                 self._registry.counter(
                     "serve.jobs.completed", "jobs finished successfully"
                 ).inc()
             except Exception as exc:  # noqa: BLE001 — job isolation
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.state = JobState.FAILED
+                if self.journal is not None:
+                    self.journal.record_event("failed", job.key,
+                                              error=job.error)
                 self._registry.counter(
                     "serve.jobs.failed", "jobs that raised"
                 ).inc()
             finally:
+                if heartbeat is not None:
+                    heartbeat.cancel()
+                if lease is not None and self.leases is not None:
+                    self.leases.release(lease)
                 job.finished_unix = time.time()
                 latency = job.finished_unix - job.submitted_unix
+                queue_wait = job.started_unix - job.submitted_unix
                 self._registry.histogram(
                     "serve.request_seconds",
                     "submit-to-finish latency per request",
@@ -278,7 +463,12 @@ class JobQueue:
                 self._registry.histogram(
                     "serve.queue_wait_seconds",
                     "submit-to-start wait per request",
-                ).observe(job.started_unix - job.submitted_unix)
+                ).observe(queue_wait)
+                self._registry.histogram(
+                    "serve.queue_wait_seconds",
+                    "submit-to-start wait per request",
+                    labels={"priority": job.priority},
+                ).observe(queue_wait)
                 log_event(
                     "serve.job.finished", job=job.id,
                     correlation_id=job.correlation_id,
@@ -307,5 +497,6 @@ def _result_doc(result) -> dict:
         "power_uw": estimate_power(network).microwatts,
         "seconds": result.seconds,
         "verified": bool(result.verify) if result.verify is not None else None,
+        "cached_outputs": result.cached_outputs,
         "blif": write_blif(network),
     }

@@ -1,0 +1,161 @@
+"""Durable job journal: an append-only JSONL write-ahead log.
+
+The in-memory :class:`~repro.serve.jobs.JobQueue` is fast but mortal —
+before this journal existed, a daemon restart dropped every queued
+request.  The journal makes the queue durable with the same discipline
+the run-history store uses (single ``O_APPEND`` writes of whole lines,
+torn-tail healing, torn lines skipped on read): every state transition
+of a job is one appended event, keyed by the engine's ``request_key``.
+
+Event lifecycle per key::
+
+    queued  ->  running  ->  done | failed
+
+A ``queued`` event carries everything needed to *reconstruct* the job
+(the PLA text, the circuit name, the raw JSON options overrides, the
+priority class and client id); the later transitions are skeletal.  On
+boot, :meth:`JobJournal.replay` folds the log per key: any key whose
+*last* event is ``queued`` or ``running`` is unfinished business — the
+daemon that accepted it crashed before finishing — and is re-enqueued.
+Because results are content-addressed (same key ⇒ same answer) and the
+disk cache is shared, a replayed job that a peer already finished costs
+one cache lookup, and a replayed job nobody finished synthesizes
+bit-identically to what the dead daemon would have produced.
+
+Several daemons may share one journal file: appends interleave whole
+lines, replay is idempotent (re-enqueueing a finished key ends at the
+cache), and the lease files (:mod:`repro.resilience.lease`) keep two
+daemons from synthesizing one key concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.history.store import append_jsonl, read_jsonl
+
+__all__ = ["JOURNAL_SCHEMA_VERSION", "JobJournal", "PendingJob"]
+
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Events that end a key's lifecycle.
+_TERMINAL = ("done", "failed")
+_EVENTS = ("queued", "running") + _TERMINAL
+
+
+@dataclass
+class PendingJob:
+    """One unfinished job reconstructed from the journal."""
+
+    request_key: str
+    circuit: str
+    pla: str
+    options: dict
+    priority: str
+    client: str
+    submitted_unix: float
+
+
+@dataclass
+class ReplayReport:
+    """What :meth:`JobJournal.replay` saw (metrics feed off this)."""
+
+    pending: list[PendingJob] = field(default_factory=list)
+    finished: int = 0
+    #: Records skipped for an unknown (newer) schema version.
+    skipped_schema: int = 0
+    #: Records skipped as malformed (missing event/key, bad payload).
+    skipped_malformed: int = 0
+
+
+class JobJournal:
+    """Append/replay interface over one JSONL journal file."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- writing -----------------------------------------------------------
+
+    def record_queued(self, *, request_key: str, circuit: str, pla: str,
+                      options: dict, priority: str, client: str) -> None:
+        """Journal a new submission — called *before* the 202 goes out,
+        so an accepted job is always durable."""
+        append_jsonl(self.path, {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "event": "queued",
+            "request_key": request_key,
+            "circuit": circuit,
+            "pla": pla,
+            "options": options,
+            "priority": priority,
+            "client": client,
+            "ts": time.time(),
+        })
+
+    def record_event(self, event: str, request_key: str,
+                     error: str | None = None) -> None:
+        """Journal a ``running``/``done``/``failed`` transition."""
+        if event not in _EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        record = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "event": event,
+            "request_key": request_key,
+            "ts": time.time(),
+        }
+        if error is not None:
+            record["error"] = error
+        append_jsonl(self.path, record)
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> ReplayReport:
+        """Fold the journal and return the unfinished jobs, oldest first.
+
+        Torn lines were already dropped by the reader; additionally a
+        record with a schema version newer than this code understands is
+        skipped (an old daemon must not half-parse a new daemon's
+        records), as is anything missing its event or key.
+        """
+        report = ReplayReport()
+        last_event: dict[str, str] = {}
+        payloads: dict[str, PendingJob] = {}
+        order: list[str] = []
+        for record in read_jsonl(self.path):
+            schema = record.get("schema")
+            if not isinstance(schema, int) \
+                    or schema > JOURNAL_SCHEMA_VERSION:
+                report.skipped_schema += 1
+                continue
+            event = record.get("event")
+            key = record.get("request_key")
+            if event not in _EVENTS or not isinstance(key, str) or not key:
+                report.skipped_malformed += 1
+                continue
+            if event == "queued":
+                pla = record.get("pla")
+                circuit = record.get("circuit")
+                options = record.get("options")
+                if not isinstance(pla, str) or not isinstance(circuit, str) \
+                        or not isinstance(options, dict):
+                    report.skipped_malformed += 1
+                    continue
+                if key not in payloads:
+                    order.append(key)
+                payloads[key] = PendingJob(
+                    request_key=key,
+                    circuit=circuit,
+                    pla=pla,
+                    options=options,
+                    priority=str(record.get("priority", "normal")),
+                    client=str(record.get("client", "default")),
+                    submitted_unix=float(record.get("ts", 0.0) or 0.0),
+                )
+            last_event[key] = event
+        for key in order:
+            if last_event.get(key) in _TERMINAL:
+                report.finished += 1
+            else:
+                report.pending.append(payloads[key])
+        return report

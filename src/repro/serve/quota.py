@@ -1,0 +1,109 @@
+"""Per-client admission control: token-bucket quotas for repro-serve.
+
+A synthesis request is orders of magnitude more expensive than the
+HTTP round trip that carries it, so the daemon meters *admission*, not
+bandwidth: each client id owns a token bucket refilled at ``rate``
+tokens per second up to ``burst``.  A submission takes one token; an
+empty bucket means the request is rejected up front with a ``429`` and
+a ``Retry-After`` telling the client exactly when a token will exist —
+cheap backpressure instead of a queue that silently starves the
+interactive traffic behind a batch client.
+
+Quotas are per *client id* (the optional ``client`` field of the
+request body, ``"default"`` when absent), deliberately cooperative:
+this is a fairness mechanism between known workloads sharing a daemon,
+not an authentication boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import QuotaExceededError
+
+__all__ = ["ClientQuotas", "QuotaDecision", "TokenBucket"]
+
+
+@dataclass
+class QuotaDecision:
+    """The outcome of one admission check."""
+
+    allowed: bool
+    #: Whole seconds until a token will be available (0 when allowed).
+    retry_after: float = 0.0
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least one token")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.tokens = float(burst)
+        self.updated = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def take(self, tokens: float = 1.0) -> QuotaDecision:
+        """Spend ``tokens`` if available, else say when they would be."""
+        self._refill()
+        if self.tokens >= tokens:
+            self.tokens -= tokens
+            return QuotaDecision(allowed=True)
+        deficit = tokens - self.tokens
+        return QuotaDecision(
+            allowed=False,
+            retry_after=max(1.0, math.ceil(deficit / self.rate)),
+        )
+
+
+class ClientQuotas:
+    """Lazily-created per-client buckets; ``rate=None`` disables quotas.
+
+    Thread-safe: admission may be checked from HTTP handler context
+    while tests poke at it directly.
+    """
+
+    def __init__(self, rate: float | None = None, burst: float = 10.0,
+                 clock=time.monotonic):
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate is not None
+
+    def bucket(self, client: str) -> TokenBucket | None:
+        if self.rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, clock=self.clock)
+                self._buckets[client] = bucket
+            return bucket
+
+    def admit(self, client: str) -> QuotaDecision:
+        """Check-and-spend; raises :class:`QuotaExceededError` on reject."""
+        bucket = self.bucket(client)
+        if bucket is None:
+            return QuotaDecision(allowed=True)
+        decision = bucket.take()
+        if not decision.allowed:
+            raise QuotaExceededError(client, decision.retry_after)
+        return decision

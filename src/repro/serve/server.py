@@ -6,19 +6,28 @@ the container bakes in only the standard library.  Endpoints:
 
 ==========================  =============================================
 ``POST /synthesize``        submit a PLA (JSON body: ``pla``, optional
-                            ``name``/``options``/``wait``); 200 with the
-                            finished job when ``wait`` is true, else 202
-                            with the job id.  Identical in-flight
+                            ``name``/``options``/``wait``/``priority``/
+                            ``client``); 200 with the finished job when
+                            ``wait`` is true, else 202 with the job id
+                            and request key.  Identical in-flight
                             requests join the same job (``deduplicated``
-                            in the response).
+                            in the response); an exhausted client quota
+                            is a 429 with a ``Retry-After`` header.
 ``GET /jobs``               summaries of every job this process has seen
 ``GET /jobs/<id>``          full job document, run manifest included
 ``GET /jobs/<id>/trace``    the request's span tree (full FlowTrace
                             document; 404 until the job is done)
 ``GET /metrics``            the process metrics registry in Prometheus
                             text exposition format
-``GET /healthz``            liveness + job-state counts
+``GET /healthz``            liveness + job-state counts + durability info
 ==========================  =============================================
+
+With a state directory configured the daemon is *durable*: every
+submission is journaled before its 202 goes out, and on boot the
+journal is replayed — jobs a previous (possibly SIGKILL'd) daemon never
+finished are re-enqueued and complete bit-identically via the shared
+result cache.  Lease files under the same directory let several daemons
+share one cache/journal without duplicating in-flight synthesis.
 
 SIGTERM/SIGINT trigger a graceful drain: the listener closes (new
 connections are refused by the OS), queued and running jobs finish,
@@ -30,16 +39,42 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 
 from repro.engine import EngineConfig, SynthesisEngine
+from repro.errors import QuotaExceededError
 from repro.network.to_expr import spec_from_pla_text
+from repro.obs.logs import log_event
 from repro.obs.metrics import get_metrics_registry
-from repro.serve.jobs import JobQueue, options_from_json
+from repro.resilience.lease import DEFAULT_TTL_SECONDS, LeaseManager
+from repro.serve.jobs import (
+    DEFAULT_CLIENT,
+    DEFAULT_PRIORITY,
+    JobQueue,
+    options_from_json,
+)
+from repro.serve.journal import JobJournal
+from repro.serve.quota import ClientQuotas
 
-__all__ = ["ReproServer"]
+__all__ = ["ReproServer", "resolve_state_dir"]
 
 _MAX_BODY = 8 * 1024 * 1024  # a PLA bigger than 8 MiB is not a request
+
+#: Environment default for the serve state directory (journal + leases);
+#: like ``REPRO_CACHE_DIR``, set once per machine and every daemon on it
+#: shares one durable queue.
+STATE_DIR_ENV = "REPRO_SERVE_STATE_DIR"
+
+JOURNAL_FILENAME = "journal.jsonl"
+LEASE_DIRNAME = "leases"
+
+
+def resolve_state_dir(explicit: str | None = None) -> str | None:
+    """Effective serve state directory: explicit wins, else the env var."""
+    if explicit is not None:
+        return explicit
+    return os.environ.get(STATE_DIR_ENV) or None
 
 
 class _BadRequest(Exception):
@@ -51,11 +86,32 @@ class ReproServer:
 
     def __init__(self, config: EngineConfig | None = None,
                  host: str = "127.0.0.1", port: int = 8348,
-                 workers: int = 1):
+                 workers: int = 1,
+                 state_dir: str | None = None,
+                 quota_rate: float | None = None,
+                 quota_burst: float = 10.0,
+                 lease_ttl_seconds: float = DEFAULT_TTL_SECONDS):
         self.engine = SynthesisEngine(config)
-        self.queue = JobQueue(self.engine, workers=workers)
+        self.state_dir = resolve_state_dir(state_dir)
+        journal = leases = None
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            journal = JobJournal(
+                os.path.join(self.state_dir, JOURNAL_FILENAME)
+            )
+            leases = LeaseManager(
+                os.path.join(self.state_dir, LEASE_DIRNAME),
+                ttl_seconds=lease_ttl_seconds,
+            )
+        quotas = (
+            ClientQuotas(rate=quota_rate, burst=quota_burst)
+            if quota_rate is not None else None
+        )
+        self.queue = JobQueue(self.engine, workers=workers,
+                              quotas=quotas, journal=journal, leases=leases)
         self.host = host
         self.port = port
+        self.replayed = 0
         self._server: asyncio.Server | None = None
         self._shutdown = asyncio.Event()
 
@@ -63,11 +119,71 @@ class ReproServer:
 
     async def start(self) -> None:
         self.queue.start()
+        self._replay_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         # Port 0 means "pick one" — publish what the OS chose.
         self.port = self._server.sockets[0].getsockname()[1]
+
+    def _replay_journal(self) -> None:
+        """Re-enqueue the unfinished backlog a dead daemon left behind."""
+        if self.queue.journal is None:
+            return
+        registry = get_metrics_registry()
+        report = self.queue.journal.replay()
+        for skipped, counter, help_text in (
+            (report.skipped_schema, "serve.journal.skipped_schema",
+             "journal records with an unknown (newer) schema version"),
+            (report.skipped_malformed, "serve.journal.skipped_malformed",
+             "journal records dropped as malformed"),
+        ):
+            if skipped:
+                registry.counter(counter, help_text).inc(skipped)
+        for pending in report.pending:
+            try:
+                spec = spec_from_pla_text(pending.pla, name=pending.circuit)
+                overrides = options_from_json(pending.options)
+                job, _ = self.queue.submit(
+                    spec, overrides,
+                    priority=pending.priority
+                    if pending.priority in ("high", "normal", "low")
+                    else DEFAULT_PRIORITY,
+                    client=pending.client,
+                    replayed=True,
+                )
+                if job.key != pending.request_key:
+                    # The recomputed key differs (e.g. the journal came
+                    # from a daemon with different default options).
+                    # Re-journal the work under the key its lifecycle
+                    # events will actually use and retire the old entry,
+                    # or every future boot replays it again.
+                    self.queue.journal.record_queued(
+                        request_key=job.key, circuit=pending.circuit,
+                        pla=pending.pla, options=pending.options,
+                        priority=job.priority, client=pending.client,
+                    )
+                    self.queue.journal.record_event(
+                        "done", pending.request_key
+                    )
+            except Exception as exc:  # noqa: BLE001 — a poisoned journal
+                # entry must not take the whole boot down with it.
+                registry.counter(
+                    "serve.journal.replay_errors",
+                    "journal entries that failed to re-enqueue",
+                ).inc()
+                log_event("serve.journal.replay_error",
+                          request_key=pending.request_key,
+                          error=f"{type(exc).__name__}: {exc}")
+                continue
+            self.replayed += 1
+            registry.counter(
+                "serve.journal.replayed",
+                "unfinished journal entries re-enqueued on boot",
+            ).inc()
+            log_event("serve.journal.replayed",
+                      request_key=pending.request_key,
+                      circuit=pending.circuit, priority=pending.priority)
 
     async def serve_forever(self, install_signals: bool = True) -> None:
         """Run until SIGTERM/SIGINT, then drain and return."""
@@ -96,8 +212,12 @@ class ReproServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        headers: dict[str, str] = {}
         try:
-            status, body = await self._handle_request(reader)
+            response = await self._handle_request(reader)
+            status, body = response[0], response[1]
+            if len(response) > 2:
+                headers = response[2]
         except _BadRequest as exc:
             status, body = 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 — never kill the listener
@@ -110,11 +230,16 @@ class ReproServer:
                 payload = json.dumps(body).encode("utf-8")
                 ctype = "application/json"
             reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
-                      404: "Not Found", 500: "Internal Server Error"}
+                      404: "Not Found", 429: "Too Many Requests",
+                      500: "Internal Server Error"}
+            extra = "".join(
+                f"{name}: {value}\r\n" for name, value in headers.items()
+            )
             writer.write(
                 f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
                 f"Content-Type: {ctype}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
+                f"{extra}"
                 f"Connection: close\r\n\r\n".encode("ascii")
             )
             writer.write(payload)
@@ -179,7 +304,12 @@ class ReproServer:
         if method == "GET" and path == "/metrics":
             return 200, get_metrics_registry().to_prometheus_text()
         if method == "GET" and path == "/healthz":
-            return 200, {"status": "ok", "jobs": self.queue.counts()}
+            return 200, {
+                "status": "ok",
+                "jobs": self.queue.counts(),
+                "durable": self.queue.journal is not None,
+                "replayed": self.replayed,
+            }
         return 404, {"error": f"no route for {method} {path}"}
 
     async def _post_synthesize(self, body: bytes):
@@ -195,12 +325,41 @@ class ReproServer:
             )
         except Exception as exc:  # parser raises its own taxonomy
             raise _BadRequest(f"bad PLA: {exc}") from exc
+        options_doc = doc.get("options") or {}
         try:
-            overrides = options_from_json(doc.get("options") or {})
+            overrides = options_from_json(options_doc)
         except ValueError as exc:
             raise _BadRequest(str(exc)) from exc
+        priority = doc.get("priority")
+        if priority is not None and priority not in ("high", "normal", "low"):
+            raise _BadRequest(
+                f"unknown priority {priority!r} "
+                "(expected one of ['high', 'low', 'normal'])"
+            )
+        client = str(doc.get("client") or DEFAULT_CLIENT)
 
-        job, deduplicated = self.queue.submit(spec, overrides)
+        try:
+            job, deduplicated = self.queue.submit(
+                spec, overrides,
+                priority=priority or DEFAULT_PRIORITY,
+                client=client,
+                pla=str(doc["pla"]),
+                options_doc=options_doc,
+            )
+        except QuotaExceededError as exc:
+            get_metrics_registry().counter(
+                "serve.quota.rejections",
+                "submissions rejected by a client's token bucket",
+            ).inc()
+            log_event("serve.quota.rejected", client=exc.client,
+                      retry_after=exc.retry_after)
+            retry_after = max(1, int(exc.retry_after))
+            return (
+                429,
+                {"error": str(exc), "client": exc.client,
+                 "retry_after": retry_after},
+                {"Retry-After": str(retry_after)},
+            )
         if doc.get("wait"):
             await job.done.wait()
             response = job.as_dict()
@@ -208,6 +367,8 @@ class ReproServer:
             return 200, response
         return 202, {
             "id": job.id,
+            "key": job.key,
             "state": job.state.value,
+            "priority": job.priority,
             "deduplicated": deduplicated,
         }

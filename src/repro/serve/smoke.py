@@ -12,9 +12,14 @@ service contract:
 3. ``/metrics`` serves Prometheus text including the serve counters;
 4. a second daemon on the same cache directory answers from disk
    (``cache_disk_hits`` > 0) — the restart-warm acceptance path;
-5. SIGTERM drains gracefully and the process exits 0.
+5. the daemon runs durable (``--state-dir``): ``/healthz`` reports it,
+   and the job journal on disk records the accepted work;
+6. SIGTERM drains gracefully and the process exits 0.
 
-Exits non-zero with a message on the first violated assertion.
+The *crash* paths — SIGKILL mid-queue, journal replay, two live
+daemons on one cache — are the separate, heavier
+``python -m repro.serve.gauntlet``.  Exits non-zero with a message on
+the first violated assertion.
 """
 
 from __future__ import annotations
@@ -44,12 +49,14 @@ def _check(condition: bool, message: str) -> None:
         raise SmokeFailure(message)
 
 
-def _start_daemon(cache_dir: str) -> tuple[subprocess.Popen, ServeClient]:
-    proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.serve.cli",
-         "--port", "0", "--cache-dir", cache_dir],
-        stderr=subprocess.PIPE, text=True,
-    )
+def _start_daemon(cache_dir: str,
+                  state_dir: str | None = None
+                  ) -> tuple[subprocess.Popen, ServeClient]:
+    argv = [sys.executable, "-m", "repro.serve.cli",
+            "--port", "0", "--cache-dir", cache_dir]
+    if state_dir is not None:
+        argv += ["--state-dir", state_dir]
+    proc = subprocess.Popen(argv, stderr=subprocess.PIPE, text=True)
     deadline = time.monotonic() + 30
     line = ""
     while time.monotonic() < deadline:
@@ -87,10 +94,14 @@ def main(argv: list[str] | None = None) -> int:
     pla = write_pla(pla_from_spec(get("rd53")))
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         cache_dir = args.keep_cache or os.path.join(tmp, "cache")
+        state_dir = os.path.join(tmp, "state")
 
         print("smoke: starting repro-serve ...", flush=True)
-        proc, client = _start_daemon(cache_dir)
+        proc, client = _start_daemon(cache_dir, state_dir)
         try:
+            health = client.health()
+            _check(health.get("durable") is True,
+                   "daemon with --state-dir does not report durable")
             first = client.synthesize(pla, name="rd53", wait=True)
             _check(first["state"] == "done",
                    f"first job {first['state']}: {first.get('error')}")
@@ -115,8 +126,16 @@ def main(argv: list[str] | None = None) -> int:
             _stop_daemon(proc)
         print("smoke: graceful SIGTERM drain, exit 0", flush=True)
 
+        journal = os.path.join(state_dir, "journal.jsonl")
+        _check(os.path.exists(journal), "no job journal in --state-dir")
+        journal_text = open(journal, encoding="utf-8").read()
+        _check('"event": "queued"' in journal_text
+               and '"event": "done"' in journal_text,
+               "journal is missing queued/done events")
+        print("smoke: job journal recorded the accepted work", flush=True)
+
         print("smoke: restarting on the same cache dir ...", flush=True)
-        proc, client = _start_daemon(cache_dir)
+        proc, client = _start_daemon(cache_dir, state_dir)
         try:
             warm = client.synthesize(pla, name="rd53", wait=True)
             _check(warm["result"]["blif"] == first["result"]["blif"],

@@ -144,3 +144,65 @@ def test_prometheus_export_has_help_and_type_for_every_family():
         assert family in types, f"sample {name} has no TYPE metadata"
         value = line.split(" ")[-1]
         float(value)  # every sample value parses as a number
+
+
+# -- labeled instruments -----------------------------------------------------
+
+
+def test_labeled_instruments_are_distinct():
+    registry = MetricsRegistry()
+    plain = registry.counter("req", "requests")
+    high = registry.counter("req", "requests", labels={"priority": "high"})
+    low = registry.counter("req", "requests", labels={"priority": "low"})
+    plain.inc()
+    high.inc(2)
+    low.inc(3)
+    assert plain.value == 1
+    assert high.value == 2
+    assert low.value == 3
+    # Same labels -> same instrument, whatever the key order.
+    again = registry.counter("req", "requests",
+                             labels={"priority": "high"})
+    assert again is high
+
+
+def test_label_values_are_stringified():
+    registry = MetricsRegistry()
+    a = registry.gauge("depth", "", labels={"shard": 3})
+    b = registry.gauge("depth", "", labels={"shard": "3"})
+    assert a is b
+
+
+def test_labels_survive_json_export():
+    registry = MetricsRegistry()
+    registry.counter("req", "requests", labels={"priority": "high"}).inc()
+    registry.counter("plain", "no labels").inc()
+    doc = registry.as_dict()
+    validate_metrics(doc)
+    labeled = [m for m in doc["metrics"].values() if m.get("labels")]
+    assert labeled and labeled[0]["labels"] == {"priority": "high"}
+    assert "labels" not in doc["metrics"]["plain"]
+
+
+def test_prometheus_groups_label_variants_in_one_family():
+    registry = MetricsRegistry()
+    registry.histogram("wait.seconds", "queue wait",
+                       buckets=(0.1, 1.0)).observe(0.05)
+    registry.histogram("wait.seconds", "queue wait", buckets=(0.1, 1.0),
+                       labels={"priority": "high"}).observe(0.05)
+    registry.histogram("wait.seconds", "queue wait", buckets=(0.1, 1.0),
+                       labels={"priority": "low"}).observe(2.0)
+    text = registry.to_prometheus_text()
+    assert text.count("# TYPE wait_seconds histogram") == 1
+    assert text.count("# HELP wait_seconds ") == 1
+    assert 'wait_seconds_bucket{priority="high",le="0.1"} 1' in text
+    assert 'wait_seconds_bucket{priority="low",le="0.1"} 0' in text
+    assert 'wait_seconds_count{priority="high"} 1' in text
+    assert "\nwait_seconds_count 1" in text
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("odd", "", labels={"path": 'a\\b"c'}).inc()
+    text = registry.to_prometheus_text()
+    assert 'odd{path="a\\\\b\\"c"} 1' in text

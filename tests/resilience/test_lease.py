@@ -1,0 +1,156 @@
+"""Lease files: acquire/heartbeat/release and stale-holder takeover."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.lease import DEFAULT_TTL_SECONDS, Lease, LeaseManager
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def manager(tmp_path, clock, ttl: float = 10.0, name: str = "leases"):
+    return LeaseManager(str(tmp_path / name), ttl_seconds=ttl, clock=clock)
+
+
+# -- basic lifecycle ---------------------------------------------------------
+
+
+def test_acquire_release_roundtrip(tmp_path, clock):
+    mgr = manager(tmp_path, clock)
+    lease = mgr.try_acquire("spec/opts")
+    assert lease is not None
+    assert os.path.exists(lease.path)
+    stamp = mgr.read_stamp("spec/opts")
+    assert stamp["token"] == lease.token
+    assert stamp["pid"] == os.getpid()
+    mgr.release(lease)
+    assert not os.path.exists(lease.path)
+    # Idempotent: releasing again is a no-op, not an error.
+    mgr.release(lease)
+
+
+def test_live_holder_blocks_second_acquire(tmp_path, clock):
+    mgr_a = manager(tmp_path, clock)
+    mgr_b = manager(tmp_path, clock)
+    lease = mgr_a.try_acquire("k")
+    assert lease is not None
+    assert mgr_b.try_acquire("k") is None
+    mgr_a.release(lease)
+    assert mgr_b.try_acquire("k") is not None
+
+
+def test_keys_are_independent(tmp_path, clock):
+    mgr = manager(tmp_path, clock)
+    assert mgr.try_acquire("a/1") is not None
+    assert mgr.try_acquire("b/2") is not None
+
+
+def test_key_slashes_flattened_to_one_file(tmp_path, clock):
+    mgr = manager(tmp_path, clock)
+    path = mgr.path_for("digest/fingerprint")
+    assert os.sep not in os.path.basename(path)
+    assert path.endswith(".lease.json")
+
+
+def test_ttl_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="positive"):
+        LeaseManager(str(tmp_path), ttl_seconds=0)
+
+
+def test_default_ttl_is_sane():
+    assert DEFAULT_TTL_SECONDS > 0
+
+
+# -- staleness and takeover --------------------------------------------------
+
+
+def test_stale_lease_taken_over(tmp_path, clock):
+    mgr_a = manager(tmp_path, clock)
+    mgr_b = manager(tmp_path, clock)
+    assert mgr_a.try_acquire("k") is not None
+    # The holder "crashes": no heartbeats while the clock runs past TTL.
+    clock.advance(10.0 + 1.0)
+    lease_b = mgr_b.try_acquire("k")
+    assert lease_b is not None
+    assert mgr_b.stale_takeovers == 1
+    assert mgr_b.read_stamp("k")["token"] == lease_b.token
+
+
+def test_heartbeat_keeps_lease_fresh(tmp_path, clock):
+    mgr_a = manager(tmp_path, clock)
+    mgr_b = manager(tmp_path, clock)
+    lease = mgr_a.try_acquire("k")
+    for _ in range(5):
+        clock.advance(8.0)  # inside TTL each step, far past it in total
+        assert mgr_a.heartbeat(lease) is True
+        assert mgr_b.try_acquire("k") is None
+    assert mgr_b.stale_takeovers == 0
+
+
+def test_heartbeat_reports_lost_lease(tmp_path, clock):
+    mgr_a = manager(tmp_path, clock)
+    mgr_b = manager(tmp_path, clock)
+    lease_a = mgr_a.try_acquire("k")
+    clock.advance(11.0)
+    assert mgr_b.try_acquire("k") is not None  # takeover
+    assert mgr_a.heartbeat(lease_a) is False
+    # And release by the old holder must not clobber the new one.
+    mgr_a.release(lease_a)
+    assert mgr_b.read_stamp("k") is not None
+
+
+def test_torn_stamp_is_stale(tmp_path, clock):
+    mgr = manager(tmp_path, clock)
+    path = mgr.path_for("k")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"schema": 1, "key": "k", "heartbeat_un')
+    assert mgr.read_stamp("k") is None
+    assert mgr.is_stale(mgr.read_stamp("k"))
+    lease = mgr.try_acquire("k")
+    assert lease is not None
+    assert mgr.stale_takeovers == 1
+
+
+def test_stamp_missing_heartbeat_is_stale(tmp_path, clock):
+    mgr = manager(tmp_path, clock)
+    path = mgr.path_for("k")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": 1, "key": "k", "token": "x"}, handle)
+    assert mgr.is_stale(mgr.read_stamp("k"))
+    assert mgr.try_acquire("k") is not None
+
+
+def test_is_stale_boundary(tmp_path, clock):
+    mgr = manager(tmp_path, clock, ttl=10.0)
+    lease = mgr.try_acquire("k")
+    assert lease is not None
+    stamp = mgr.read_stamp("k")
+    clock.advance(10.0)
+    assert not mgr.is_stale(stamp)  # exactly TTL: still live
+    clock.advance(0.5)
+    assert mgr.is_stale(stamp)
+
+
+def test_lease_dataclass_fields(tmp_path, clock):
+    mgr = manager(tmp_path, clock)
+    lease = mgr.try_acquire("k")
+    assert isinstance(lease, Lease)
+    assert lease.key == "k"
+    assert lease.acquired_unix == clock.now
+    assert lease.token.startswith(f"{os.getpid()}-")

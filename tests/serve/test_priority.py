@@ -1,0 +1,154 @@
+"""Priority classes: heap ordering, HTTP round-trip, labeled metrics."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.circuits import get
+from repro.expr.pla import pla_from_spec, write_pla
+from repro.serve.client import ServeClient
+from repro.serve.jobs import (
+    DEFAULT_PRIORITY,
+    PRIORITY_CLASSES,
+    JobQueue,
+    validate_priority,
+)
+from repro.serve.server import ReproServer
+
+
+def pla_text(name: str) -> str:
+    return write_pla(pla_from_spec(get(name)))
+
+
+def test_priority_classes_are_ordered():
+    assert PRIORITY_CLASSES["high"] < PRIORITY_CLASSES["normal"] \
+        < PRIORITY_CLASSES["low"]
+
+
+def test_validate_priority():
+    assert validate_priority(None) == DEFAULT_PRIORITY
+    assert validate_priority("high") == "high"
+    with pytest.raises(ValueError, match="urgent"):
+        validate_priority("urgent")
+
+
+def test_queue_runs_high_before_low():
+    """Submit low/normal/high before any worker exists: the single
+    worker must drain them in class order, not submission order."""
+    from repro.engine import SynthesisEngine
+
+    async def scenario():
+        engine = SynthesisEngine()
+        queue = JobQueue(engine, workers=1)
+        specs = {"low": get("rd53"), "normal": get("z4ml"),
+                 "high": get("radd")}
+        jobs = {}
+        for priority in ("low", "normal", "high"):  # worst-first order
+            job, deduplicated = queue.submit(specs[priority],
+                                             priority=priority)
+            assert not deduplicated
+            jobs[priority] = job
+        queue.start()  # only now can anything run
+        await asyncio.gather(*(job.done.wait() for job in jobs.values()))
+        await queue.drain()
+        engine.close()
+        assert jobs["high"].started_unix <= jobs["normal"].started_unix \
+            <= jobs["low"].started_unix
+        assert all(job.state.value == "done" for job in jobs.values())
+        return jobs
+
+    jobs = asyncio.run(scenario())
+    assert jobs["high"].priority == "high"
+
+
+def test_http_priority_round_trip():
+    pla = pla_text("rd53")
+
+    async def driver():
+        server = ReproServer(port=0)
+        await server.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        loop = asyncio.get_running_loop()
+
+        def scenario():
+            accepted = client.synthesize(pla, name="rd53", wait=False,
+                                         priority="high")
+            assert accepted["priority"] == "high"
+            assert "key" in accepted
+            done = client.wait_job(accepted["id"])
+            assert done["state"] == "done"
+            assert done["priority"] == "high"
+            listing = client.jobs()["jobs"]
+            assert any(job["priority"] == "high" for job in listing)
+            return True
+
+        try:
+            return await loop.run_in_executor(None, scenario)
+        finally:
+            await server.stop()
+
+    assert asyncio.run(driver())
+
+
+def test_http_unknown_priority_is_400():
+    pla = pla_text("rd53")
+
+    async def driver():
+        server = ReproServer(port=0)
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def scenario():
+            body = json.dumps({"pla": pla, "priority": "urgent"})
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/synthesize",
+                data=body.encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                urllib.request.urlopen(request, timeout=10)
+                raise AssertionError("expected HTTP 400")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 400
+                doc = json.loads(exc.read().decode("utf-8"))
+                assert "urgent" in doc["error"]
+            return True
+
+        try:
+            return await loop.run_in_executor(None, scenario)
+        finally:
+            await server.stop()
+
+    assert asyncio.run(driver())
+
+
+def test_queue_wait_histogram_labeled_by_priority():
+    pla = pla_text("rd53")
+
+    async def driver():
+        server = ReproServer(port=0)
+        await server.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        loop = asyncio.get_running_loop()
+
+        def scenario():
+            client.synthesize(pla, name="rd53", wait=True, priority="high")
+            metrics = client.metrics()
+            assert 'serve_queue_wait_seconds_count{priority="high"}' \
+                in metrics
+            # One TYPE line per family even with label variants.
+            type_lines = [line for line in metrics.splitlines()
+                          if line.startswith("# TYPE serve_queue_wait")]
+            assert len(type_lines) == 1
+            return True
+
+        try:
+            return await loop.run_in_executor(None, scenario)
+        finally:
+            await server.stop()
+
+    assert asyncio.run(driver())

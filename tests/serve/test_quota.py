@@ -1,0 +1,175 @@
+"""Token-bucket quotas: bucket math, per-client isolation, HTTP 429."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.circuits import get
+from repro.errors import QuotaExceededError
+from repro.expr.pla import pla_from_spec, write_pla
+from repro.serve.client import ServeClient
+from repro.serve.quota import ClientQuotas, TokenBucket
+from repro.serve.server import ReproServer
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- TokenBucket -------------------------------------------------------------
+
+
+def test_bucket_burst_then_rejects():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+    assert all(bucket.take().allowed for _ in range(3))
+    decision = bucket.take()
+    assert not decision.allowed
+    assert decision.retry_after >= 1.0
+
+
+def test_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    bucket.take(), bucket.take()
+    assert not bucket.take().allowed
+    clock.advance(0.5)  # 0.5 s * 2 tokens/s = 1 token back
+    assert bucket.take().allowed
+    assert not bucket.take().allowed
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+    clock.advance(3600.0)
+    bucket._refill()
+    assert bucket.tokens == 2.0
+
+
+def test_bucket_retry_after_is_whole_seconds():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=0.1, burst=1, clock=clock)
+    assert bucket.take().allowed
+    decision = bucket.take()
+    assert not decision.allowed
+    assert decision.retry_after == 10.0  # 1 token / 0.1 per second
+
+
+def test_bucket_validates_parameters():
+    with pytest.raises(ValueError, match="rate"):
+        TokenBucket(rate=0.0, burst=1)
+    with pytest.raises(ValueError, match="burst"):
+        TokenBucket(rate=1.0, burst=0.5)
+
+
+# -- ClientQuotas ------------------------------------------------------------
+
+
+def test_quotas_disabled_admit_everything():
+    quotas = ClientQuotas(rate=None)
+    assert not quotas.enabled
+    for _ in range(1000):
+        assert quotas.admit("anyone").allowed
+
+
+def test_quotas_isolate_clients():
+    clock = FakeClock()
+    quotas = ClientQuotas(rate=1.0, burst=1, clock=clock)
+    assert quotas.admit("alpha").allowed
+    with pytest.raises(QuotaExceededError) as excinfo:
+        quotas.admit("alpha")
+    assert excinfo.value.client == "alpha"
+    assert excinfo.value.retry_after >= 1.0
+    # A different client id has its own untouched bucket.
+    assert quotas.admit("beta").allowed
+
+
+def test_quota_error_message_names_client():
+    error = QuotaExceededError("batch-7", 12.0)
+    assert "batch-7" in str(error)
+    assert "12" in str(error)
+
+
+# -- over HTTP ---------------------------------------------------------------
+
+
+def pla_text(name: str) -> str:
+    return write_pla(pla_from_spec(get(name)))
+
+
+def run_with_server(fn, **server_kwargs):
+    async def driver():
+        server = ReproServer(port=0, **server_kwargs)
+        await server.start()
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(None, fn, client, server)
+        finally:
+            await server.stop()
+    return asyncio.run(driver())
+
+
+def test_http_429_with_retry_after_header():
+    pla = pla_text("rd53")
+
+    def scenario(client, server):
+        # burst=1: the first request takes the only token ...
+        first = client.synthesize(pla, name="rd53", wait=True,
+                                  client="smoketest")
+        assert first["state"] == "done"
+        # ... and the second is rejected before it touches the queue.
+        with pytest.raises(QuotaExceededError) as excinfo:
+            client.synthesize(pla, name="rd53", wait=True,
+                              client="smoketest")
+        assert excinfo.value.client == "smoketest"
+        assert excinfo.value.retry_after >= 1.0
+        # The raw response carried the header, not just the JSON body.
+        body = json.dumps({"pla": pla, "client": "smoketest"})
+        request = urllib.request.Request(
+            f"{client.base_url}/synthesize",
+            data=body.encode("utf-8"),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        try:
+            urllib.request.urlopen(request, timeout=10)
+            raise AssertionError("expected HTTP 429")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 429
+            assert int(exc.headers["Retry-After"]) >= 1
+        # Other clients are unaffected.
+        other = client.synthesize(pla, name="rd53", wait=True,
+                                  client="interactive")
+        assert other["state"] == "done"
+        return True
+
+    assert run_with_server(scenario, quota_rate=0.001, quota_burst=1)
+
+
+def test_quota_metrics_exported():
+    pla = pla_text("rd53")
+
+    def scenario(client, server):
+        client.synthesize(pla, name="rd53", wait=True, client="metered")
+        with pytest.raises(QuotaExceededError):
+            client.synthesize(pla, name="rd53", wait=True, client="metered")
+        metrics = client.metrics()
+        lines = {line.split()[0]: float(line.split()[1])
+                 for line in metrics.splitlines()
+                 if line and not line.startswith("#")
+                 and len(line.split()) == 2}
+        assert lines.get("serve_quota_allowed", 0) >= 1
+        assert lines.get("serve_quota_rejections", 0) >= 1
+        return True
+
+    assert run_with_server(scenario, quota_rate=0.001, quota_burst=1)
