@@ -5,6 +5,7 @@ __all__ = [
     "CacheIntegrityError",
     "DimensionError",
     "LibraryError",
+    "OverloadedError",
     "ParseError",
     "QuotaExceededError",
     "ReproError",
@@ -89,6 +90,25 @@ class QuotaExceededError(ReproError):
         super().__init__(
             f"quota exhausted for client {client!r}; "
             f"retry in {retry_after:.0f}s"
+        )
+
+
+class OverloadedError(ReproError):
+    """The serving tier shed this request instead of queueing it.
+
+    Raised at submission time when the job queue is past its high-water
+    mark, or when the daemon is in degraded mode (disk headroom low,
+    journal writes failing) and the request's priority class is shed
+    first.  The HTTP layer maps it to ``503 Service Unavailable`` with a
+    ``Retry-After`` header — load shedding is loud and typed, never a
+    silent queue that grows until the process dies.
+    """
+
+    def __init__(self, reason: str, retry_after: float):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(
+            f"server overloaded ({reason}); retry in {retry_after:.0f}s"
         )
 
 

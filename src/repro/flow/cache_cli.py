@@ -9,7 +9,10 @@
 quarantined files).  ``verify`` runs the strict integrity pass of
 :meth:`~repro.flow.disk_cache.DiskCacheTier.verify_all` — corrupt
 entries are quarantined, counted in ``cache.corruptions``, and the
-command exits 1 naming them.  ``gc`` evicts least-recently-used entries
+command exits 1 naming them; it also exits 1 when ``quarantine/``
+already holds files from corruption a previous reader caught, so a CI
+gate on the exit code cannot miss either shape.  ``gc`` evicts
+least-recently-used entries
 down to the byte budget.  ``purge`` deletes everything (entries and
 quarantine) and requires ``--yes``.
 
@@ -63,6 +66,19 @@ def cmd_verify(tier: DiskCacheTier) -> int:
         print(f"FAIL: {exc}", file=sys.stderr)
         print(f"cache.corruptions: {corruptions:g} "
               "(bad entries moved to quarantine/)", file=sys.stderr)
+        return 1
+    # The pass itself found nothing — but corruption quarantined by an
+    # *earlier* reader leaves files in quarantine/ with no live bad
+    # entry to trip over.  CI gates on this exit code, so evidence of
+    # past corruption must fail too until an operator clears it.
+    quarantined = sum(1 for _ in tier.quarantine_dir.glob("*.json"))
+    if quarantined:
+        print(f"FAIL: {checked} live entr"
+              f"{'y' if checked == 1 else 'ies'} verified, but "
+              f"{quarantined} previously quarantined file"
+              f"{'' if quarantined == 1 else 's'} in "
+              f"{tier.quarantine_dir} (clear with repro-cache purge, or "
+              "delete after inspection)", file=sys.stderr)
         return 1
     print(f"OK: {checked} entr{'y' if checked == 1 else 'ies'} verified, "
           "0 corruptions")

@@ -40,15 +40,17 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-import tempfile
 import threading
 
 from repro.errors import CacheIntegrityError
 from repro.expr import expression as ex
 from repro.flow.cache import _Entry, _entry_checksum
 from repro.flow.context import OutputReport
+from repro.resilience import faultfs
+from repro.resilience.breaker import CircuitBreaker
 
 __all__ = [
+    "BREAKER_COOLDOWN_ENV",
     "DEFAULT_MAX_BYTES",
     "DISK_CACHE_SCHEMA_VERSION",
     "DiskCacheTier",
@@ -63,6 +65,21 @@ DISK_CACHE_SCHEMA_VERSION = 1
 #: Default size budget: generous for a benchmark suite (entries are a
 #: few KiB each), small enough to never surprise a laptop.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Seconds an open disk-write breaker waits before the half-open
+#: re-probe (overridable for tests/gauntlets that model disk recovery).
+BREAKER_COOLDOWN_ENV = "REPRO_CACHE_BREAKER_COOLDOWN"
+DEFAULT_BREAKER_COOLDOWN = 30.0
+
+
+def _breaker_cooldown() -> float:
+    raw = os.environ.get(BREAKER_COOLDOWN_ENV)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return DEFAULT_BREAKER_COOLDOWN
 
 
 # -- expression (de)serialization --------------------------------------------
@@ -207,7 +224,8 @@ class DiskCacheTier:
     """
 
     def __init__(self, directory: str | os.PathLike,
-                 max_bytes: int = DEFAULT_MAX_BYTES):
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 breaker: CircuitBreaker | None = None):
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
         self.directory = pathlib.Path(directory)
@@ -220,6 +238,18 @@ class DiskCacheTier:
         # Approximate store size, maintained incrementally so stores do
         # not walk the directory; refreshed from disk lazily and by gc().
         self._approx_bytes: int | None = None
+        #: Write-path circuit breaker: after three consecutive failed
+        #: stores (ENOSPC, EIO, ...) the tier stops attempting disk
+        #: writes — the cache degrades to memory-only — until a timed
+        #: half-open probe finds the disk healthy again.  Reads are not
+        #: gated: they allocate no space and already self-heal.
+        self.breaker = breaker or CircuitBreaker(
+            name="cache.disk",
+            failure_threshold=3,
+            cooldown_seconds=_breaker_cooldown(),
+        )
+        self.breaker.on_state_change = self._publish_breaker_state
+        self._publish_breaker_state(self.breaker.state)
 
     # -- paths ------------------------------------------------------------
 
@@ -254,6 +284,21 @@ class DiskCacheTier:
             "cache.disk.corruptions",
             "disk-cache entries quarantined at read",
         ).inc()
+
+    def _publish_breaker_state(self, state: str) -> None:
+        """Mirror the write breaker into gauges/counters for /metrics."""
+        from repro.obs.metrics import get_metrics_registry
+
+        registry = get_metrics_registry()
+        registry.gauge(
+            "cache.disk.breaker",
+            "disk-cache write breaker (0 closed, 0.5 half-open, 1 open)",
+        ).set({"closed": 0, "half-open": 0.5, "open": 1}.get(state, 1))
+        if state == CircuitBreaker.OPEN:
+            registry.counter(
+                "cache.disk.breaker.opened",
+                "times the disk-cache write breaker opened",
+            ).inc()
 
     # -- lookup / store ----------------------------------------------------
 
@@ -291,31 +336,41 @@ class DiskCacheTier:
         self._metric("cache.disk.hits", "disk-cache hits").inc()
         return entry
 
-    def store_entry(self, key: str, entry: _Entry) -> None:
-        """Atomically persist one checksummed entry (write-rename)."""
+    def store_entry(self, key: str, entry: _Entry) -> bool:
+        """Persist one checksummed entry atomically (write-rename).
+
+        Best-effort by contract: a store that fails at the OS level
+        (``ENOSPC``, ``EIO``, an injected fault) is *absorbed* — counted
+        in ``cache.disk.errors``, fed to the write breaker — and the
+        method returns ``False``; the caller's request already has its
+        result in memory and must not fail because persistence did.
+        While the breaker is open the store is skipped outright
+        (``cache.disk.skipped_stores``), so a dead disk costs one
+        breaker check instead of a doomed write per output.
+        """
+        if not self.breaker.allow():
+            self._metric(
+                "cache.disk.skipped_stores",
+                "disk-cache stores skipped while the write breaker is open",
+            ).inc()
+            return False
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(entry_to_doc(key, entry), separators=(",", ":"))
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=path.parent,
-            prefix=path.name + ".",
-            suffix=".tmp",
-            delete=False,
-        )
         try:
-            with handle:
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
-        except BaseException:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic temp+fsync+rename through the injectable faultfs
+            # primitives: a reader never sees a half-written entry, and
+            # concurrent writers of one key last-write-win with
+            # identical content.
+            faultfs.atomic_write_text(str(path), payload)
+        except OSError:
+            self.breaker.record_failure()
+            self._metric(
+                "cache.disk.errors",
+                "disk-cache writes that failed at the OS level",
+            ).inc()
+            return False
+        self.breaker.record_success()
         self._metric("cache.disk.puts", "disk-cache stores").inc()
         with self._lock:
             if self._approx_bytes is not None:
@@ -328,6 +383,7 @@ class DiskCacheTier:
             self.gc()
         elif self._approx_bytes is None:
             self._refresh_size()
+        return True
 
     def _refresh_size(self) -> int:
         total = 0

@@ -83,17 +83,22 @@ def append_jsonl(path: str, record: dict) -> None:
     a fresh record (a resulting blank line is skipped by readers; two
     healers racing just make two blank lines).
     """
+    from repro.resilience import faultfs
+
     line = json.dumps(record, sort_keys=True) + "\n"
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    fd = os.open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+    # The open/write pair goes through the injectable faultfs wrappers
+    # so disk-fault tests can hand this exact path an ENOSPC or a torn
+    # (partial) write and assert the readers shrug it off.
+    fd = faultfs.fs_open(path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
     try:
         size = os.fstat(fd).st_size
         if size and os.pread(fd, 1, size - 1) != b"\n":
             line = "\n" + line
-        os.write(fd, line.encode("utf-8"))
+        faultfs.fs_write(fd, line.encode("utf-8"))
     finally:
-        os.close(fd)
+        faultfs.fs_close(fd)
 
 
 def read_jsonl(path: str) -> list[dict]:

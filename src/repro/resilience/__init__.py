@@ -25,10 +25,21 @@ rest of the tree threads through:
     pid/heartbeat-stamped lease files with stale-holder takeover, so N
     daemons sharing one cache directory never duplicate in-flight work
     (used by the ``repro-serve`` job queue).
+:mod:`repro.resilience.breaker`
+    A :class:`~repro.resilience.breaker.CircuitBreaker` (consecutive
+    failures trip it open, a timed half-open probe closes it) that lets
+    the disk-backed cache degrade to memory-only behavior while a disk
+    is full or broken.
+:mod:`repro.resilience.faultfs`
+    Deterministic filesystem fault injection (``ENOSPC``/``EIO``/
+    partial-write/fsync-failure by call count and path pattern) behind
+    the ``open``/``write``/``fsync``/``rename`` primitives used by the
+    journal, disk cache, checkpoint store and history store.
 
 See docs/RESILIENCE.md for the failure taxonomy and the ladder.
 """
 
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.budget import (
     Budget,
     DegradationRecord,
@@ -45,6 +56,7 @@ from repro.resilience.retry import RetryPolicy
 __all__ = [
     "Budget",
     "CheckpointStore",
+    "CircuitBreaker",
     "DEFAULT_TTL_SECONDS",
     "DegradationRecord",
     "Lease",

@@ -1,0 +1,122 @@
+"""A small circuit breaker: trip on consecutive failures, re-probe later.
+
+Used by the disk-backed result cache to degrade to memory-only behavior
+when the disk goes bad (``ENOSPC``, ``EIO``): after
+``failure_threshold`` consecutive write failures the breaker *opens*
+and the caller skips the failing operation entirely — no syscall, no
+exception, no latency — instead of hammering a dead disk on every
+request.  After ``cooldown_seconds`` the breaker lets exactly one probe
+through (*half-open*); a successful probe closes the breaker, a failed
+one re-opens it and restarts the cooldown.
+
+The breaker is deliberately free of metrics/registry dependencies —
+callers wire ``on_state_change`` to publish whatever gauge they want —
+and takes an injectable ``clock`` so tests drive the cooldown without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a timed half-open re-probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, name: str = "", failure_threshold: int = 3,
+                 cooldown_seconds: float = 30.0,
+                 clock=time.monotonic, on_state_change=None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must not be negative")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock
+        self.on_state_change = on_state_change
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        #: Closed -> open transitions (the "disk went bad" count).
+        self.trips = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, state: str) -> None:
+        """Set the state (caller holds the lock) and notify outside it."""
+        if state == self._state:
+            return
+        self._state = state
+        if self.on_state_change is not None:
+            # Fire the callback without the lock: it may re-enter
+            # (metrics registries take their own locks).
+            callback = self.on_state_change
+            self._lock.release()
+            try:
+                callback(state)
+            finally:
+                self._lock.acquire()
+
+    # -- the protocol ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded operation right now?
+
+        Open state answers ``False`` until the cooldown elapses, then
+        admits exactly one half-open probe; the probe's
+        :meth:`record_success`/:meth:`record_failure` decides whether
+        the breaker closes again.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self.clock() - self._opened_at < self.cooldown_seconds:
+                    return False
+                self._transition(self.HALF_OPEN)
+                self._probe_inflight = True
+                return True
+            # Half-open: one probe at a time.
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def record_success(self) -> None:
+        """The guarded operation worked: close (or stay closed)."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != self.CLOSED:
+                self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        """The guarded operation failed: trip or re-open."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if self._state == self.CLOSED:
+                if self._consecutive_failures >= self.failure_threshold:
+                    self.trips += 1
+                    self._opened_at = self.clock()
+                    self._transition(self.OPEN)
+            else:
+                # A failed half-open probe (or a failure recorded while
+                # open) restarts the cooldown.
+                self._opened_at = self.clock()
+                self._transition(self.OPEN)

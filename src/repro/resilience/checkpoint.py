@@ -22,8 +22,9 @@ import json
 import os
 import pathlib
 import re
-import tempfile
 import time
+
+from repro.resilience import faultfs
 
 __all__ = ["CheckpointStore"]
 
@@ -46,28 +47,12 @@ class CheckpointStore:
     # -- atomic JSON -------------------------------------------------------
 
     def _write_atomic(self, path: pathlib.Path, document: dict) -> None:
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=self.directory,
-            prefix=path.name + ".",
-            suffix=".tmp",
-            delete=False,
+        # Routed through the injectable faultfs primitives so disk-fault
+        # tests can fail the write/fsync/rename steps deterministically;
+        # the helper never leaves a half-written target behind.
+        faultfs.atomic_write_text(
+            str(path), json.dumps(document, indent=2) + "\n"
         )
-        try:
-            with handle:
-                json.dump(document, handle, indent=2)
-                handle.write("\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
-        except BaseException:
-            # Never leave temp litter (or a half-written target) behind.
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
 
     # -- per-unit checkpoints ----------------------------------------------
 

@@ -66,6 +66,10 @@ class LeaseManager:
         self.clock = clock
         #: Stale leases this manager took over (the crash-recovery path).
         self.stale_takeovers = 0
+        #: Lease-file operations that failed at the OS level (state dir
+        #: deleted mid-run, disk gone read-only).  Work proceeds without
+        #: mutual exclusion — leases are efficiency, not correctness.
+        self.errors = 0
         os.makedirs(directory, exist_ok=True)
 
     # -- paths and stamps --------------------------------------------------
@@ -106,15 +110,40 @@ class LeaseManager:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _create_excl(self, path: str) -> int:
+        """``O_CREAT | O_EXCL`` create, recreating a vanished directory.
+
+        If the state directory disappeared mid-run (an operator
+        ``rm -rf``, a reaped tmpfs), recreate it and retry once.  When
+        even that fails the :class:`OSError` propagates to the caller,
+        which degrades to an unbacked lease rather than crashing the
+        daemon's worker task.
+        """
+        flags = os.O_WRONLY | os.O_CREAT | os.O_EXCL
+        try:
+            return os.open(path, flags, 0o644)
+        except FileExistsError:
+            raise
+        except OSError:
+            os.makedirs(self.directory, exist_ok=True)
+            return os.open(path, flags, 0o644)
+
     def try_acquire(self, key: str) -> Lease | None:
-        """One attempt to take the lease; ``None`` if a live peer holds it."""
+        """One attempt to take the lease; ``None`` if a live peer holds it.
+
+        Best-effort under filesystem failure: when the lease file cannot
+        be created at all (state directory deleted and not recreatable),
+        the returned lease is *unbacked* — synthesis proceeds without
+        cross-daemon exclusion, ``errors`` counts the event, and the
+        content-addressed caches keep duplicated work harmless.
+        """
         path = self.path_for(key)
         token = f"{os.getpid()}-{uuid.uuid4().hex[:12]}"
         acquired = self.clock()
         stamp = self._stamp(key, token, acquired)
         payload = json.dumps(stamp, sort_keys=True).encode("utf-8")
         try:
-            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            fd = self._create_excl(path)
         except FileExistsError:
             current = self.read_stamp(key)
             if not self.is_stale(current):
@@ -137,6 +166,13 @@ class LeaseManager:
             if after is None or after.get("token") != token:
                 return None
             self.stale_takeovers += 1
+            return Lease(key=key, path=path, token=token,
+                         acquired_unix=acquired)
+        except OSError:
+            # The lease directory is gone and cannot come back.  Hand
+            # out an unbacked lease: heartbeat() will report it lost,
+            # release() is a no-op, and the work still happens.
+            self.errors += 1
             return Lease(key=key, path=path, token=token,
                          acquired_unix=acquired)
         try:

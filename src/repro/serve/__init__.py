@@ -14,12 +14,21 @@ With a ``--state-dir`` the queue itself is durable: accepted jobs are
 written to an append-only journal (:mod:`repro.serve.journal`) before
 their 202 goes out and replayed on the next boot, and lease files
 (:mod:`repro.resilience.lease`) let several daemons share one
-cache/journal directory without duplicating in-flight synthesis.
-``python -m repro.serve.gauntlet`` exercises exactly those crash paths.
+cache/journal directory without duplicating in-flight synthesis.  The
+journal rotates into sealed segments and compacts into a checksummed
+checkpoint (``--journal-max-bytes``; inspect with ``python -m
+repro.serve.journalctl``), a bounded queue sheds overload with 503 +
+``Retry-After`` (``--max-queue-depth``), and a health monitor
+(:mod:`repro.serve.health`) flips the daemon to degraded mode — shed
+low priority first, stop journaling detail — when disk headroom,
+journal writes or the disk-cache breaker go bad.  ``python -m
+repro.serve.gauntlet`` exercises the crash paths, including phase C's
+injected disk faults.
 
 See ``docs/SERVICE.md`` for the architecture and the ops runbook.
 """
 
+from repro.serve.health import HealthMonitor
 from repro.serve.jobs import (
     DEFAULT_CLIENT,
     DEFAULT_PRIORITY,
@@ -29,7 +38,12 @@ from repro.serve.jobs import (
     JobState,
     options_from_json,
 )
-from repro.serve.journal import JOURNAL_SCHEMA_VERSION, JobJournal, PendingJob
+from repro.serve.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JobJournal,
+    PendingJob,
+    ReplayReport,
+)
 from repro.serve.quota import ClientQuotas, QuotaDecision, TokenBucket
 from repro.serve.server import ReproServer, resolve_state_dir
 
@@ -37,6 +51,7 @@ __all__ = [
     "ClientQuotas",
     "DEFAULT_CLIENT",
     "DEFAULT_PRIORITY",
+    "HealthMonitor",
     "JOURNAL_SCHEMA_VERSION",
     "Job",
     "JobJournal",
@@ -45,6 +60,7 @@ __all__ = [
     "PRIORITY_CLASSES",
     "PendingJob",
     "QuotaDecision",
+    "ReplayReport",
     "ReproServer",
     "TokenBucket",
     "options_from_json",

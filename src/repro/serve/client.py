@@ -6,6 +6,16 @@ Used by the test suite and the CI smoke job; handy from scripts too::
     client = ServeClient("http://127.0.0.1:8348")
     job = client.synthesize(pla_text, wait=True)
     print(job["result"]["two_input_gates"])
+
+Backpressure (429 from a drained quota bucket, 503 from overload
+shedding) surfaces as the same typed errors the server raises
+in-process — :class:`~repro.errors.QuotaExceededError` and
+:class:`~repro.errors.OverloadedError`, each carrying the server's
+``Retry-After``.  Pass ``retries=N`` to let the client absorb that
+backpressure itself: it sleeps for the server's ``Retry-After``
+(bounded by the retry policy's capped exponential backoff with
+deterministic jitter) and resubmits, raising only once the budget is
+spent.
 """
 
 from __future__ import annotations
@@ -15,15 +25,24 @@ import time
 import urllib.error
 import urllib.request
 
-from repro.errors import QuotaExceededError
+from repro.errors import OverloadedError, QuotaExceededError
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ServeClient"]
 
 
 class ServeClient:
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retries: int = 0,
+                 retry_policy: RetryPolicy | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=self.retries, base_delay=0.1, max_delay=5.0)
+        #: Backpressure retries actually performed (test/telemetry hook).
+        self.backoff_retries = 0
+        self._sleep = time.sleep  # injectable for tests
 
     def _request(self, method: str, path: str, body: dict | None = None):
         data = json.dumps(body).encode("utf-8") if body is not None else None
@@ -39,19 +58,49 @@ class ServeClient:
                     return json.loads(payload.decode("utf-8"))
                 return payload.decode("utf-8")
         except urllib.error.HTTPError as exc:
-            if exc.code == 429:
+            if exc.code in (429, 503):
                 # Surface the daemon's backpressure as the same typed
-                # error the queue raises in-process.
+                # errors the queue raises in-process.
                 retry_after = float(exc.headers.get("Retry-After") or 1.0)
-                client = "unknown"
+                doc = {}
                 try:
                     doc = json.loads(exc.read().decode("utf-8"))
-                    client = str(doc.get("client", client))
                     retry_after = float(doc.get("retry_after", retry_after))
                 except (ValueError, UnicodeDecodeError):
                     pass
-                raise QuotaExceededError(client, retry_after) from exc
+                if exc.code == 429:
+                    raise QuotaExceededError(
+                        str(doc.get("client", "unknown")), retry_after
+                    ) from exc
+                raise OverloadedError(
+                    str(doc.get("reason", "overloaded")), retry_after
+                ) from exc
             raise
+
+    def _request_with_backoff(self, method: str, path: str,
+                              body: dict | None = None):
+        """``_request`` plus automatic retry on 429/503 backpressure.
+
+        The sleep honors the server's ``Retry-After`` but never exceeds
+        the policy's ``max_delay`` — a server drowning in backlog may
+        advertise a long pause, and a client that obeys it verbatim can
+        stall a test harness for a minute per attempt.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request(method, path, body)
+            except (QuotaExceededError, OverloadedError) as exc:
+                if attempt >= self.retries:
+                    raise
+                delay = min(
+                    self.retry_policy.max_delay,
+                    max(exc.retry_after,
+                        self.retry_policy.delay(attempt + 1)),
+                )
+                attempt += 1
+                self.backoff_retries += 1
+                self._sleep(delay)
 
     # -- endpoints ---------------------------------------------------------
 
@@ -66,7 +115,7 @@ class ServeClient:
             body["priority"] = priority
         if client is not None:
             body["client"] = client
-        return self._request("POST", "/synthesize", body)
+        return self._request_with_backoff("POST", "/synthesize", body)
 
     def job(self, job_id: str) -> dict:
         return self._request("GET", f"/jobs/{job_id}")

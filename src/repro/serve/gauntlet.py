@@ -1,8 +1,8 @@
 """Crash-restart gauntlet: what the CI ``service-smoke`` job escalates to.
 
-    python -m repro.serve.gauntlet [--circuits NAMES]
+    python -m repro.serve.gauntlet [--circuits NAMES] [--phases ABC]
 
-Two phases, both against real ``repro-serve`` subprocesses:
+Three phases, all against real ``repro-serve`` subprocesses:
 
 **Phase A — SIGKILL mid-queue.**  Boot one durable daemon
 (``--state-dir``), submit a batch of small circuits without waiting,
@@ -21,6 +21,20 @@ assert the results are bit-identical while the combined
 ``engine_requests_fresh`` across both daemons is exactly 1: the lease
 files made one daemon do the work and the other answer from the
 shared cache (``serve_lease_acquired`` confirms the leases were used).
+
+**Phase C — disk faults + rotation under SIGKILL.**  Boot a daemon
+with a tiny ``--journal-max-bytes`` (rotation fires constantly) and a
+:mod:`repro.resilience.faultfs` plan injected via ``REPRO_FAULTFS``:
+disk-cache entry writes hit ``ENOSPC`` until the write breaker trips,
+one journal append is torn mid-write, and one rotation rename fails
+with ``EIO``.  Assert that every job still completes with BLIF
+byte-equal to the reference (disk-cache writes degraded to memory-only
+behind the breaker), that the breaker opened and then closed again
+after the half-open re-probe found the disk healthy, and that the
+journal rotated.  Then SIGKILL the daemon mid-traffic, restart it
+clean, assert the backlog completes bit-identically, and finish with
+``journalctl verify`` — the journal must be sound (no corruption, no
+half-rotated state) after all of it.
 
 Exits non-zero with a message on the first violated assertion.
 """
@@ -63,15 +77,18 @@ def _check(condition: bool, message: str) -> None:
 
 
 def _start_daemon(cache_dir: str, state_dir: str,
-                  lease_ttl: float = 2.0
+                  lease_ttl: float = 2.0,
+                  extra_args: list[str] | None = None,
+                  env: dict[str, str] | None = None
                   ) -> tuple[subprocess.Popen, ServeClient]:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.serve.cli", "--port", "0",
          "--cache-dir", cache_dir, "--state-dir", state_dir,
          # jobs=1 keeps synthesis in-process: a SIGKILL'd daemon must
          # not leave orphaned pool workers behind in CI.
-         "--jobs", "1", "--lease-ttl", str(lease_ttl)],
-        stderr=subprocess.PIPE, text=True,
+         "--jobs", "1", "--lease-ttl", str(lease_ttl)]
+        + (extra_args or []),
+        stderr=subprocess.PIPE, text=True, env=env,
     )
     deadline = time.monotonic() + 30
     line = ""
@@ -248,14 +265,108 @@ def phase_b_two_daemons(circuit: str, plas: dict[str, str],
             _stop_daemon(proc_b)
 
 
+def phase_c_disk_faults(circuits: list[str], plas: dict[str, str],
+                        references: dict[str, str]) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-gauntlet-c-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        state_dir = os.path.join(tmp, "state")
+        batch, probe = circuits[:-1], circuits[-1]
+        env = dict(os.environ)
+        # Three deterministic disk faults: entry writes hit ENOSPC until
+        # the breaker trips (threshold 3), one journal append is torn,
+        # one rotation rename fails with EIO.  A short breaker cooldown
+        # lets the half-open re-probe happen within the phase.
+        env["REPRO_FAULTFS"] = (
+            "write:enospc:path=entries:count=3;"
+            "write:partial:path=journal.jsonl:after=4:count=1;"
+            "replace:eio:path=.0001.jsonl:count=1"
+        )
+        env["REPRO_CACHE_BREAKER_COOLDOWN"] = "0.05"
+        rotation = ["--journal-max-bytes", "600",
+                    "--journal-keep-segments", "2"]
+        print("gauntlet C: booting under injected disk faults ...",
+              flush=True)
+        proc, client = _start_daemon(cache_dir, state_dir,
+                                     extra_args=rotation, env=env)
+        accepted = []
+        try:
+            for name in batch:
+                job = client.synthesize(plas[name], name=name, wait=True)
+                _check(job["state"] == "done",
+                       f"{name} {job['state']} under disk faults: "
+                       f"{job.get('error')}")
+                _check(job["result"]["blif"] == references[name],
+                       f"{name}: BLIF under disk faults differs from "
+                       "reference")
+            metrics = client.metrics()
+            _check(_metric(metrics, "faultfs_injected") > 0,
+                   "no injected fault ever fired")
+            _check(_metric(metrics, "cache_disk_errors") >= 1,
+                   "disk-cache writes never saw the injected ENOSPC")
+            _check(_metric(metrics, "cache_disk_breaker_opened") >= 1,
+                   "the disk-cache write breaker never opened")
+            _check(_metric(metrics, "journal_rotations") >= 1,
+                   "the journal never rotated")
+            # The ENOSPC rule is exhausted: after the cooldown the
+            # half-open probe on the next store must find the disk
+            # healthy and close the breaker.
+            time.sleep(0.2)
+            job = client.synthesize(plas[probe], name=probe, wait=True)
+            _check(job["state"] == "done", f"probe circuit {probe} failed")
+            _check(job["result"]["blif"] == references[probe],
+                   f"{probe}: probe BLIF differs from reference")
+            metrics = client.metrics()
+            _check(_metric(metrics, "cache_disk_breaker") == 0.0,
+                   "breaker did not close after the disk recovered")
+            print("gauntlet C: breaker tripped and recovered, results "
+                  "bit-identical", flush=True)
+            # Re-submit the batch without waiting and SIGKILL while the
+            # journal is busy appending/rotating.
+            for name in batch:
+                doc = client.synthesize(plas[name], name=name, wait=False)
+                accepted.append(doc["key"])
+        finally:
+            _sigkill(proc)
+        print("gauntlet C: SIGKILL mid-rotation, restarting clean ...",
+              flush=True)
+
+        proc, client = _start_daemon(cache_dir, state_dir,
+                                     extra_args=rotation)
+        try:
+            jobs = _wait_all_done(
+                client, sorted({job["circuit"]
+                                for job in client.jobs()["jobs"]}))
+            for name, job in jobs.items():
+                _check(job["result"]["blif"] == references[name],
+                       f"{name}: post-crash BLIF differs from reference")
+        finally:
+            _stop_daemon(proc)
+
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro.serve.journalctl", "verify",
+             "--state-dir", state_dir],
+            capture_output=True, text=True,
+        )
+        _check(verify.returncode == 0,
+               "journalctl verify found corruption after the crash: "
+               f"{verify.stdout}{verify.stderr}")
+        print("gauntlet C: journal verified sound after faults + SIGKILL",
+              flush=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--circuits", default=",".join(DEFAULT_CIRCUITS),
                         metavar="NAMES",
                         help="comma-separated circuit names (first N-1 "
                              "feed phase A, the last feeds phase B)")
+    parser.add_argument("--phases", default="ABC", metavar="LETTERS",
+                        help="which phases to run (default ABC)")
     args = parser.parse_args(argv)
 
+    phases = {letter for letter in args.phases.upper() if letter.strip()}
+    unknown = phases - {"A", "B", "C"}
+    _check(not unknown, f"unknown phases: {sorted(unknown)}")
     circuits = [name.strip() for name in args.circuits.split(",")
                 if name.strip()]
     _check(len(circuits) >= 2, "need at least two circuits")
@@ -263,8 +374,12 @@ def main(argv: list[str] | None = None) -> int:
     print("gauntlet: computing in-process references ...", flush=True)
     references = _references(circuits, plas)
 
-    phase_a_crash_restart(circuits[:-1], plas, references)
-    phase_b_two_daemons(circuits[-1], plas, references)
+    if "A" in phases:
+        phase_a_crash_restart(circuits[:-1], plas, references)
+    if "B" in phases:
+        phase_b_two_daemons(circuits[-1], plas, references)
+    if "C" in phases:
+        phase_c_disk_faults(circuits, plas, references)
     print("gauntlet: OK", flush=True)
     return 0
 

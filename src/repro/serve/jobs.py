@@ -29,6 +29,17 @@ On top of the PR-6 dedup queue this adds the durability/fairness tier:
   heartbeats while running; a peer daemon wanting the same key waits
   for the lease and then (thanks to the shared disk cache) answers
   from cache instead of duplicating the work.
+* **overload shedding** — with ``max_depth`` set, a submission that
+  would push the queue past its high-water mark is refused with
+  :class:`~repro.errors.OverloadedError` (the HTTP layer maps it to
+  ``503`` + ``Retry-After``) instead of growing the backlog without
+  bound.  Dedup joins and journal replays are never shed: a join costs
+  no new work, and a replayed job was already admitted once.  In
+  *degraded mode* (set by the :class:`~repro.serve.health.
+  HealthMonitor` when disk headroom, journal writes or the cache
+  breaker go bad) low-priority submissions are shed first and new jobs
+  stop journaling their payload detail — no more bulk writes to a disk
+  that is failing or full.
 
 All queue state is mutated on the event-loop thread only; the actual
 synthesis runs in a thread-pool executor (and, for multi-output specs,
@@ -51,6 +62,7 @@ from repro.core.options import (
     SynthesisOptions,
 )
 from repro.engine import SynthesisEngine
+from repro.errors import OverloadedError
 from repro.fprm.polarity import PolarityStrategy
 from repro.network.blif import write_blif
 from repro.obs.logs import log_event
@@ -232,13 +244,20 @@ class JobQueue:
                  quotas: ClientQuotas | None = None,
                  journal: JobJournal | None = None,
                  leases: LeaseManager | None = None,
-                 lease_poll_seconds: float = 0.25):
+                 lease_poll_seconds: float = 0.25,
+                 max_depth: int | None = None):
+        if max_depth is not None and max_depth <= 0:
+            raise ValueError("max_depth must be positive (or None)")
         self.engine = engine
         self.workers = max(1, workers)
         self.quotas = quotas
         self.journal = journal
         self.leases = leases
         self.lease_poll_seconds = lease_poll_seconds
+        self.max_depth = max_depth
+        #: Active degradation reasons (set by the health monitor); empty
+        #: means healthy.  Read by ``/healthz`` and the shed check.
+        self.degraded_reasons: list[str] = []
         self.jobs: dict[str, Job] = {}
         self.synth_calls = 0  # engine invocations (dedup leaves this flat)
         self._inflight: dict[str, Job] = {}
@@ -266,6 +285,33 @@ class JobQueue:
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks.clear()
 
+    # -- degradation and shedding ------------------------------------------
+
+    def set_degraded(self, reasons: list[str]) -> None:
+        """Enter/leave degraded mode (the health monitor calls this)."""
+        self.degraded_reasons = list(reasons)
+        self._registry.gauge(
+            "serve.degraded", "1 while the daemon is in degraded mode"
+        ).set(1 if reasons else 0)
+
+    def _retry_after(self) -> float:
+        """Back clients off proportionally to the backlog, 1–60 s."""
+        return min(60.0, max(1.0, len(self._inflight) * 0.5))
+
+    def _shed(self, priority: str) -> str | None:
+        """Why this submission must be refused, or ``None`` to admit.
+
+        Past the high-water mark everything is shed; in degraded mode
+        low-priority traffic is shed first, so interactive requests keep
+        flowing while batch clients absorb the squeeze.
+        """
+        if self.max_depth is not None \
+                and len(self._inflight) >= self.max_depth:
+            return "queue_full"
+        if self.degraded_reasons and priority == "low":
+            return "degraded"
+        return None
+
     # -- submission --------------------------------------------------------
 
     def submit(self, spec: CircuitSpec, overrides: dict | None = None, *,
@@ -281,10 +327,14 @@ class JobQueue:
         Raises :class:`~repro.errors.QuotaExceededError` when the
         client's token bucket is empty (checked before dedup — joining
         an in-flight job is admission too) and :class:`ValueError` for
-        an unknown priority class.  ``pla``/``options_doc`` carry the
-        raw request payload into the journal so a crashed daemon can
-        reconstruct the job on replay; replayed re-submissions skip
-        both the quota (the tokens were spent on first admission) and
+        an unknown priority class, and :class:`~repro.errors.
+        OverloadedError` when the submission is shed (queue past its
+        high-water mark, or low-priority traffic in degraded mode).
+        ``pla``/``options_doc`` carry the raw request payload into the
+        journal so a crashed daemon can reconstruct the job on replay;
+        replayed re-submissions skip the quota (the tokens were spent
+        on first admission), the shed check (the work was already
+        accepted — dropping it now would break the 202 promise) and
         the journal (their ``queued`` event already exists).
         """
         overrides = overrides or {}
@@ -308,6 +358,24 @@ class JobQueue:
                       correlation_id=existing.correlation_id,
                       submissions=existing.submissions)
             return existing, True
+        if not replayed:
+            reason = self._shed(priority)
+            if reason is not None:
+                retry_after = self._retry_after()
+                self._registry.counter(
+                    "serve.shed.total", "submissions shed by overload "
+                    "or degraded-mode admission",
+                ).inc()
+                self._registry.counter(
+                    "serve.shed.total", "submissions shed by overload "
+                    "or degraded-mode admission",
+                    labels={"reason": reason, "priority": priority},
+                ).inc()
+                log_event("serve.job.shed", request_key=key,
+                          reason=reason, priority=priority, client=client,
+                          depth=len(self._inflight),
+                          retry_after=retry_after)
+                raise OverloadedError(reason, retry_after)
         job = Job(
             id=f"job-{next(self._ids)}",
             key=key,
@@ -323,16 +391,26 @@ class JobQueue:
             correlation_id=new_correlation_id(),
         )
         if self.journal is not None and not replayed:
-            # Journal before the job becomes observable: once a caller
-            # holds a 202, the work survives any crash of this daemon.
-            self.journal.record_queued(
-                request_key=key,
-                circuit=spec.name,
-                pla=pla if pla is not None else "",
-                options=options_doc or {},
-                priority=priority,
-                client=client,
-            )
+            if self.degraded_reasons:
+                # Degraded mode: stop writing payload detail to a disk
+                # that is failing or full.  The job is accepted but not
+                # durable — counted, so the loss is visible.
+                self._registry.counter(
+                    "serve.journal.suppressed",
+                    "queued events not journaled in degraded mode",
+                ).inc()
+            else:
+                # Journal before the job becomes observable: once a
+                # caller holds a 202, the work survives any crash of
+                # this daemon.
+                self.journal.record_queued(
+                    request_key=key,
+                    circuit=spec.name,
+                    pla=pla if pla is not None else "",
+                    options=options_doc or {},
+                    priority=priority,
+                    client=client,
+                )
         self.jobs[job.id] = job
         self._inflight[key] = job
         self._queue.put_nowait(PRIORITY_CLASSES[priority], job)
@@ -347,6 +425,10 @@ class JobQueue:
 
     def get(self, job_id: str) -> Job | None:
         return self.jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Jobs currently waiting or running (the shed signal)."""
+        return len(self._inflight)
 
     def counts(self) -> dict:
         states = {state.value: 0 for state in JobState}

@@ -12,7 +12,10 @@ the container bakes in only the standard library.  Endpoints:
                             and request key.  Identical in-flight
                             requests join the same job (``deduplicated``
                             in the response); an exhausted client quota
-                            is a 429 with a ``Retry-After`` header.
+                            is a 429 and a shed submission (queue past
+                            its high-water mark, or low priority while
+                            degraded) is a 503, both with a
+                            ``Retry-After`` header.
 ``GET /jobs``               summaries of every job this process has seen
 ``GET /jobs/<id>``          full job document, run manifest included
 ``GET /jobs/<id>/trace``    the request's span tree (full FlowTrace
@@ -43,18 +46,19 @@ import os
 import signal
 
 from repro.engine import EngineConfig, SynthesisEngine
-from repro.errors import QuotaExceededError
+from repro.errors import OverloadedError, QuotaExceededError
 from repro.network.to_expr import spec_from_pla_text
 from repro.obs.logs import log_event
 from repro.obs.metrics import get_metrics_registry
 from repro.resilience.lease import DEFAULT_TTL_SECONDS, LeaseManager
+from repro.serve.health import HealthMonitor
 from repro.serve.jobs import (
     DEFAULT_CLIENT,
     DEFAULT_PRIORITY,
     JobQueue,
     options_from_json,
 )
-from repro.serve.journal import JobJournal
+from repro.serve.journal import DEFAULT_KEEP_SEGMENTS, JobJournal
 from repro.serve.quota import ClientQuotas
 
 __all__ = ["ReproServer", "resolve_state_dir"]
@@ -90,14 +94,20 @@ class ReproServer:
                  state_dir: str | None = None,
                  quota_rate: float | None = None,
                  quota_burst: float = 10.0,
-                 lease_ttl_seconds: float = DEFAULT_TTL_SECONDS):
+                 lease_ttl_seconds: float = DEFAULT_TTL_SECONDS,
+                 journal_max_bytes: int | None = None,
+                 journal_keep_segments: int = DEFAULT_KEEP_SEGMENTS,
+                 max_queue_depth: int | None = None,
+                 min_free_mb: int | None = None):
         self.engine = SynthesisEngine(config)
         self.state_dir = resolve_state_dir(state_dir)
         journal = leases = None
         if self.state_dir is not None:
             os.makedirs(self.state_dir, exist_ok=True)
             journal = JobJournal(
-                os.path.join(self.state_dir, JOURNAL_FILENAME)
+                os.path.join(self.state_dir, JOURNAL_FILENAME),
+                max_bytes=journal_max_bytes,
+                keep_segments=journal_keep_segments,
             )
             leases = LeaseManager(
                 os.path.join(self.state_dir, LEASE_DIRNAME),
@@ -108,7 +118,16 @@ class ReproServer:
             if quota_rate is not None else None
         )
         self.queue = JobQueue(self.engine, workers=workers,
-                              quotas=quotas, journal=journal, leases=leases)
+                              quotas=quotas, journal=journal, leases=leases,
+                              max_depth=max_queue_depth)
+        self.health = HealthMonitor(
+            self.queue,
+            state_dir=self.state_dir,
+            min_free_bytes=(min_free_mb * 1024 * 1024
+                            if min_free_mb else None),
+            breaker=(self.engine.disk_tier.breaker
+                     if self.engine.disk_tier is not None else None),
+        )
         self.host = host
         self.port = port
         self.replayed = 0
@@ -120,6 +139,7 @@ class ReproServer:
     async def start(self) -> None:
         self.queue.start()
         self._replay_journal()
+        self.health.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -205,6 +225,7 @@ class ReproServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        await self.health.stop()
         await self.queue.drain()
         self.engine.close()
 
@@ -231,7 +252,8 @@ class ReproServer:
                 ctype = "application/json"
             reason = {200: "OK", 202: "Accepted", 400: "Bad Request",
                       404: "Not Found", 429: "Too Many Requests",
-                      500: "Internal Server Error"}
+                      500: "Internal Server Error",
+                      503: "Service Unavailable"}
             extra = "".join(
                 f"{name}: {value}\r\n" for name, value in headers.items()
             )
@@ -304,9 +326,13 @@ class ReproServer:
         if method == "GET" and path == "/metrics":
             return 200, get_metrics_registry().to_prometheus_text()
         if method == "GET" and path == "/healthz":
+            reasons = list(self.queue.degraded_reasons)
             return 200, {
-                "status": "ok",
+                "status": "degraded" if reasons else "ok",
+                "degraded": bool(reasons),
+                "reasons": reasons,
                 "jobs": self.queue.counts(),
+                "queue_depth": self.queue.depth(),
                 "durable": self.queue.journal is not None,
                 "replayed": self.replayed,
             }
@@ -357,6 +383,16 @@ class ReproServer:
             return (
                 429,
                 {"error": str(exc), "client": exc.client,
+                 "retry_after": retry_after},
+                {"Retry-After": str(retry_after)},
+            )
+        except OverloadedError as exc:
+            # Shed, not queued: the backlog (or a degraded disk) means
+            # accepting this job would make every other job slower.
+            retry_after = max(1, int(exc.retry_after))
+            return (
+                503,
+                {"error": str(exc), "reason": exc.reason,
                  "retry_after": retry_after},
                 {"Retry-After": str(retry_after)},
             )

@@ -1,0 +1,141 @@
+"""Disk-cache write breaker: degrade to memory-only, recover by probe."""
+
+import pytest
+
+from repro.circuits import get
+from repro.core.options import SynthesisOptions
+from repro.core.synthesis import synthesize_fprm
+from repro.flow.cache import get_result_cache
+from repro.flow.disk_cache import DiskCacheTier
+from repro.network.blif import write_blif
+from repro.obs.metrics import get_metrics_registry
+from repro.resilience import faultfs
+from repro.resilience.breaker import CircuitBreaker
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    faultfs.clear()
+    get_result_cache().clear()
+    get_result_cache().detach_disk()
+    yield
+    faultfs.clear()
+    get_result_cache().clear()
+    get_result_cache().detach_disk()
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def populated_tier(tmp_path, clock=None):
+    """A tier holding rd53's entries; returns (tier, one key, its entry)."""
+    breaker = None
+    if clock is not None:
+        breaker = CircuitBreaker(name="cache.disk", failure_threshold=3,
+                                 cooldown_seconds=5.0, clock=clock)
+    tier = DiskCacheTier(tmp_path / "cache", breaker=breaker)
+    cache = get_result_cache()
+    cache.attach_disk(tier)
+    synthesize_fprm(get("rd53"), SynthesisOptions(cache=True))
+    path = sorted(tier._entry_paths())[0]
+    key = f"{path.parent.name}/{path.stem}"
+    entry = tier.load_entry(key)
+    assert entry is not None
+    return tier, key, entry
+
+
+def test_failed_stores_trip_the_breaker(tmp_path):
+    tier, key, entry = populated_tier(tmp_path)
+    registry = get_metrics_registry()
+    errors_before = registry.counter("cache.disk.errors", "").value
+    opened_before = registry.counter("cache.disk.breaker.opened", "").value
+    faultfs.install(faultfs.parse_plan("write:enospc:path=entries"))
+
+    for _ in range(3):
+        assert tier.store_entry(key, entry) is False
+    assert tier.breaker.state == CircuitBreaker.OPEN
+    assert registry.counter("cache.disk.errors", "").value \
+        == errors_before + 3
+    assert registry.counter("cache.disk.breaker.opened", "").value \
+        == opened_before + 1
+    assert registry.gauge("cache.disk.breaker", "").value == 1
+
+
+def test_open_breaker_skips_stores_without_touching_disk(tmp_path):
+    tier, key, entry = populated_tier(tmp_path)
+    plan = faultfs.install(faultfs.parse_plan("write:enospc:path=entries"))
+    for _ in range(3):
+        tier.store_entry(key, entry)
+    injected_at_open = plan.injected_total
+    registry = get_metrics_registry()
+    skipped_before = registry.counter("cache.disk.skipped_stores", "").value
+
+    for _ in range(5):
+        assert tier.store_entry(key, entry) is False
+    # No doomed syscalls while open: the fault plan saw nothing more.
+    assert plan.injected_total == injected_at_open
+    assert registry.counter("cache.disk.skipped_stores", "").value \
+        == skipped_before + 5
+
+
+def test_reads_are_not_gated_by_the_breaker(tmp_path):
+    tier, key, entry = populated_tier(tmp_path)
+    for _ in range(3):
+        tier.breaker.record_failure()
+    assert tier.breaker.state == CircuitBreaker.OPEN
+    loaded = tier.load_entry(key)
+    assert loaded is not None
+    assert loaded.checksum == entry.checksum
+
+
+def test_half_open_probe_closes_breaker_when_disk_recovers(tmp_path):
+    clock = FakeClock()
+    tier, key, entry = populated_tier(tmp_path, clock=clock)
+    # Three failing writes, then the disk comes back (count=3).
+    faultfs.install(faultfs.parse_plan("write:enospc:path=entries:count=3"))
+    for _ in range(3):
+        assert tier.store_entry(key, entry) is False
+    assert tier.breaker.state == CircuitBreaker.OPEN
+    assert tier.store_entry(key, entry) is False  # still cooling down
+
+    clock.advance(5.0)
+    assert tier.store_entry(key, entry) is True  # the half-open probe
+    assert tier.breaker.state == CircuitBreaker.CLOSED
+    assert get_metrics_registry().gauge("cache.disk.breaker", "").value == 0
+
+
+def test_failed_probe_reopens(tmp_path):
+    clock = FakeClock()
+    tier, key, entry = populated_tier(tmp_path, clock=clock)
+    faultfs.install(faultfs.parse_plan("write:enospc:path=entries"))
+    for _ in range(3):
+        tier.store_entry(key, entry)
+    clock.advance(5.0)
+    assert tier.store_entry(key, entry) is False  # probe fails
+    assert tier.breaker.state == CircuitBreaker.OPEN
+    assert get_metrics_registry().gauge("cache.disk.breaker", "").value == 1
+
+
+def test_synthesis_survives_a_dead_disk_memory_only(tmp_path):
+    """End to end: every disk write fails, results stay bit-identical."""
+    tier = DiskCacheTier(tmp_path / "cache")
+    cache = get_result_cache()
+    cache.attach_disk(tier)
+    faultfs.install(faultfs.parse_plan("write:enospc:path=entries"))
+
+    spec = get("rd53")
+    first = synthesize_fprm(spec, SynthesisOptions(cache=True))
+    assert tier._entry_paths() == []  # nothing persisted
+    # The memory tier above the dead disk still serves hits.
+    second = synthesize_fprm(spec, SynthesisOptions(cache=True))
+    assert write_blif(second.network) == write_blif(first.network)
+    assert cache.stats.hits > 0
+    assert tier.breaker.state == CircuitBreaker.OPEN

@@ -227,6 +227,28 @@ def test_cache_cli_stats_verify_gc_purge(tier, capsys):
     assert tier.scan()["entries"] == 0
 
 
+def test_cache_cli_verify_fails_on_stale_quarantine(tier, capsys):
+    """CI gates on the verify exit code: corruption a *reader* already
+    quarantined must fail verify too, even though the live pass is
+    clean — otherwise past corruption becomes invisible to the gate."""
+    _populate(tier)
+    path = _corrupt_one(tier)
+    key = f"{path.parent.name}/{path.stem}"
+    assert tier.load_entry(key) is None  # the read quarantines it
+    assert list(tier.quarantine_dir.glob("*.json"))
+
+    directory = str(tier.directory)
+    assert cache_cli.main(["verify", "--cache-dir", directory]) == 1
+    err = capsys.readouterr().err
+    assert "quarantined" in err and "FAIL" in err
+
+    # Clearing the quarantine (purge) makes verify green again.
+    assert cache_cli.main(
+        ["purge", "--cache-dir", directory, "--yes"]) == 0
+    capsys.readouterr()
+    assert cache_cli.main(["verify", "--cache-dir", directory]) == 0
+
+
 def test_cache_cli_requires_directory(monkeypatch):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     with pytest.raises(SystemExit):

@@ -1,0 +1,112 @@
+"""Circuit breaker: trip on consecutive failures, timed half-open probe."""
+
+import pytest
+
+from repro.resilience.breaker import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def breaker(clock, threshold: int = 3, cooldown: float = 30.0, **kwargs):
+    return CircuitBreaker(name="test", failure_threshold=threshold,
+                          cooldown_seconds=cooldown, clock=clock, **kwargs)
+
+
+def test_starts_closed_and_allows(clock):
+    brk = breaker(clock)
+    assert brk.state == CircuitBreaker.CLOSED
+    assert brk.allow()
+
+
+def test_trips_only_on_consecutive_failures(clock):
+    brk = breaker(clock, threshold=3)
+    brk.record_failure()
+    brk.record_failure()
+    brk.record_success()  # resets the streak
+    brk.record_failure()
+    brk.record_failure()
+    assert brk.state == CircuitBreaker.CLOSED
+    brk.record_failure()
+    assert brk.state == CircuitBreaker.OPEN
+    assert brk.trips == 1
+
+
+def test_open_rejects_until_cooldown(clock):
+    brk = breaker(clock, cooldown=30.0)
+    for _ in range(3):
+        brk.record_failure()
+    assert not brk.allow()
+    clock.advance(29.0)
+    assert not brk.allow()
+    clock.advance(1.0)
+    assert brk.allow()  # the half-open probe
+    assert brk.state == CircuitBreaker.HALF_OPEN
+
+
+def test_half_open_admits_one_probe_at_a_time(clock):
+    brk = breaker(clock, cooldown=1.0)
+    for _ in range(3):
+        brk.record_failure()
+    clock.advance(1.0)
+    assert brk.allow()
+    assert not brk.allow()  # probe in flight: everyone else waits
+
+
+def test_successful_probe_closes(clock):
+    brk = breaker(clock, cooldown=1.0)
+    for _ in range(3):
+        brk.record_failure()
+    clock.advance(1.0)
+    assert brk.allow()
+    brk.record_success()
+    assert brk.state == CircuitBreaker.CLOSED
+    assert brk.allow()
+
+
+def test_failed_probe_reopens_and_restarts_cooldown(clock):
+    brk = breaker(clock, cooldown=10.0)
+    for _ in range(3):
+        brk.record_failure()
+    clock.advance(10.0)
+    assert brk.allow()
+    brk.record_failure()
+    assert brk.state == CircuitBreaker.OPEN
+    clock.advance(9.0)
+    assert not brk.allow()  # the cooldown restarted at the failed probe
+    clock.advance(1.0)
+    assert brk.allow()
+    brk.record_success()
+    assert brk.state == CircuitBreaker.CLOSED
+
+
+def test_on_state_change_sees_every_transition(clock):
+    seen: list[str] = []
+    brk = breaker(clock, cooldown=1.0, on_state_change=seen.append)
+    for _ in range(3):
+        brk.record_failure()
+    clock.advance(1.0)
+    brk.allow()
+    brk.record_success()
+    assert seen == [CircuitBreaker.OPEN, CircuitBreaker.HALF_OPEN,
+                    CircuitBreaker.CLOSED]
+
+
+def test_constructor_validation(clock):
+    with pytest.raises(ValueError, match="failure_threshold"):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError, match="cooldown"):
+        CircuitBreaker(cooldown_seconds=-1.0)

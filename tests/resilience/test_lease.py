@@ -154,3 +154,59 @@ def test_lease_dataclass_fields(tmp_path, clock):
     assert lease.key == "k"
     assert lease.acquired_unix == clock.now
     assert lease.token.startswith(f"{os.getpid()}-")
+
+
+# -- the state directory disappears mid-run ----------------------------------
+
+
+def test_heartbeat_and_release_survive_vanished_state_dir(tmp_path, clock):
+    import shutil
+
+    mgr = manager(tmp_path, clock)
+    lease = mgr.try_acquire("k")
+    assert lease is not None
+    shutil.rmtree(mgr.directory)
+    # The holder notices the loss but nothing raises: the worker task
+    # keeps running and the next heartbeat tick just reports lost.
+    assert mgr.heartbeat(lease) is False
+    mgr.release(lease)  # no-op, no exception
+    assert not os.path.exists(lease.path)
+
+
+def test_acquire_recreates_vanished_directory(tmp_path, clock):
+    import shutil
+
+    mgr = manager(tmp_path, clock)
+    first = mgr.try_acquire("a")
+    assert first is not None
+    shutil.rmtree(mgr.directory)
+    # Acquisition self-heals: the directory comes back and the lease is
+    # a real, backed file again.
+    lease = mgr.try_acquire("b")
+    assert lease is not None
+    assert os.path.exists(lease.path)
+    assert mgr.heartbeat(lease) is True
+    assert mgr.errors == 0
+
+
+def test_unrecreatable_directory_degrades_to_unbacked_lease(tmp_path, clock):
+    import shutil
+
+    parent = tmp_path / "state"
+    parent.mkdir()
+    mgr = LeaseManager(str(parent / "leases"), ttl_seconds=10.0, clock=clock)
+    # The whole state tree is replaced by a *file*: makedirs cannot
+    # bring the lease directory back.
+    shutil.rmtree(parent)
+    parent.write_text("not a directory any more")
+    lease = mgr.try_acquire("k")
+    # Work proceeds without mutual exclusion rather than crashing or
+    # spinning: the lease is unbacked, the failure is counted, and the
+    # heartbeat/release protocol stays callable.
+    assert lease is not None
+    assert not os.path.exists(lease.path)
+    assert mgr.errors == 1
+    assert mgr.heartbeat(lease) is False
+    mgr.release(lease)  # no-op
+    assert mgr.try_acquire("k2") is not None
+    assert mgr.errors == 2
